@@ -1,0 +1,1 @@
+bench/ablations.ml: Analytic Dpm_core Dpm_ctmc Dpm_ctmdp Dpm_linalg Float Iterative List Matrix Optimize Paper_instance Policies Printf Steady_state String Sys_model Unix Vec

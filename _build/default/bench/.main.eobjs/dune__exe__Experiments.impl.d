@@ -1,0 +1,1 @@
+bench/experiments.ml: Analytic Array Controller Dpm_core Dpm_sim Float Format Hashtbl List Optimize Paper_instance Policies Power_sim Printf Service_provider String Summary Sys_model Workload

@@ -1,0 +1,1 @@
+bench/extensions.ml: Analytic Array Controller Discrete_baseline Dpm_core Dpm_ctmdp Dpm_sim Float List Optimize Paper_instance Power_sim Printf String Sys_model Workload

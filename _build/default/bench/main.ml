@@ -1,0 +1,107 @@
+(* Benchmark harness.
+
+   Usage:  dune exec bench/main.exe [sections...]
+
+   Sections: fig4 modelcheck tab1 fig5 npolicy2 ablations extensions perf
+   all
+   (default: all).  The experiment sections regenerate the paper's
+   tables/figures (see EXPERIMENTS.md); the perf section runs one
+   Bechamel micro-benchmark per experiment's computational kernel. *)
+
+open Bechamel
+open Dpm_core
+
+(* --- Bechamel micro-benchmarks ------------------------------------ *)
+
+let perf_tests () =
+  let sys = Paper_instance.system () in
+  let model = Sys_model.to_ctmdp sys ~weight:1.0 in
+  let greedy_chain =
+    Sys_model.generator_of_actions sys ~actions:(Policies.greedy sys)
+  in
+  let greedy_actions = Policies.actions_array sys (Policies.greedy sys) in
+  let sim_once () =
+    Dpm_sim.Power_sim.run ~seed:9L ~sys
+      ~workload:(Dpm_sim.Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+      ~controller:(Dpm_sim.Controller.greedy sys)
+      ~stop:(Dpm_sim.Power_sim.Requests 2_000) ()
+  in
+  Test.make_grouped ~name:"dpm"
+    [
+      (* FIG4 kernel: one policy-iteration solve of the paper CTMDP. *)
+      Test.make ~name:"fig4/policy_iteration"
+        (Staged.stage (fun () -> Dpm_ctmdp.Policy_iteration.solve model));
+      (* MODELCHECK kernel: the GTH steady-state solve. *)
+      Test.make ~name:"modelcheck/steady_state_gth"
+        (Staged.stage (fun () -> Dpm_ctmc.Steady_state.gth greedy_chain));
+      (* TAB1 kernel: one full analytic metric evaluation. *)
+      Test.make ~name:"tab1/analytic_metrics"
+        (Staged.stage (fun () -> Analytic.of_action_array sys greedy_actions));
+      (* FIG5 kernel: event-driven simulation (2k requests). *)
+      Test.make ~name:"fig5/simulate_2k_requests" (Staged.stage sim_once);
+      (* NPOLICY2 kernel: model construction. *)
+      Test.make ~name:"npolicy2/build_ctmdp"
+        (Staged.stage (fun () -> Sys_model.to_ctmdp sys ~weight:1.0));
+      (* ABL2 kernel: the Section III tensor assembly. *)
+      Test.make ~name:"abl2/tensor_generator"
+        (Staged.stage (fun () -> Sys_model.tensor_generator sys ~action:0));
+    ]
+
+let perf () =
+  Printf.printf "\n%s\nPERF  Bechamel micro-benchmarks (one per experiment kernel)\n%s\n"
+    (String.make 78 '-') (String.make 78 '-');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] (perf_tests ()) in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  Printf.printf "%-40s %16s\n" "kernel" "time per run";
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] ->
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          Printf.printf "%-40s %16s\n" name pretty
+      | Some _ | None -> Printf.printf "%-40s %16s\n" name "(no estimate)")
+    (List.sort compare rows)
+
+(* --- Section dispatch --------------------------------------------- *)
+
+let sections =
+  [
+    ("fig4", Experiments.fig4);
+    ("modelcheck", Experiments.modelcheck);
+    ("tab1", Experiments.table1);
+    ("fig5", Experiments.fig5);
+    ("npolicy2", Experiments.npolicy2);
+    ("ablations", Ablations.all);
+    ("extensions", Extensions.all);
+    ("perf", perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> [ "all" ]
+  in
+  let run name =
+    match List.assoc_opt name sections with
+    | Some f -> f ()
+    | None ->
+        Printf.eprintf "unknown section %S; known: %s all\n" name
+          (String.concat " " (List.map fst sections));
+        exit 1
+  in
+  List.iter
+    (fun name ->
+      if name = "all" then List.iter (fun (_, f) -> f ()) sections else run name)
+    requested

@@ -1,0 +1,443 @@
+(* Command-line interface to the CTMDP dynamic power management
+   library.
+
+     dpm_cli info        -- show a device preset
+     dpm_cli solve       -- optimize a policy for a weight
+     dpm_cli sweep       -- trace the power/delay trade-off as CSV
+     dpm_cli constrained -- minimum power under a delay bound
+     dpm_cli simulate    -- event-driven simulation of a controller
+     dpm_cli dot         -- DOT graphs of the SP / SQ / SYS chains
+                            (regenerates Figures 1 and 2 of the paper) *)
+
+open Cmdliner
+open Dpm_core
+
+(* --- shared arguments ---------------------------------------------- *)
+
+let device_arg =
+  let doc = "Device preset: paper, disk, wlan, or cpu." in
+  Arg.(value & opt string "paper" & info [ "device"; "d" ] ~docv:"NAME" ~doc)
+
+let rate_arg =
+  let doc = "Request arrival rate (requests per second)." in
+  Arg.(value & opt float (1.0 /. 6.0) & info [ "rate"; "r" ] ~docv:"LAMBDA" ~doc)
+
+let capacity_arg =
+  let doc = "Queue capacity Q." in
+  Arg.(value & opt int 5 & info [ "capacity"; "q" ] ~docv:"Q" ~doc)
+
+let weight_arg =
+  let doc = "Delay weight w in Cost = C_pow + w * C_sq (Eqn. 3.1)." in
+  Arg.(value & opt float 1.0 & info [ "weight"; "w" ] ~docv:"W" ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let requests_arg =
+  let doc = "Number of requests to simulate." in
+  Arg.(value & opt int 50_000 & info [ "requests"; "n" ] ~docv:"N" ~doc)
+
+let build_system device rate capacity =
+  match Presets.find device with
+  | sp -> Ok (Sys_model.create ~sp ~queue_capacity:capacity ~arrival_rate:rate ())
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown device %S (try: %s)" device
+           (String.concat ", " (List.map fst (Presets.all ()))))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* --- info ----------------------------------------------------------- *)
+
+let info_cmd =
+  let run device rate capacity =
+    let sys = or_die (build_system device rate capacity) in
+    Format.printf "device %s: lambda=%g, Q=%d, |X|=%d states@.%a@." device
+      (Sys_model.arrival_rate sys) (Sys_model.queue_capacity sys)
+      (Sys_model.num_states sys) Service_provider.pp (Sys_model.sp sys)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Show a device preset and its composed state space.")
+    Term.(const run $ device_arg $ rate_arg $ capacity_arg)
+
+(* --- solve ----------------------------------------------------------- *)
+
+let print_solution sys (sol : Optimize.solution) =
+  Format.printf "weight w = %g, policy iteration converged in %d sweeps@."
+    sol.Optimize.weight sol.Optimize.iterations;
+  Format.printf "gain (average weighted cost) = %.6f@." sol.Optimize.gain;
+  Format.printf "%a@." Analytic.pp sol.Optimize.metrics;
+  Format.printf "policy (rows: SP mode, '>' rows: transfer states):@.%s"
+    (Policy_export.table sys (Optimize.action_of sys sol))
+
+let solve_cmd =
+  let run device rate capacity weight =
+    let sys = or_die (build_system device rate capacity) in
+    print_solution sys (Optimize.solve ~weight sys)
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Optimize the power-management policy for a given delay weight.")
+    Term.(const run $ device_arg $ rate_arg $ capacity_arg $ weight_arg)
+
+(* --- sweep ----------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run device rate capacity =
+    let sys = or_die (build_system device rate capacity) in
+    Printf.printf "weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
+    List.iter
+      (fun (sol : Optimize.solution) ->
+        let m = sol.Optimize.metrics in
+        Printf.printf "%g,%.6f,%.6f,%.6f,%.8f\n" sol.Optimize.weight
+          m.Analytic.power m.Analytic.avg_waiting_requests
+          m.Analytic.avg_waiting_time m.Analytic.loss_probability)
+      (Optimize.pareto (Optimize.sweep sys ~weights:Optimize.default_weights))
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Trace the Pareto power/delay curve over a weight ladder (CSV).")
+    Term.(const run $ device_arg $ rate_arg $ capacity_arg)
+
+(* --- constrained ------------------------------------------------------ *)
+
+let constrained_cmd =
+  let bound_arg =
+    let doc = "Upper bound on the average number of waiting requests." in
+    Arg.(value & opt float 1.0 & info [ "max-waiting"; "b" ] ~docv:"L" ~doc)
+  in
+  let exact_arg =
+    let doc =
+      "Solve exactly by linear programming over occupation measures        (Section IV); the optimum may randomize in one state."
+    in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run device rate capacity bound exact =
+    let sys = or_die (build_system device rate capacity) in
+    if exact then begin
+      match Optimize.constrained_exact sys ~max_waiting_requests:bound with
+      | None ->
+          prerr_endline "infeasible: no stationary policy meets the bound";
+          exit 2
+      | Some r ->
+          Format.printf
+            "exact LP optimum (shadow price lambda* = %g):@.%a@."
+            r.Optimize.lagrange_multiplier Analytic.pp r.Optimize.metrics;
+          let sp = Sys_model.sp sys in
+          Array.iteri
+            (fun k dist ->
+              let x = Sys_model.state_of_index sys k in
+              match dist with
+              | [ (a, _) ] ->
+                  Format.printf "  %a -> %s@." (Sys_model.pp_state sys) x
+                    (Service_provider.name sp a)
+              | mixture ->
+                  Format.printf "  %a -> {%s}  (randomized)@."
+                    (Sys_model.pp_state sys) x
+                    (String.concat ", "
+                       (List.map
+                          (fun (a, p) ->
+                            Printf.sprintf "%s: %.4f"
+                              (Service_provider.name sp a) p)
+                          mixture)))
+            r.Optimize.distributions;
+          (match r.Optimize.randomized_states with
+          | [] -> Format.printf "no randomization needed (hull vertex)@."
+          | xs ->
+              Format.printf
+                "realize with Controller.time_shared between the adjacent                  deterministic policies (%d mixing state%s)@."
+                (List.length xs)
+                (if List.length xs = 1 then "" else "s"))
+    end
+    else
+      match Optimize.constrained sys ~max_waiting_requests:bound with
+      | None ->
+          prerr_endline
+            "infeasible for deterministic policies (try --exact for the LP              over randomized policies)";
+          exit 2
+      | Some sol -> print_solution sys sol
+  in
+  Cmd.v
+    (Cmd.info "constrained"
+       ~doc:
+         "Minimize power subject to a bound on the average queue length           (weight bisection, or the exact LP with --exact).")
+    Term.(
+      const run $ device_arg $ rate_arg $ capacity_arg $ bound_arg $ exact_arg)
+
+(* --- simulate ---------------------------------------------------------- *)
+
+let workload_of_spec rate spec =
+  match String.split_on_char ':' spec with
+  | [ "poisson" ] -> Ok (Dpm_sim.Workload.poisson ~rate)
+  | [ "mmpp"; r1; r2; sw ] -> (
+      match
+        (float_of_string_opt r1, float_of_string_opt r2, float_of_string_opt sw)
+      with
+      | Some r1, Some r2, Some sw when r1 > 0.0 && r2 > 0.0 && sw > 0.0 ->
+          Ok
+            (Dpm_sim.Workload.mmpp ~rates:[| r1; r2 |]
+               ~switch_rate:[| [| 0.0; sw |]; [| sw; 0.0 |] |])
+      | _ -> Error (Printf.sprintf "bad mmpp spec %S (mmpp:<r1>:<r2>:<switch>)" spec))
+  | [ "trace-file"; path ] -> (
+      try
+        let ic = open_in path in
+        let rec read acc =
+          match input_line ic with
+          | line -> (
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then read acc
+              else
+                match float_of_string_opt line with
+                | Some t -> read (t :: acc)
+                | None -> Error (Printf.sprintf "bad timestamp %S in %s" line path))
+          | exception End_of_file -> Ok (List.rev acc)
+        in
+        let r = read [] in
+        close_in ic;
+        match r with
+        | Ok times -> Ok (Dpm_sim.Workload.trace times)
+        | Error e -> Error e
+      with Sys_error e -> Error e)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown workload %S (try: poisson, mmpp:<r1>:<r2>:<switch>,             trace-file:<path>)"
+           spec)
+
+let controller_of_spec sys spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unknown controller %S (try: optimal:<w>, greedy, always-on, n:<N>, \
+          timeout:<seconds>)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "greedy" ] -> Ok (Dpm_sim.Controller.greedy sys)
+  | [ "always-on" ] -> Ok (Dpm_sim.Controller.always_on sys)
+  | [ "optimal"; w ] -> (
+      match float_of_string_opt w with
+      | Some w -> Ok (Dpm_sim.Controller.of_solution sys (Optimize.solve ~weight:w sys))
+      | None -> fail ())
+  | [ "n"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Dpm_sim.Controller.n_policy sys ~n)
+      | Some _ | None -> fail ())
+  | [ "timeout"; d ] -> (
+      match float_of_string_opt d with
+      | Some d when d >= 0.0 -> Ok (Dpm_sim.Controller.timeout sys ~delay:d)
+      | Some _ | None -> fail ())
+  | _ -> fail ()
+
+let simulate_cmd =
+  let controller_arg =
+    let doc =
+      "Controller: optimal:<w>, greedy, always-on, n:<N>, or \
+       timeout:<seconds>."
+    in
+    Arg.(value & opt string "optimal:1" & info [ "controller"; "c" ] ~docv:"CTL" ~doc)
+  in
+  let trace_arg =
+    let doc = "Write a CSV event trace (last 65k events) to this file." in
+    Cmdliner.Arg.(
+      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let workload_arg =
+    let doc =
+      "Workload: poisson (at --rate), mmpp:<r1>:<r2>:<switch>, or        trace-file:<path> (one absolute arrival time per line)."
+    in
+    Arg.(value & opt string "poisson" & info [ "workload" ] ~docv:"W" ~doc)
+  in
+  let run device rate capacity spec workload_spec requests seed trace_file =
+    let sys = or_die (build_system device rate capacity) in
+    let controller = or_die (controller_of_spec sys spec) in
+    let workload = or_die (workload_of_spec rate workload_spec) in
+    let trace = Dpm_sim.Trace.create () in
+    let observer =
+      match trace_file with
+      | Some _ -> Some (Dpm_sim.Trace.observer trace)
+      | None -> None
+    in
+    let r =
+      Dpm_sim.Power_sim.run ~seed:(Int64.of_int seed) ?observer ~sys ~workload
+        ~controller
+        ~stop:(Dpm_sim.Power_sim.Requests requests)
+        ()
+    in
+    (match trace_file with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Dpm_sim.Trace.to_csv trace);
+        close_out oc;
+        Format.printf "trace: %d events written to %s (%d dropped)@."
+          (Dpm_sim.Trace.length trace) file
+          (Dpm_sim.Trace.dropped trace)
+    | None -> ());
+    Format.printf "%a@." Dpm_sim.Power_sim.pp r;
+    Format.printf
+      "duration %.1f s, generated %d, accepted %d, completed %d, switch \
+       energy %.2f J@."
+      r.Dpm_sim.Power_sim.duration r.Dpm_sim.Power_sim.generated
+      r.Dpm_sim.Power_sim.accepted r.Dpm_sim.Power_sim.completed
+      r.Dpm_sim.Power_sim.switch_energy;
+    Format.printf "mode residency:";
+    Array.iteri
+      (fun s f ->
+        Format.printf " %s=%.1f%%"
+          (Service_provider.name (Sys_model.sp sys) s)
+          (100.0 *. f))
+      r.Dpm_sim.Power_sim.mode_residency;
+    Format.printf "@."
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the event-driven simulator (Section V).")
+    Term.(
+      const run $ device_arg $ rate_arg $ capacity_arg $ controller_arg
+      $ workload_arg $ requests_arg $ seed_arg $ trace_arg)
+
+(* --- dot --------------------------------------------------------------- *)
+
+let dot_cmd =
+  let what_arg =
+    let doc = "Which chain to render: sp, sq, or sys." in
+    Arg.(value & pos 0 string "sp" & info [] ~docv:"WHAT" ~doc)
+  in
+  let run device rate capacity weight what =
+    let sys = or_die (build_system device rate capacity) in
+    let sp = Sys_model.sp sys in
+    let sol = Optimize.solve ~weight sys in
+    match what with
+    | "sp" ->
+        (* Figure 1: the SP chain under the policy's empty-queue
+           stable-state commands. *)
+        print_string
+          (Service_provider.to_dot sp ~action_of:(fun s ->
+               Optimize.action_of sys sol (Sys_model.Stable (s, 0))))
+    | "sq" ->
+        (* Figure 2: the SQ chain conditioned on the fastest active
+           mode commanding sleep at transfers, as in Example 4.3. *)
+        let a0 = Service_provider.fastest_active sp in
+        let sleep = try Service_provider.deepest_sleep sp with Not_found -> a0 in
+        print_string
+          (Service_queue.to_dot ~capacity:(Sys_model.queue_capacity sys)
+             ~arrival_rate:rate
+             ~service_rate:(Service_provider.service_rate sp a0)
+             ~switch_out_rate:
+               (if sleep = a0 then Sys_model.self_switch_rate sys
+                else Service_provider.switch_rate sp a0 sleep))
+    | "sys" ->
+        let g =
+          Sys_model.generator_of_actions sys ~actions:(Optimize.action_of sys sol)
+        in
+        print_string
+          (Dpm_ctmc.Dot.of_generator ~name:"sys"
+             ~state_label:(fun k ->
+               Format.asprintf "%a" (Sys_model.pp_state sys)
+                 (Sys_model.state_of_index sys k))
+             g)
+    | other ->
+        prerr_endline ("unknown graph " ^ other ^ " (try sp, sq, sys)");
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Emit Graphviz DOT for the SP, SQ, or composed SYS chain \
+          (regenerates the paper's Figures 1-2).")
+    Term.(const run $ device_arg $ rate_arg $ capacity_arg $ weight_arg $ what_arg)
+
+(* --- report ------------------------------------------------------------- *)
+
+let report_cmd =
+  let bound_arg =
+    let doc = "Delay bound (average waiting requests) for the constrained section." in
+    Arg.(value & opt float 1.0 & info [ "max-waiting"; "b" ] ~docv:"L" ~doc)
+  in
+  let run device rate capacity bound seed =
+    let sys = or_die (build_system device rate capacity) in
+    let sp = Sys_model.sp sys in
+    Format.printf "# Power-management report: %s@.@." device;
+    Format.printf "- arrival rate lambda = %g requests/s (mean inter-arrival %.3g s)@."
+      rate (1.0 /. rate);
+    Format.printf "- queue capacity Q = %d; composed state space |X| = %d@.@."
+      capacity (Sys_model.num_states sys);
+    Format.printf "## Device@.@.```@.%a```@.@." Service_provider.pp sp;
+    (* Trade-off frontier. *)
+    Format.printf "## Power/delay frontier (analytic)@.@.";
+    Format.printf "| weight | power (W) | waiting (req) | waiting time (s) |@.";
+    Format.printf "|---|---|---|---|@.";
+    List.iter
+      (fun (sol : Optimize.solution) ->
+        let m = sol.Optimize.metrics in
+        Format.printf "| %g | %.4f | %.4f | %.4f |@." sol.Optimize.weight
+          m.Analytic.power m.Analytic.avg_waiting_requests
+          m.Analytic.avg_waiting_time)
+      (Optimize.pareto (Optimize.sweep sys ~weights:Optimize.default_weights));
+    (* Constrained optimum + validation. *)
+    Format.printf "@.## Minimum power with waiting <= %g requests@.@." bound;
+    (match Optimize.constrained sys ~max_waiting_requests:bound with
+    | None -> Format.printf "infeasible: the device cannot meet this bound.@."
+    | Some sol ->
+        Format.printf "- weight found by bisection: w = %g@." sol.Optimize.weight;
+        Format.printf "- analytic: %a@." Analytic.pp sol.Optimize.metrics;
+        let r =
+          Dpm_sim.Power_sim.run ~seed:(Int64.of_int seed) ~sys
+            ~workload:(Dpm_sim.Workload.poisson ~rate)
+            ~controller:(Dpm_sim.Controller.of_solution sys sol)
+            ~stop:(Dpm_sim.Power_sim.Requests 50_000) ()
+        in
+        Format.printf "- simulated (50k requests): %a@." Dpm_sim.Power_sim.pp r;
+        Format.printf "- model-vs-simulation gap: power %+.2f%%, waiting %+.2f%%@.@."
+          ((r.Dpm_sim.Power_sim.avg_power -. sol.Optimize.metrics.Analytic.power)
+          /. sol.Optimize.metrics.Analytic.power *. 100.0)
+          ((r.Dpm_sim.Power_sim.avg_waiting_requests
+           -. sol.Optimize.metrics.Analytic.avg_waiting_requests)
+          /. sol.Optimize.metrics.Analytic.avg_waiting_requests *. 100.0);
+        Format.printf "### Policy@.@.```@.%s```@."
+          (Policy_export.table sys (Optimize.action_of sys sol)));
+    (* Heuristic comparison. *)
+    Format.printf "@.## Heuristic baselines (analytic)@.@.";
+    Format.printf "| policy | power (W) | waiting (req) |@.|---|---|---|@.";
+    let row name actions =
+      match Analytic.of_actions sys ~actions with
+      | m ->
+          Format.printf "| %s | %.4f | %.4f |@." name m.Analytic.power
+            m.Analytic.avg_waiting_requests
+      | exception _ -> Format.printf "| %s | - | - |@." name
+    in
+    row "always-on" (Policies.always_on sys);
+    row "greedy" (Policies.greedy sys);
+    for n = 1 to min 5 capacity do
+      row (Printf.sprintf "N-policy N=%d" n) (Policies.n_policy sys ~n)
+    done
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Produce a markdown power-management analysis for a device:           frontier, constrained optimum with simulation cross-check, and           heuristic baselines.")
+    Term.(
+      const run $ device_arg $ rate_arg $ capacity_arg $ bound_arg $ seed_arg)
+
+(* --- entry point --------------------------------------------------------- *)
+
+let () =
+  let doc = "Dynamic power management with continuous-time Markov decision processes" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "dpm_cli" ~version:"1.0.0" ~doc)
+          [
+            info_cmd;
+            solve_cmd;
+            sweep_cmd;
+            constrained_cmd;
+            simulate_cmd;
+            dot_cmd;
+            report_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adaptive_workload.ml: Array Controller Dpm_core Dpm_sim Float Format Hashtbl List Optimize Paper_instance Power_sim Queue Sys_model Workload

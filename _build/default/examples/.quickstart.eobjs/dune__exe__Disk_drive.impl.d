@@ -1,0 +1,1 @@
+examples/disk_drive.ml: Analytic Array Controller Dpm_core Dpm_sim Format List Optimize Power_sim Service_provider Sys_model Workload

@@ -1,0 +1,1 @@
+examples/pareto_sweep.ml: Analytic Dpm_core List Optimize Paper_instance Policies Printf Sys_model

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analytic Dpm_core Format List Optimize Paper_instance Policy_export Service_provider Sys_model

@@ -1,0 +1,1 @@
+examples/wlan_bursty.ml: Controller Dpm_core Dpm_sim Format List Optimize Policy_export Power_sim Presets Service_provider Sys_model Trace Workload

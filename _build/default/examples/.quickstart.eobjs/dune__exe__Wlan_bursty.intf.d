@@ -1,0 +1,1 @@
+examples/wlan_bursty.mli:

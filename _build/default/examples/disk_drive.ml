@@ -1,0 +1,69 @@
+(* A four-mode disk drive (active / idle / standby / sleep), the
+   classic DPM target device: two servicing speeds are modeled as the
+   disk serving from cache (active) vs spun down buffers, and the two
+   low-power modes trade wake-up latency against power.
+
+   The example optimizes the policy for three latency budgets and
+   shows how the chosen mode deepens as the budget relaxes. *)
+
+open Dpm_core
+open Dpm_sim
+
+let disk () =
+  Service_provider.create
+    ~names:[| "active"; "idle"; "standby"; "sleep" |]
+      (* Mean switch times (s): spinning down is fast, spinning up is
+         slow and gets slower the deeper the mode. *)
+    ~switch_time:
+      [|
+        [| 0.0; 0.05; 0.6; 1.0 |];
+        [| 0.04; 0.0; 0.5; 0.9 |];
+        [| 1.2; 1.0; 0.0; 0.3 |];
+        [| 2.5; 2.2; 0.4; 0.0 |];
+      |]
+    ~service_rate:[| 8.0; 0.0; 0.0; 0.0 |] (* 125 ms per request *)
+    ~power:[| 2.5; 1.0; 0.4; 0.05 |] (* watts *)
+    ~switch_energy:
+      [|
+        [| 0.0; 0.05; 0.3; 0.6 |];
+        [| 0.1; 0.0; 0.25; 0.5 |];
+        [| 3.0; 2.6; 0.0; 0.2 |];
+        [| 6.5; 6.0; 0.7; 0.0 |];
+      |]
+
+let () =
+  let sp = disk () in
+  let sys = Sys_model.create ~sp ~queue_capacity:8 ~arrival_rate:0.4 () in
+  Format.printf "Disk drive model:@.%a@." Service_provider.pp sp;
+  Format.printf "Requests: Poisson at %g/s; queue capacity %d; |X| = %d@.@."
+    (Sys_model.arrival_rate sys) (Sys_model.queue_capacity sys)
+    (Sys_model.num_states sys);
+  List.iter
+    (fun budget ->
+      match Optimize.constrained sys ~max_waiting_requests:budget with
+      | None ->
+          Format.printf "latency budget %.2f waiting requests: infeasible@." budget
+      | Some sol ->
+          Format.printf
+            "== budget <= %.2f waiting requests (weight w = %.3f) ==@." budget
+            sol.Optimize.weight;
+          Format.printf "   analytic: %a@." Analytic.pp sol.Optimize.metrics;
+          (* Which mode does the policy park in when the system is
+             empty?  Walk the empty-queue stable states. *)
+          Array.iter
+            (fun x ->
+              match x with
+              | Sys_model.Stable (s, 0) ->
+                  Format.printf "   empty system, disk %s -> command %s@."
+                    (Service_provider.name sp s)
+                    (Service_provider.name sp (Optimize.action_of sys sol x))
+              | Sys_model.Stable _ | Sys_model.Transfer _ -> ())
+            (Sys_model.states sys);
+          let r =
+            Power_sim.run ~seed:5L ~sys
+              ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+              ~controller:(Controller.of_solution sys sol)
+              ~stop:(Power_sim.Requests 30_000) ()
+          in
+          Format.printf "   simulated: %a@.@." Power_sim.pp r)
+    [ 0.2; 1.0; 4.0 ]

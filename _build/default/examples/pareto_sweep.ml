@@ -1,0 +1,37 @@
+(* Trace the power/delay trade-off curve of the paper instance
+   (Figure 4's optimal-policy series) and emit it as CSV, together
+   with the N-policy points, suitable for plotting.
+
+   Usage: dune exec examples/pareto_sweep.exe [> curve.csv] *)
+
+open Dpm_core
+
+let () =
+  let sys = Paper_instance.system () in
+  Printf.printf "family,parameter,weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
+  (* Optimal frontier: dense weight ladder, deduplicated policies,
+     non-dominated filter. *)
+  let sweep = Optimize.sweep sys ~weights:Optimize.default_weights in
+  List.iter
+    (fun (sol : Optimize.solution) ->
+      let m = sol.Optimize.metrics in
+      Printf.printf "optimal,,%g,%.6f,%.6f,%.6f,%.8f\n" sol.Optimize.weight
+        m.Analytic.power m.Analytic.avg_waiting_requests
+        m.Analytic.avg_waiting_time m.Analytic.loss_probability)
+    (Optimize.pareto sweep);
+  (* N-policy curve. *)
+  for n = 1 to Sys_model.queue_capacity sys do
+    let m = Analytic.of_actions sys ~actions:(Policies.n_policy sys ~n) in
+    Printf.printf "n_policy,%d,,%.6f,%.6f,%.6f,%.8f\n" n m.Analytic.power
+      m.Analytic.avg_waiting_requests m.Analytic.avg_waiting_time
+      m.Analytic.loss_probability
+  done;
+  (* Reference points. *)
+  let named name actions =
+    let m = Analytic.of_actions sys ~actions in
+    Printf.printf "%s,,,%.6f,%.6f,%.6f,%.8f\n" name m.Analytic.power
+      m.Analytic.avg_waiting_requests m.Analytic.avg_waiting_time
+      m.Analytic.loss_probability
+  in
+  named "always_on" (Policies.always_on sys);
+  named "greedy" (Policies.greedy sys)

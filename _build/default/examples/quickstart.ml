@@ -1,0 +1,20 @@
+(* Quickstart: build the paper's three-mode server, optimize the
+   power/delay trade-off at a few weights, and print the resulting
+   policies with their analytic metrics. *)
+
+open Dpm_core
+
+let print_solution sys (s : Optimize.solution) =
+  Format.printf "@.== weight w = %g (policy iteration: %d sweeps) ==@." s.weight
+    s.iterations;
+  Format.printf "   %a@." Analytic.pp s.metrics;
+  Format.printf "   policy (rows: SP mode, '>' rows: transfer states):@.%s"
+    (Policy_export.table sys (Optimize.action_of sys s))
+
+let () =
+  let sys = Paper_instance.system () in
+  Format.printf "Paper instance: lambda=%g, mu=%g, Q=%d, |X|=%d states@."
+    (Sys_model.arrival_rate sys) Paper_instance.service_rate
+    (Sys_model.queue_capacity sys) (Sys_model.num_states sys);
+  Format.printf "%a@." Service_provider.pp (Sys_model.sp sys);
+  List.iter (fun w -> print_solution sys (Optimize.solve ~weight:w sys)) [ 0.5; 5.0; 50.0 ]

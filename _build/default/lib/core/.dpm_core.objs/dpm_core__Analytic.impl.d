@@ -1,0 +1,1 @@
+lib/core/analytic.ml: Array Dpm_ctmc Dpm_linalg Float Format Service_provider Steady_state Sys_model Vec

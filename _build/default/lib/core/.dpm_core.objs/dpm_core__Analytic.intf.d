@@ -1,0 +1,1 @@
+lib/core/analytic.mli: Dpm_ctmc Dpm_linalg Format Sys_model Vec

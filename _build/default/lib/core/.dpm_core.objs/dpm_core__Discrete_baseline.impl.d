@@ -1,0 +1,1 @@
+lib/core/discrete_baseline.ml: Array Dpm_ctmdp Dtmdp Float List Service_provider Sys_model

@@ -1,0 +1,1 @@
+lib/core/discrete_baseline.mli: Dpm_ctmdp Sys_model

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Analytic Array Dpm_ctmc Dpm_ctmdp List Policies Sys_model

@@ -1,0 +1,1 @@
+lib/core/paper_instance.ml: Service_provider Sys_model

@@ -1,0 +1,1 @@
+lib/core/paper_instance.mli: Service_provider Sys_model

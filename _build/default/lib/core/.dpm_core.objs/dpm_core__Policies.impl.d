@@ -1,0 +1,1 @@
+lib/core/policies.ml: Array Dpm_ctmdp Format List Service_provider Sys_model

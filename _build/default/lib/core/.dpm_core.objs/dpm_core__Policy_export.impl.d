@@ -1,0 +1,1 @@
+lib/core/policy_export.ml: Array Buffer Dpm_ctmc Format List Printf Service_provider String Sys_model

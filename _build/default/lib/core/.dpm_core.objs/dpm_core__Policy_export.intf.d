@@ -1,0 +1,1 @@
+lib/core/policy_export.mli: Sys_model

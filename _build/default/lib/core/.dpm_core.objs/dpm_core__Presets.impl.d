@@ -1,0 +1,1 @@
+lib/core/presets.ml: List Paper_instance Service_provider

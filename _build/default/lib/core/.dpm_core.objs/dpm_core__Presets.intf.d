@@ -1,0 +1,1 @@
+lib/core/presets.mli: Service_provider

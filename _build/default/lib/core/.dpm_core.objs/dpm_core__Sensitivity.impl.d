@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Analytic Array Float List Optimize Sys_model

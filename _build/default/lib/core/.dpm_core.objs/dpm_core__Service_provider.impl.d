@@ -1,0 +1,1 @@
+lib/core/service_provider.ml: Array Dot Dpm_ctmc Float Format Generator List Printf

@@ -1,0 +1,1 @@
+lib/core/service_provider.mli: Dpm_ctmc Format

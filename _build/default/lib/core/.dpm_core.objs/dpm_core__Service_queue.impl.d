@@ -1,0 +1,1 @@
+lib/core/service_queue.ml: Dot Dpm_ctmc Dpm_linalg Float Generator Matrix Printf

@@ -1,0 +1,1 @@
+lib/core/service_queue.mli: Dpm_ctmc Dpm_linalg Matrix

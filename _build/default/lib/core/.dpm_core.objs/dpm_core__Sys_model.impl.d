@@ -1,0 +1,1 @@
+lib/core/sys_model.ml: Array Dpm_ctmc Dpm_ctmdp Dpm_linalg Float Format Generator List Matrix Printf Service_provider Service_queue Tensor

@@ -1,0 +1,1 @@
+lib/core/sys_model.mli: Dpm_ctmc Dpm_ctmdp Dpm_linalg Format Matrix Service_provider

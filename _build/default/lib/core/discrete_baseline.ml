@@ -1,0 +1,104 @@
+open Dpm_ctmdp
+
+type t = {
+  sys : Sys_model.t;
+  slice : float;
+  weight : float;
+  model : Dtmdp.t;
+}
+
+(* State indexing: (mode s, queue i) <-> s * (Q + 1) + i. *)
+let index sys s i = (s * (Sys_model.queue_capacity sys + 1)) + i
+
+let mode_of sys k = k / (Sys_model.queue_capacity sys + 1)
+let queue_of sys k = k mod (Sys_model.queue_capacity sys + 1)
+
+let slice_actions sys s i =
+  let sp = Sys_model.sp sys in
+  let q = Sys_model.queue_capacity sys in
+  (* Keep the chain unichain: a powered-down SP facing a full queue
+     must wake ([11]'s formulation needs the analogous guard). *)
+  if (not (Service_provider.is_active sp s)) && i = q then
+    Service_provider.active_modes sp
+  else List.init (Service_provider.num_modes sp) (fun a -> a)
+
+let build sys ~slice ~weight =
+  if slice <= 0.0 || not (Float.is_finite slice) then
+    invalid_arg "Discrete_baseline.build: slice must be positive and finite";
+  let sp = Sys_model.sp sys in
+  let q = Sys_model.queue_capacity sys in
+  let lam = Sys_model.arrival_rate sys in
+  if lam *. slice >= 1.0 then
+    invalid_arg "Discrete_baseline.build: slice too long for the arrival rate";
+  List.iter
+    (fun s ->
+      if Service_provider.service_rate sp s *. slice >= 1.0 then
+        invalid_arg "Discrete_baseline.build: slice too long for the service rate")
+    (Service_provider.active_modes sp);
+  let n_modes = Service_provider.num_modes sp in
+  let num_states = n_modes * (q + 1) in
+  let p_arrival = 1.0 -. exp (-.lam *. slice) in
+  let choices_of k =
+    let s = mode_of sys k and i = queue_of sys k in
+    let p_service =
+      if Service_provider.is_active sp s && i >= 1 then
+        1.0 -. exp (-.Service_provider.service_rate sp s *. slice)
+      else 0.0
+    in
+    List.map
+      (fun a ->
+        let p_switch =
+          if a = s then 0.0
+          else 1.0 -. exp (-.Service_provider.switch_rate sp s a *. slice)
+        in
+        (* Independent composition of the three events — exactly the
+           assumption the paper criticizes. *)
+        let queue_outcomes =
+          [
+            (min q (i + 1) , p_arrival *. (1.0 -. p_service));
+            (max 0 (i - 1), (1.0 -. p_arrival) *. p_service);
+            (i, (p_arrival *. p_service) +. ((1.0 -. p_arrival) *. (1.0 -. p_service)));
+          ]
+        in
+        let mode_outcomes = [ (a, p_switch); (s, 1.0 -. p_switch) ] in
+        let probs =
+          List.concat_map
+            (fun (i', pq) ->
+              List.map (fun (s', pm) -> (index sys s' i', pq *. pm)) mode_outcomes)
+            queue_outcomes
+        in
+        let power =
+          Sys_model.power_cost sys (Sys_model.Stable (s, i)) ~action:a
+        in
+        {
+          Dtmdp.action = a;
+          probs;
+          cost = ((power +. (weight *. float_of_int i)) *. slice);
+        })
+      (slice_actions sys s i)
+  in
+  { sys; slice; weight; model = Dtmdp.create ~num_states choices_of }
+
+let slice t = t.slice
+let num_states t = Dtmdp.num_states t.model
+let solve t = Dtmdp.solve t.model
+
+let gain_per_unit_time t (r : Dtmdp.result) = r.Dtmdp.gain /. t.slice
+
+let predicted_metrics t (r : Dtmdp.result) =
+  let p = Dtmdp.stationary_distribution t.model r.Dtmdp.policy in
+  let power = ref 0.0 and waiting = ref 0.0 in
+  Array.iteri
+    (fun k pk ->
+      let s = mode_of t.sys k and i = queue_of t.sys k in
+      let a = (Dtmdp.choice t.model k r.Dtmdp.policy.(k)).Dtmdp.action in
+      power :=
+        !power +. (pk *. Sys_model.power_cost t.sys (Sys_model.Stable (s, i)) ~action:a);
+      waiting := !waiting +. (pk *. float_of_int i))
+    p;
+  (!power, !waiting)
+
+let action_of t (r : Dtmdp.result) ~mode ~queue =
+  let q = Sys_model.queue_capacity t.sys in
+  let queue = max 0 (min queue q) in
+  (Dtmdp.choice t.model (index t.sys mode queue) r.Dtmdp.policy.(index t.sys mode queue)).Dtmdp.action

@@ -1,0 +1,54 @@
+(** The discrete-time baseline of Paleologo et al. [11].
+
+    The paper's introduction criticizes the DAC'98 discrete-time
+    formulation on four counts: (1) time is sliced, so the model is an
+    approximation of the continuous dynamics; (2) busy and idle are
+    lumped into one "power-up" state, so (3) the SP and SQ transitions
+    are treated as independent; and (4) the PM must issue a command
+    every slice, which costs signal traffic and power.  This module
+    implements that baseline faithfully so the criticisms can be
+    measured (bench section EXT1):
+
+    - state space [S x {0..Q}] — {e no transfer states};
+    - per-slice transition probabilities composed {e independently}
+      from the exponential rates: arrival w.p. [1 - exp(-lambda L)],
+      service completion w.p. [1 - exp(-mu(s) L)], commanded switch
+      completion w.p. [1 - exp(-chi(s,a) L)];
+    - per-slice cost [C_pow * L + w * C_sq * L] (expressed per slice;
+      gains are reported back per unit time);
+    - the PM decides once per slice (the paper's criticism (4)); the
+      {!controller} re-evaluates on a [slice]-period timer and can
+      charge an energy overhead per decision through
+      {!Dpm_sim.Power_sim.run}'s [decision_energy]. *)
+
+type t
+
+val build : Sys_model.t -> slice:float -> weight:float -> t
+(** [build sys ~slice ~weight] discretizes the system.  Raises
+    [Invalid_argument] for a nonpositive slice, or one so long that
+    first-order event probabilities degenerate
+    ([lambda * L >= 1] or [mu * L >= 1]). *)
+
+val slice : t -> float
+(** The time-slice length [L]. *)
+
+val num_states : t -> int
+(** [S * (Q + 1)]. *)
+
+val solve : t -> Dpm_ctmdp.Dtmdp.result
+(** Average-cost policy iteration on the discretized model.  The
+    reported gain is per {e slice}; divide by {!slice} for a rate. *)
+
+val gain_per_unit_time : t -> Dpm_ctmdp.Dtmdp.result -> float
+(** The solved average cost converted back to cost per unit time. *)
+
+val predicted_metrics : t -> Dpm_ctmdp.Dtmdp.result -> float * float
+(** [(power, waiting_requests)] as the {e discrete} model predicts
+    them from its own stationary distribution — compare with the
+    simulated truth to quantify the paper's accuracy criticism. *)
+
+val action_of : t -> Dpm_ctmdp.Dtmdp.result -> mode:int -> queue:int -> int
+(** The optimized command for an observed (mode, queue) pair.  Wire it
+    into the simulator with {!Dpm_sim.Controller.periodic} at the
+    slice period (the layering keeps [dpm_core] independent of
+    [dpm_sim], so the adapter lives on the simulator side). *)

@@ -1,0 +1,159 @@
+type solution = {
+  weight : float;
+  actions : int array;
+  gain : float;
+  iterations : int;
+  metrics : Analytic.metrics;
+}
+
+let solve ?(weight = 0.0) sys =
+  let model = Sys_model.to_ctmdp sys ~weight in
+  let solve_from init =
+    let result = Dpm_ctmdp.Policy_iteration.solve ?init model in
+    let actions =
+      Dpm_ctmdp.Policy.actions model result.Dpm_ctmdp.Policy_iteration.policy
+    in
+    (result, actions)
+  in
+  let result, actions = solve_from None in
+  let result, actions, metrics =
+    match Analytic.of_action_array sys actions with
+    | metrics -> (result, actions, metrics)
+    | exception Dpm_ctmc.Steady_state.Not_irreducible _ ->
+        (* The converged policy can be multichain only on exact ties
+           between self-sufficient orbits (e.g. two identical active
+           speeds).  Restart policy iteration from the greedy policy,
+           whose orbit structure is connected, to break the tie. *)
+        let greedy =
+          Policies.to_ctmdp_policy sys model (Policies.greedy sys)
+        in
+        let result, actions = solve_from (Some greedy) in
+        (result, actions, Analytic.of_action_array sys actions)
+  in
+  {
+    weight;
+    actions;
+    gain = result.Dpm_ctmdp.Policy_iteration.gain;
+    iterations = result.Dpm_ctmdp.Policy_iteration.iterations;
+    metrics;
+  }
+
+let action_of sys solution x = solution.actions.(Sys_model.index sys x)
+
+let sweep sys ~weights = List.map (fun weight -> solve ~weight sys) weights
+
+let default_weights =
+  let lo = 0.1 and hi = 500.0 and n = 20 in
+  List.init n (fun k ->
+      lo *. ((hi /. lo) ** (float_of_int k /. float_of_int (n - 1))))
+
+let pareto solutions =
+  let dominated a b =
+    (* b dominates a *)
+    b.metrics.Analytic.power <= a.metrics.Analytic.power
+    && b.metrics.Analytic.avg_waiting_requests
+       <= a.metrics.Analytic.avg_waiting_requests
+    && (b.metrics.Analytic.power < a.metrics.Analytic.power
+       || b.metrics.Analytic.avg_waiting_requests
+          < a.metrics.Analytic.avg_waiting_requests)
+  in
+  let survivors =
+    List.filter
+      (fun a -> not (List.exists (fun b -> dominated a b) solutions))
+      solutions
+  in
+  List.sort_uniq
+    (fun a b ->
+      compare
+        (a.metrics.Analytic.power, a.metrics.Analytic.avg_waiting_requests)
+        (b.metrics.Analytic.power, b.metrics.Analytic.avg_waiting_requests))
+    survivors
+
+type randomized_solution = {
+  bound : float;
+  distributions : (int * float) list array;
+  lagrange_multiplier : float;
+  randomized_states : Sys_model.state list;
+  metrics : Analytic.metrics;
+}
+
+let constrained_exact sys ~max_waiting_requests =
+  if max_waiting_requests <= 0.0 then
+    invalid_arg "Optimize.constrained_exact: bound must be positive";
+  (* Primary cost: pure power (weight 0); secondary: C_sq. *)
+  let model = Sys_model.to_ctmdp sys ~weight:0.0 in
+  let secondary i _k =
+    float_of_int (Sys_model.waiting_requests (Sys_model.state_of_index sys i))
+  in
+  match
+    Dpm_ctmdp.Constrained_lp.solve model ~secondary ~bound:max_waiting_requests
+  with
+  | None -> None
+  | Some r ->
+      let gen, power_rates =
+        Dpm_ctmdp.Constrained_lp.mixed_generator model
+          r.Dpm_ctmdp.Constrained_lp.distributions
+      in
+      let metrics = Analytic.of_mixed sys ~gen ~power_rates in
+      let distributions =
+        Array.mapi
+          (fun i dist ->
+            let out = ref [] in
+            Array.iteri
+              (fun k p ->
+                if p > 1e-6 then
+                  out :=
+                    ((Dpm_ctmdp.Model.choice model i k).Dpm_ctmdp.Model.action, p)
+                    :: !out)
+              dist;
+            List.rev !out)
+          r.Dpm_ctmdp.Constrained_lp.distributions
+      in
+      Some
+        {
+          bound = max_waiting_requests;
+          distributions;
+          lagrange_multiplier = r.Dpm_ctmdp.Constrained_lp.lagrange_multiplier;
+          randomized_states =
+            List.map (Sys_model.state_of_index sys)
+              r.Dpm_ctmdp.Constrained_lp.randomized_states;
+          metrics;
+        }
+
+let constrained ?(w_lo = 0.0) ?(w_hi = 1024.0) ?(bisection_steps = 40) sys
+    ~max_waiting_requests =
+  if max_waiting_requests <= 0.0 then
+    invalid_arg "Optimize.constrained: bound must be positive";
+  let feasible (s : solution) =
+    s.metrics.Analytic.avg_waiting_requests <= max_waiting_requests
+  in
+  (* Grow the upper weight until the delay bound is met. *)
+  let rec find_hi w attempts =
+    let s = solve ~weight:w sys in
+    if feasible s then Some (w, s)
+    else if attempts = 0 then None
+    else find_hi (w *. 2.0) (attempts - 1)
+  in
+  match find_hi w_hi 10 with
+  | None -> None
+  | Some (hi0, s_hi) ->
+      let lo_solution = solve ~weight:w_lo sys in
+      if feasible lo_solution then Some lo_solution
+      else begin
+        (* Invariant: lo infeasible, hi feasible with solution best. *)
+        let rec bisect lo hi (best : solution) k =
+          if k = 0 then Some best
+          else begin
+            let mid = 0.5 *. (lo +. hi) in
+            let s = solve ~weight:mid sys in
+            if feasible s then
+              let best =
+                if s.metrics.Analytic.power < best.metrics.Analytic.power then s
+                else best
+              in
+              bisect lo mid best (k - 1)
+            else bisect mid hi best (k - 1)
+          end
+        in
+        bisect w_lo hi0 s_hi bisection_steps
+      end

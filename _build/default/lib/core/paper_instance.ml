@@ -1,0 +1,25 @@
+let active = 0
+let waiting = 1
+let sleeping = 2
+
+let service_provider () =
+  Service_provider.create
+    ~names:[| "active"; "waiting"; "sleeping" |]
+    ~switch_time:[| [| 0.0; 0.1; 0.2 |]; [| 0.5; 0.0; 0.1 |]; [| 1.1; 0.5; 0.0 |] |]
+    ~service_rate:[| 1.0 /. 1.5; 0.0; 0.0 |]
+    ~power:[| 40.0; 15.0; 0.1 |]
+    ~switch_energy:
+      [| [| 0.0; 0.2; 0.5 |]; [| 1.0; 0.0; 0.1 |]; [| 11.0; 25.0; 0.0 |] |]
+
+let arrival_rate = 1.0 /. 6.0
+let service_rate = 1.0 /. 1.5
+let queue_capacity = 5
+let num_requests = 50_000
+
+let system_at ~arrival_rate =
+  Sys_model.create ~sp:(service_provider ()) ~queue_capacity ~arrival_rate ()
+
+let system () = system_at ~arrival_rate
+
+let sweep_rates =
+  [ 1.0 /. 8.0; 1.0 /. 7.0; 1.0 /. 6.0; 1.0 /. 5.0; 1.0 /. 4.0; 1.0 /. 3.0 ]

@@ -1,0 +1,53 @@
+(** The paper's experimental setup (Section V).
+
+    A three-mode server [{active, waiting, sleeping}] with:
+
+    - request inter-arrival time Exp with mean 6 s
+      ([lambda = 1/6 ~ 0.167]);
+    - service time Exp with mean 1.5 s ([mu_active = 1/1.5 ~ 0.667]);
+    - queue capacity 5;
+    - powers 40 W / 15 W / 0.1 W;
+    - switching times and energies of Eqn. (4.1):
+
+    {v            tr_time (s)                tr_energy (J)
+            A      W      S             A      W      S
+      A     -     0.1    0.2      A     -     0.2    0.5
+      W    0.5     -     0.1      W    1.0     -     0.1
+      S    1.1    0.5     -       S   11.0   25.0     -     v}
+
+    50,000 requests per simulation; the Figure 5 / Table 1 sweeps use
+    input rates 1/8 .. 1/3. *)
+
+val active : int
+(** Mode index 0. *)
+
+val waiting : int
+(** Mode index 1. *)
+
+val sleeping : int
+(** Mode index 2. *)
+
+val service_provider : unit -> Service_provider.t
+(** A fresh copy of the paper's three-mode SP. *)
+
+val arrival_rate : float
+(** [1 / 6]. *)
+
+val service_rate : float
+(** [1 / 1.5]. *)
+
+val queue_capacity : int
+(** [5]. *)
+
+val num_requests : int
+(** [50_000] — the simulation length of Section V. *)
+
+val system : unit -> Sys_model.t
+(** The composed SYS at the default arrival rate. *)
+
+val system_at : arrival_rate:float -> Sys_model.t
+(** The composed SYS at a swept arrival rate (Table 1, Figure 5). *)
+
+val sweep_rates : float list
+(** [1/8; 1/7; 1/6; 1/5; 1/4; 1/3] — the input rates of Table 1 and
+    Figure 5. *)

@@ -1,0 +1,74 @@
+let mode_name sys s = Service_provider.name (Sys_model.sp sys) s
+
+let table sys policy =
+  let sp = Sys_model.sp sys in
+  let q = Sys_model.queue_capacity sys in
+  let buf = Buffer.create 1024 in
+  let pad width s =
+    if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+  in
+  let width =
+    2
+    + Array.fold_left
+        (fun acc name -> max acc (String.length name))
+        6
+        (Array.init (Service_provider.num_modes sp) (Service_provider.name sp))
+  in
+  Buffer.add_string buf (pad width "state");
+  for i = 0 to q do
+    Buffer.add_string buf (pad width (Printf.sprintf "q%d" i))
+  done;
+  Buffer.add_char buf '\n';
+  for s = 0 to Service_provider.num_modes sp - 1 do
+    Buffer.add_string buf (pad width (mode_name sys s));
+    for i = 0 to q do
+      Buffer.add_string buf
+        (pad width (mode_name sys (policy (Sys_model.Stable (s, i)))))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (pad width (mode_name sys s ^ ">"));
+      Buffer.add_string buf (pad width "-");
+      for i = 1 to q do
+        Buffer.add_string buf
+          (pad width (mode_name sys (policy (Sys_model.Transfer (s, i)))))
+      done;
+      Buffer.add_char buf '\n')
+    (Service_provider.active_modes sp);
+  Buffer.contents buf
+
+let to_csv sys policy =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "state_kind,mode,queue,command\n";
+  Array.iter
+    (fun x ->
+      let kind, s, i =
+        match x with
+        | Sys_model.Stable (s, i) -> ("stable", s, i)
+        | Sys_model.Transfer (s, i) -> ("transfer", s, i)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%d,%s\n" kind (mode_name sys s) i
+           (mode_name sys (policy x))))
+    (Sys_model.states sys);
+  Buffer.contents buf
+
+let to_dot sys policy =
+  let g = Sys_model.generator_of_actions sys ~actions:policy in
+  Dpm_ctmc.Dot.of_generator ~name:"closed_loop"
+    ~state_label:(fun k ->
+      Format.asprintf "%a" (Sys_model.pp_state sys) (Sys_model.state_of_index sys k))
+    g
+
+let diff sys a b =
+  Array.to_list (Sys_model.states sys)
+  |> List.filter_map (fun x ->
+         let ca = a x and cb = b x in
+         if ca <> cb then Some (x, ca, cb) else None)
+
+let agreement sys a b =
+  let n = Sys_model.num_states sys in
+  let same = n - List.length (diff sys a b) in
+  float_of_int same /. float_of_int n

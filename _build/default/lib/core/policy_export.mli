@@ -1,0 +1,30 @@
+(** Rendering, exporting and comparing policies.
+
+    A policy over the composed state space reads best as a
+    mode-by-queue table (rows: SP mode / transfer level; columns:
+    queue length), which is also how the paper presents its examples.
+    This module renders that table, exports machine-readable forms,
+    and diffs two policies — the tool used to inspect how the optimum
+    moves along the trade-off curve. *)
+
+val table : Sys_model.t -> (Sys_model.state -> int) -> string
+(** Human-readable grid of commanded modes; stable states first, then
+    the transfer rows of each active mode. *)
+
+val to_csv : Sys_model.t -> (Sys_model.state -> int) -> string
+(** [state_kind,mode,queue,command] rows, one per state. *)
+
+val to_dot : Sys_model.t -> (Sys_model.state -> int) -> string
+(** The closed-loop chain under the policy as a Graphviz digraph with
+    the paper's state labels. *)
+
+val diff :
+  Sys_model.t ->
+  (Sys_model.state -> int) ->
+  (Sys_model.state -> int) ->
+  (Sys_model.state * int * int) list
+(** [diff sys a b] lists the states where the two policies disagree,
+    with both commands, in state-index order. *)
+
+val agreement : Sys_model.t -> (Sys_model.state -> int) -> (Sys_model.state -> int) -> float
+(** Fraction of states on which the two policies agree. *)

@@ -1,0 +1,56 @@
+let paper () = Paper_instance.service_provider ()
+
+let disk () =
+  Service_provider.create
+    ~names:[| "active"; "idle"; "standby"; "sleep" |]
+    ~switch_time:
+      [|
+        [| 0.0; 0.05; 0.6; 1.0 |];
+        [| 0.04; 0.0; 0.5; 0.9 |];
+        [| 1.2; 1.0; 0.0; 0.3 |];
+        [| 2.5; 2.2; 0.4; 0.0 |];
+      |]
+    ~service_rate:[| 8.0; 0.0; 0.0; 0.0 |]
+    ~power:[| 2.5; 1.0; 0.4; 0.05 |]
+    ~switch_energy:
+      [|
+        [| 0.0; 0.05; 0.3; 0.6 |];
+        [| 0.1; 0.0; 0.25; 0.5 |];
+        [| 3.0; 2.6; 0.0; 0.2 |];
+        [| 6.5; 6.0; 0.7; 0.0 |];
+      |]
+
+let wlan_nic () =
+  Service_provider.create
+    ~names:[| "rx_tx"; "doze"; "off" |]
+    ~switch_time:
+      [| [| 0.0; 0.002; 0.01 |]; [| 0.01; 0.0; 0.008 |]; [| 0.3; 0.25; 0.0 |] |]
+    ~service_rate:[| 200.0; 0.0; 0.0 |] (* 5 ms per frame *)
+    ~power:[| 1.4; 0.045; 0.0 |]
+    ~switch_energy:
+      [| [| 0.0; 0.001; 0.002 |]; [| 0.005; 0.0; 0.001 |]; [| 0.15; 0.12; 0.0 |] |]
+
+let dvs_cpu () =
+  Service_provider.create
+    ~names:[| "full"; "half"; "sleep" |]
+      (* Voltage/frequency transitions are fast; waking from sleep is
+         not. *)
+    ~switch_time:
+      [| [| 0.0; 0.001; 0.005 |]; [| 0.001; 0.0; 0.004 |]; [| 0.05; 0.04; 0.0 |] |]
+    ~service_rate:[| 100.0; 50.0; 0.0 |]
+    ~power:[| 0.9; 0.3; 0.005 |] (* quadratic-ish voltage scaling *)
+    ~switch_energy:
+      [| [| 0.0; 0.0005; 0.001 |]; [| 0.0005; 0.0; 0.001 |]; [| 0.02; 0.015; 0.0 |] |]
+
+let all () =
+  [
+    ("paper", paper ());
+    ("disk", disk ());
+    ("wlan", wlan_nic ());
+    ("cpu", dvs_cpu ());
+  ]
+
+let find name =
+  match List.assoc_opt name (all ()) with
+  | Some sp -> sp
+  | None -> raise Not_found

@@ -1,0 +1,33 @@
+(** Ready-made service-provider models.
+
+    The paper's three-mode server plus a few devices from the DPM
+    literature the intro motivates (event-driven components: disks,
+    network interfaces, embedded CPUs).  Numbers are representative
+    magnitudes for late-90s-era hardware, chosen so every preset
+    exercises a distinct structure: {!paper} has a shallow/deep sleep
+    pair, {!disk} four modes with expensive spin-up, {!wlan_nic} a
+    cheap fast doze, and {!dvs_cpu} two {e active} speeds (the
+    multi-active case of the model). *)
+
+val paper : unit -> Service_provider.t
+(** The DAC'99 instance (Eqn. 4.1): active/waiting/sleeping,
+    40/15/0.1 W. *)
+
+val disk : unit -> Service_provider.t
+(** Four-mode disk: active/idle/standby/sleep, 2.5/1/0.4/0.05 W,
+    slow spin-up (up to 2.5 s) with a large energy penalty. *)
+
+val wlan_nic : unit -> Service_provider.t
+(** Wireless interface: rx_tx/doze/off.  Doze wakes in ~10 ms;
+    off in ~300 ms. *)
+
+val dvs_cpu : unit -> Service_provider.t
+(** Voltage-scaled CPU with two active speeds (full and half) and a
+    sleep mode — exercises the multi-active-mode constraints (1) and
+    (3). *)
+
+val all : unit -> (string * Service_provider.t) list
+(** All presets with their names, for CLI lookup. *)
+
+val find : string -> Service_provider.t
+(** [find name] resolves a preset by name; raises [Not_found]. *)

@@ -1,0 +1,49 @@
+(** Robustness of policies to workload mismatch.
+
+    Section III of the paper argues a power manager can estimate the
+    input rate online and adapt.  The quantitative question behind
+    that remark: how much does a policy designed for rate [lambda_0]
+    lose when the true rate is [lambda]?  This module evaluates fixed
+    policies across rate grids and computes the mismatch regret that
+    the adaptive example ({!examples/adaptive_workload.ml}) exists to
+    eliminate. *)
+
+type point = {
+  rate : float;  (** the true arrival rate *)
+  metrics : Analytic.metrics;  (** the fixed policy under that rate *)
+  objective : float;  (** [power + weight * waiting] at that rate *)
+  optimal_objective : float;
+      (** the same objective under the policy re-optimized for
+          [rate] *)
+  regret : float;  (** [objective - optimal_objective], [>= 0] *)
+}
+
+val rate_sweep :
+  Sys_model.t ->
+  actions:int array ->
+  weight:float ->
+  rates:float list ->
+  point list
+(** [rate_sweep sys ~actions ~weight ~rates] evaluates the fixed
+    policy [actions] (tabulated over [sys]'s state indexing, e.g. an
+    {!Optimize.solution}'s) at each true rate.  The policy table is
+    carried over by state (the state space does not depend on the
+    rate).  Raises [Invalid_argument] on a wrong-sized action table
+    or nonpositive rates. *)
+
+val mismatch_regret :
+  Sys_model.t -> weight:float -> design_rate:float -> true_rate:float -> float
+(** [mismatch_regret sys ~weight ~design_rate ~true_rate] is the
+    objective gap of the design-rate-optimal policy evaluated at the
+    true rate, against the true-rate optimum.  Zero (up to solver
+    tolerance) when the rates coincide; always [>= -epsilon]. *)
+
+val break_even_estimation_error :
+  Sys_model.t -> weight:float -> design_rate:float -> tolerance:float -> float
+(** [break_even_estimation_error sys ~weight ~design_rate ~tolerance]
+    searches (geometrically, factor 2 per step, then bisection) for
+    the relative rate-estimation error at which the mismatch regret
+    first exceeds [tolerance] (in objective units) — "how well must
+    the PM estimate lambda before re-optimizing stops mattering?",
+    the paper's 5%-after-50-events remark quantified.  Returns the
+    relative error (e.g. [0.25] for 25%), capped at [8.0]. *)

@@ -1,0 +1,178 @@
+open Dpm_ctmc
+
+type t = {
+  names : string array;
+  switch_time : float array array; (* mean s -> s' switching time, s <> s' *)
+  service_rate : float array;
+  power : float array;
+  switch_energy : float array array;
+}
+
+let check_square name s m =
+  if Array.length m <> s then
+    invalid_arg (Printf.sprintf "Service_provider: %s has %d rows, expected %d" name (Array.length m) s);
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> s then
+        invalid_arg
+          (Printf.sprintf "Service_provider: %s row %d has %d columns, expected %d"
+             name i (Array.length row) s))
+    m
+
+let create ~names ~switch_time ~service_rate ~power ~switch_energy =
+  let s = Array.length names in
+  if s < 2 then invalid_arg "Service_provider.create: need at least 2 modes";
+  Array.iter
+    (fun n -> if n = "" then invalid_arg "Service_provider.create: empty mode name")
+    names;
+  let sorted = List.sort_uniq compare (Array.to_list names) in
+  if List.length sorted <> s then
+    invalid_arg "Service_provider.create: duplicate mode names";
+  check_square "switch_time" s switch_time;
+  check_square "switch_energy" s switch_energy;
+  if Array.length service_rate <> s then
+    invalid_arg "Service_provider.create: service_rate length mismatch";
+  if Array.length power <> s then
+    invalid_arg "Service_provider.create: power length mismatch";
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      if i <> j then begin
+        let t = switch_time.(i).(j) in
+        if not (t > 0.0 && Float.is_finite t) then
+          invalid_arg
+            (Printf.sprintf
+               "Service_provider.create: switch_time %s->%s is %g, must be > 0"
+               names.(i) names.(j) t);
+        let e = switch_energy.(i).(j) in
+        if e < 0.0 || not (Float.is_finite e) then
+          invalid_arg
+            (Printf.sprintf
+               "Service_provider.create: switch_energy %s->%s is %g, must be >= 0"
+               names.(i) names.(j) e)
+      end
+    done
+  done;
+  Array.iteri
+    (fun i mu ->
+      if mu < 0.0 || not (Float.is_finite mu) then
+        invalid_arg
+          (Printf.sprintf "Service_provider.create: service rate of %s is %g"
+             names.(i) mu))
+    service_rate;
+  if not (Array.exists (fun mu -> mu > 0.0) service_rate) then
+    invalid_arg "Service_provider.create: no active mode (all service rates 0)";
+  Array.iteri
+    (fun i p ->
+      if p < 0.0 || not (Float.is_finite p) then
+        invalid_arg
+          (Printf.sprintf "Service_provider.create: power of %s is %g" names.(i) p))
+    power;
+  {
+    names = Array.copy names;
+    switch_time = Array.map Array.copy switch_time;
+    service_rate = Array.copy service_rate;
+    power = Array.copy power;
+    switch_energy = Array.map Array.copy switch_energy;
+  }
+
+let num_modes sp = Array.length sp.names
+
+let check_mode sp s =
+  if s < 0 || s >= num_modes sp then
+    invalid_arg (Printf.sprintf "Service_provider: mode %d out of range" s)
+
+let name sp s =
+  check_mode sp s;
+  sp.names.(s)
+
+let mode_of_name sp n =
+  let rec scan i =
+    if i >= num_modes sp then raise Not_found
+    else if sp.names.(i) = n then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let is_active sp s =
+  check_mode sp s;
+  sp.service_rate.(s) > 0.0
+
+let modes_where sp pred =
+  List.filter (pred sp) (List.init (num_modes sp) (fun s -> s))
+
+let active_modes sp = modes_where sp is_active
+let inactive_modes sp = modes_where sp (fun sp s -> not (is_active sp s))
+
+let service_rate sp s =
+  check_mode sp s;
+  sp.service_rate.(s)
+
+let power sp s =
+  check_mode sp s;
+  sp.power.(s)
+
+let switch_time sp s s' =
+  check_mode sp s;
+  check_mode sp s';
+  if s = s' then invalid_arg "Service_provider.switch_time: s = s'";
+  sp.switch_time.(s).(s')
+
+let switch_rate sp s s' = 1.0 /. switch_time sp s s'
+
+let switch_energy sp s s' =
+  check_mode sp s;
+  check_mode sp s';
+  if s = s' then 0.0 else sp.switch_energy.(s).(s')
+
+let wakeup_time sp s =
+  check_mode sp s;
+  if is_active sp s then 0.0
+  else
+    List.fold_left
+      (fun acc a -> Float.min acc sp.switch_time.(s).(a))
+      infinity (active_modes sp)
+
+let fastest_active sp =
+  let best = ref (-1) in
+  for s = num_modes sp - 1 downto 0 do
+    if is_active sp s && (!best < 0 || sp.service_rate.(s) >= sp.service_rate.(!best))
+    then best := s
+  done;
+  !best
+
+let deepest_sleep sp =
+  match
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | Some best when sp.power.(best) <= sp.power.(s) -> acc
+        | _ -> Some s)
+      None (inactive_modes sp)
+  with
+  | Some s -> s
+  | None -> raise Not_found
+
+let generator sp ~action_of =
+  let s = num_modes sp in
+  let rates = ref [] in
+  for i = 0 to s - 1 do
+    let a = action_of i in
+    check_mode sp a;
+    if a <> i then rates := (i, a, switch_rate sp i a) :: !rates
+  done;
+  Generator.of_rates ~dim:s !rates
+
+let to_dot sp ~action_of =
+  Dot.of_generator ~name:"service_provider"
+    ~state_label:(fun s -> sp.names.(s))
+    ~rate_label:(fun _ _ r -> Printf.sprintf "%g" r)
+    (generator sp ~action_of)
+
+let pp ppf sp =
+  Format.fprintf ppf "@[<v>";
+  for s = 0 to num_modes sp - 1 do
+    Format.fprintf ppf "%-10s mu=%-8g pow=%-8g %s@," sp.names.(s)
+      sp.service_rate.(s) sp.power.(s)
+      (if is_active sp s then "active" else "inactive")
+  done;
+  Format.fprintf ppf "@]"

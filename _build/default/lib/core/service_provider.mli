@@ -1,0 +1,100 @@
+(** The Service Provider (SP) — Section III of the paper.
+
+    The SP is a stationary continuous-time controllable Markov process
+    over power modes, described by the paper's quadruple
+    [(chi, mu, pow, ene)]:
+
+    - [chi]: the switching-speed matrix; the switch from mode [s] to
+      mode [s'] takes exponentially distributed time with mean
+      [1 / chi(s, s')];
+    - [mu(s)]: the service rate in mode [s] (requests per unit time);
+      modes with [mu > 0] are {e active}, the rest {e inactive};
+    - [pow(s)]: power drawn while occupying mode [s];
+    - [ene(s, s')]: energy spent by the [s -> s'] switch.
+
+    The paper's example instance (Example 4.1 / Eqn. 4.1) is a
+    three-mode server [{active, waiting, sleeping}]; see
+    {!Paper_instance}. *)
+
+type t
+
+val create :
+  names:string array ->
+  switch_time:float array array ->
+  service_rate:float array ->
+  power:float array ->
+  switch_energy:float array array ->
+  t
+(** [create ~names ~switch_time ~service_rate ~power ~switch_energy]
+    validates and builds an SP with [S = Array.length names] modes.
+
+    [switch_time.(i).(j)] is the {e mean} switching time from mode
+    [i] to mode [j] (the paper's experimental [tr_time] format);
+    diagonal entries are ignored (self-switches are instantaneous,
+    [chi(s,s) = infinity] in the paper).  Requirements, checked with
+    [Invalid_argument]: at least 2 modes; distinct nonempty names;
+    strictly positive finite off-diagonal switch times; nonnegative
+    service rates with at least one strictly positive; nonnegative
+    finite powers and switch energies; all matrices S x S. *)
+
+val num_modes : t -> int
+(** Number of power modes, [S]. *)
+
+val name : t -> int -> string
+(** [name sp s] is the label of mode [s]. *)
+
+val mode_of_name : t -> string -> int
+(** [mode_of_name sp n] resolves a label; raises [Not_found]. *)
+
+val is_active : t -> int -> bool
+(** [is_active sp s] is [mu(s) > 0]. *)
+
+val active_modes : t -> int list
+(** Modes with positive service rate, ascending. *)
+
+val inactive_modes : t -> int list
+(** Modes with zero service rate, ascending. *)
+
+val service_rate : t -> int -> float
+(** [service_rate sp s] is [mu(s)]. *)
+
+val power : t -> int -> float
+(** [power sp s] is [pow(s)]. *)
+
+val switch_rate : t -> int -> int -> float
+(** [switch_rate sp s s'] is [chi(s, s') = 1 / switch_time], for
+    [s <> s'].  Raises [Invalid_argument] on [s = s'] (the self-switch
+    rate is a system-model parameter, not an SP property). *)
+
+val switch_time : t -> int -> int -> float
+(** [switch_time sp s s'] is the mean [s -> s'] switching time. *)
+
+val switch_energy : t -> int -> int -> float
+(** [switch_energy sp s s'] is [ene(s, s')]; [0.] when [s = s']. *)
+
+val wakeup_time : t -> int -> float
+(** [wakeup_time sp s] is the fastest mean switch from mode [s] to
+    any active mode ([0.] if [s] is itself active) — the quantity
+    compared by the paper's action-validity constraint (2). *)
+
+val fastest_active : t -> int
+(** The active mode with the highest service rate (ties: lowest
+    index). *)
+
+val deepest_sleep : t -> int
+(** The inactive mode with the lowest power (ties: lowest index).
+    Raises [Not_found] when every mode is active. *)
+
+val generator : t -> action_of:(int -> int) -> Dpm_ctmc.Generator.t
+(** [generator sp ~action_of] is the SP-only chain [G_SP] under the
+    mode-indexed command map [action_of] (the paper's
+    [s_{si,sj}(a) = delta(sj, a) chi_{si,sj}]): from each mode [s],
+    the single transition [s -> action_of s] at the switching rate
+    (none if [action_of s = s]). *)
+
+val to_dot : t -> action_of:(int -> int) -> string
+(** DOT rendering of {!generator} — regenerates Figure 1 of the
+    paper for a given policy fragment. *)
+
+val pp : Format.formatter -> t -> unit
+(** Mode table: name, service rate, power. *)

@@ -1,0 +1,287 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+type state = Stable of int * int | Transfer of int * int
+
+type t = {
+  sp : Service_provider.t;
+  queue_capacity : int;
+  arrival_rate : float;
+  self_switch_rate : float;
+  active : int array; (* active modes, ascending *)
+  active_pos : int array; (* mode -> position in [active], or -1 *)
+}
+
+let create ?(self_switch_rate = 1e6) ~sp ~queue_capacity ~arrival_rate () =
+  if queue_capacity <= 0 then
+    invalid_arg "Sys_model.create: queue capacity must be at least 1";
+  if arrival_rate <= 0.0 || not (Float.is_finite arrival_rate) then
+    invalid_arg "Sys_model.create: arrival rate must be positive and finite";
+  if self_switch_rate <= 0.0 || not (Float.is_finite self_switch_rate) then
+    invalid_arg "Sys_model.create: self-switch rate must be positive and finite";
+  let active = Array.of_list (Service_provider.active_modes sp) in
+  let active_pos = Array.make (Service_provider.num_modes sp) (-1) in
+  Array.iteri (fun k s -> active_pos.(s) <- k) active;
+  { sp; queue_capacity; arrival_rate; self_switch_rate; active; active_pos }
+
+let sp sys = sys.sp
+let queue_capacity sys = sys.queue_capacity
+let arrival_rate sys = sys.arrival_rate
+let self_switch_rate sys = sys.self_switch_rate
+
+let with_arrival_rate sys lambda =
+  if lambda <= 0.0 || not (Float.is_finite lambda) then
+    invalid_arg "Sys_model.with_arrival_rate: rate must be positive and finite";
+  { sys with arrival_rate = lambda }
+
+let num_modes sys = Service_provider.num_modes sys.sp
+let num_active sys = Array.length sys.active
+
+let num_states sys =
+  (num_modes sys * (sys.queue_capacity + 1)) + (num_active sys * sys.queue_capacity)
+
+let index sys = function
+  | Stable (s, i) ->
+      if s < 0 || s >= num_modes sys then
+        invalid_arg (Printf.sprintf "Sys_model.index: mode %d out of range" s);
+      if i < 0 || i > sys.queue_capacity then
+        invalid_arg (Printf.sprintf "Sys_model.index: queue length %d out of range" i);
+      (s * (sys.queue_capacity + 1)) + i
+  | Transfer (s, i) ->
+      if s < 0 || s >= num_modes sys || sys.active_pos.(s) < 0 then
+        invalid_arg
+          (Printf.sprintf "Sys_model.index: transfer state of non-active mode %d" s);
+      if i < 1 || i > sys.queue_capacity then
+        invalid_arg
+          (Printf.sprintf "Sys_model.index: transfer level %d out of range" i);
+      (num_modes sys * (sys.queue_capacity + 1))
+      + (sys.active_pos.(s) * sys.queue_capacity)
+      + (i - 1)
+
+let state_of_index sys k =
+  let stable_count = num_modes sys * (sys.queue_capacity + 1) in
+  if k < 0 || k >= num_states sys then
+    invalid_arg (Printf.sprintf "Sys_model.state_of_index: %d out of range" k);
+  if k < stable_count then
+    Stable (k / (sys.queue_capacity + 1), k mod (sys.queue_capacity + 1))
+  else begin
+    let r = k - stable_count in
+    Transfer (sys.active.(r / sys.queue_capacity), (r mod sys.queue_capacity) + 1)
+  end
+
+let states sys = Array.init (num_states sys) (state_of_index sys)
+
+let mode = function Stable (s, _) -> s | Transfer (s, _) -> s
+
+let waiting_requests = function Stable (_, i) -> i | Transfer (_, i) -> i - 1
+
+let is_queue_full sys = function
+  | Stable (_, i) -> i = sys.queue_capacity
+  | Transfer (_, i) -> i = sys.queue_capacity
+
+let all_modes sys = List.init (num_modes sys) (fun s -> s)
+
+let valid_actions sys x =
+  let sp = sys.sp in
+  match x with
+  | Stable (s, i) ->
+      if Service_provider.is_active sp s then
+        (* Constraint (1): no active -> inactive switch while stable. *)
+        Service_provider.active_modes sp
+      else if i < sys.queue_capacity then all_modes sys
+      else
+        (* Constraint (2), strict form: with a full queue an inactive
+           SP must move toward service — to an active mode or to a
+           strictly faster-waking inactive one. *)
+        List.filter
+          (fun a ->
+            Service_provider.is_active sp a
+            || (a <> s
+               && Service_provider.wakeup_time sp a
+                  < Service_provider.wakeup_time sp s))
+          (all_modes sys)
+  | Transfer (s, i) ->
+      if i < sys.queue_capacity then all_modes sys
+      else
+        (* Constraint (3): in q_{Q->Q-1} no switch to a slower active
+           mode. *)
+        List.filter
+          (fun a ->
+            (not (Service_provider.is_active sp a))
+            || Service_provider.service_rate sp a
+               >= Service_provider.service_rate sp s)
+          (all_modes sys)
+
+let switch_out_rate sys s a =
+  if a = s then sys.self_switch_rate else Service_provider.switch_rate sys.sp s a
+
+let transitions sys x ~action =
+  let sp = sys.sp in
+  let q = sys.queue_capacity in
+  let lam = sys.arrival_rate in
+  if action < 0 || action >= num_modes sys then
+    invalid_arg (Printf.sprintf "Sys_model.transitions: action %d out of range" action);
+  match x with
+  | Stable (s, i) ->
+      let arrival = if i < q then [ (index sys (Stable (s, i + 1)), lam) ] else [] in
+      let service =
+        if Service_provider.is_active sp s && i >= 1 then
+          [ (index sys (Transfer (s, i)), Service_provider.service_rate sp s) ]
+        else []
+      in
+      let switch =
+        if action <> s then
+          [ (index sys (Stable (action, i)), Service_provider.switch_rate sp s action) ]
+        else []
+      in
+      arrival @ service @ switch
+  | Transfer (s, i) ->
+      let arrival = if i < q then [ (index sys (Transfer (s, i + 1)), lam) ] else [] in
+      let resolve = [ (index sys (Stable (action, i - 1)), switch_out_rate sys s action) ] in
+      arrival @ resolve
+
+let power_cost sys x ~action =
+  let sp = sys.sp in
+  let s = mode x in
+  let base = Service_provider.power sp s in
+  match x with
+  | Stable _ ->
+      if action = s then base
+      else
+        base
+        +. (Service_provider.switch_rate sp s action
+           *. Service_provider.switch_energy sp s action)
+  | Transfer _ ->
+      if action = s then base (* ene(s,s) = 0 *)
+      else
+        base
+        +. (Service_provider.switch_rate sp s action
+           *. Service_provider.switch_energy sp s action)
+
+let cost sys ~weight x ~action =
+  power_cost sys x ~action +. (weight *. float_of_int (waiting_requests x))
+
+let to_ctmdp sys ~weight =
+  if weight < 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Sys_model.to_ctmdp: weight must be nonnegative and finite";
+  Dpm_ctmdp.Model.create ~num_states:(num_states sys) (fun k ->
+      let x = state_of_index sys k in
+      List.map
+        (fun a ->
+          {
+            Dpm_ctmdp.Model.action = a;
+            rates = transitions sys x ~action:a;
+            cost = cost sys ~weight x ~action:a;
+          })
+        (valid_actions sys x))
+
+let generator_of_actions sys ~actions =
+  let rates = ref [] in
+  for k = 0 to num_states sys - 1 do
+    let x = state_of_index sys k in
+    List.iter
+      (fun (j, r) -> if r > 0.0 then rates := (k, j, r) :: !rates)
+      (transitions sys x ~action:(actions x))
+  done;
+  Generator.of_rates ~dim:(num_states sys) !rates
+
+let uniform_generator sys ~action =
+  Generator.to_matrix (generator_of_actions sys ~actions:(fun _ -> action))
+
+(* --- The tensor-block formula of Section III ------------------------- *)
+
+let zero_diagonal m =
+  Matrix.mapi (fun i j x -> if i = j then 0.0 else x) m
+
+let tensor_generator sys ~action =
+  let sp = sys.sp in
+  let s_count = num_modes sys in
+  let q = sys.queue_capacity in
+  if num_active sys <> 1 then
+    invalid_arg
+      "Sys_model.tensor_generator: the literal Section III block formula \
+       assumes a single active mode (I_{S_active} (x) G_SQ blocks share one \
+       service rate)";
+  if action < 0 || action >= s_count then
+    invalid_arg "Sys_model.tensor_generator: action out of range";
+  let s0 = sys.active.(0) in
+  (* Permuted mode order: active modes first (the formula's block
+     layout), inactive after. *)
+  let pm =
+    Array.of_list
+      (Service_provider.active_modes sp @ Service_provider.inactive_modes sp)
+  in
+  (* Off-diagonal SP generator under the uniform action, permuted. *)
+  let g_sp_off =
+    Matrix.init s_count s_count (fun pi pj ->
+        let s = pm.(pi) and s' = pm.(pj) in
+        if s' = action && s <> s' then Service_provider.switch_rate sp s s' else 0.0)
+  in
+  (* SQ blocks conditioned on the active mode; diagonals recomputed at
+     the end, so strip them here. *)
+  let ss, st, _ts, tt =
+    Service_queue.blocks ~capacity:q ~arrival_rate:sys.arrival_rate
+      ~service_rate:(Service_provider.service_rate sp s0)
+      ~switch_out_rate:(switch_out_rate sys s0 action)
+  in
+  let ss_off = zero_diagonal ss and tt_off = zero_diagonal tt in
+  let stable_count = s_count * (q + 1) in
+  let transfer_count = q (* one active mode *) in
+  let dim = stable_count + transfer_count in
+  let big = Matrix.create dim dim in
+  let blit ~row0 ~col0 m =
+    for i = 0 to Matrix.rows m - 1 do
+      for j = 0 to Matrix.cols m - 1 do
+        let x = Matrix.get m i j in
+        if x <> 0.0 then Matrix.update big (row0 + i) (col0 + j) (fun y -> y +. x)
+      done
+    done
+  in
+  (* Top-left: G_SP(a) (+) G_SQ^SS — Kronecker sum on zero-diagonal
+     blocks. *)
+  blit ~row0:0 ~col0:0 (Tensor.product g_sp_off (Matrix.identity (q + 1)));
+  blit ~row0:0 ~col0:0 (Tensor.product (Matrix.identity s_count) ss_off);
+  (* Top-right: M = [ I_{S_active} (x) G_SQ^ST ; O_1 ] — the active
+     mode occupies the first permuted block row. *)
+  blit ~row0:0 ~col0:stable_count (Tensor.product (Matrix.identity 1) st);
+  (* Bottom-left: G_SP^A(a) (x) N with N = [I_Q  O_2].  The SP row
+     must use the extended switch rate chi-hat (self-switch = big M)
+     because a transfer state resolving to its own mode is a genuine
+     SYS transition. *)
+  let d_a =
+    Matrix.init 1 s_count (fun _ pj ->
+        if pm.(pj) = action then switch_out_rate sys s0 action else 0.0)
+  in
+  let n_mat = Matrix.init q (q + 1) (fun i j -> if i = j then 1.0 else 0.0) in
+  blit ~row0:stable_count ~col0:0 (Tensor.product d_a n_mat);
+  (* Bottom-right: I_{S_active} (x) G_SQ^TT. *)
+  blit ~row0:stable_count ~col0:stable_count
+    (Tensor.product (Matrix.identity 1) tt_off);
+  (* Diagonals: S_ii = -sum_{j<>i} S_ij. *)
+  for i = 0 to dim - 1 do
+    let out = ref 0.0 in
+    for j = 0 to dim - 1 do
+      if j <> i then out := !out +. Matrix.get big i j
+    done;
+    Matrix.set big i i (-. !out)
+  done;
+  (* Permute from the tensor layout back to this module's canonical
+     state order. *)
+  let canonical_of_tensor t =
+    if t < stable_count then index sys (Stable (pm.(t / (q + 1)), t mod (q + 1)))
+    else index sys (Transfer (s0, t - stable_count + 1))
+  in
+  let out = Matrix.create dim dim in
+  for ti = 0 to dim - 1 do
+    for tj = 0 to dim - 1 do
+      Matrix.set out (canonical_of_tensor ti) (canonical_of_tensor tj)
+        (Matrix.get big ti tj)
+    done
+  done;
+  out
+
+let pp_state sys ppf = function
+  | Stable (s, i) ->
+      Format.fprintf ppf "(%s, q%d)" (Service_provider.name sys.sp s) i
+  | Transfer (s, i) ->
+      Format.fprintf ppf "(%s, q%d>%d)" (Service_provider.name sys.sp s) i (i - 1)

@@ -1,0 +1,1 @@
+lib/ctmc/absorbing.ml: Array Dpm_linalg Generator Hashtbl List Lu Matrix Printf Structure Vec

@@ -1,0 +1,1 @@
+lib/ctmc/absorbing.mli: Dpm_linalg Generator Matrix Vec

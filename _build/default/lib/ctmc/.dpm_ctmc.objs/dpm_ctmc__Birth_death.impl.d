@@ -1,0 +1,1 @@
+lib/ctmc/birth_death.ml: Array Dpm_linalg Float Generator Printf Vec

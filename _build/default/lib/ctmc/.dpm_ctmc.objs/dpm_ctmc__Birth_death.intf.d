@@ -1,0 +1,1 @@
+lib/ctmc/birth_death.mli: Dpm_linalg Generator Vec

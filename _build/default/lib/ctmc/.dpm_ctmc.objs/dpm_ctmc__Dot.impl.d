@@ -1,0 +1,1 @@
+lib/ctmc/dot.ml: Buffer Generator List Option Printf String

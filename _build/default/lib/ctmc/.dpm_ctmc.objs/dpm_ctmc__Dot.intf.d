@@ -1,0 +1,1 @@
+lib/ctmc/dot.mli: Generator

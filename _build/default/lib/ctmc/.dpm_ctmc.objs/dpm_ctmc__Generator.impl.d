@@ -1,0 +1,1 @@
+lib/ctmc/generator.ml: Array Dpm_linalg Float Format List Matrix Sparse

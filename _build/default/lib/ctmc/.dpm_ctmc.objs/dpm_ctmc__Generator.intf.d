@@ -1,0 +1,1 @@
+lib/ctmc/generator.mli: Dpm_linalg Format Matrix Sparse

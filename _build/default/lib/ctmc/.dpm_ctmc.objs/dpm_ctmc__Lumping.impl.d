@@ -1,0 +1,1 @@
+lib/ctmc/lumping.ml: Array Dpm_linalg Float Generator Hashtbl Int64 List Option Vec

@@ -1,0 +1,1 @@
+lib/ctmc/lumping.mli: Dpm_linalg Generator Vec

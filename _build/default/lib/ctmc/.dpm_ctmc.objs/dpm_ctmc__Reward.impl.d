@@ -1,0 +1,1 @@
+lib/ctmc/reward.ml: Array Dpm_linalg Generator List Lu Matrix Printf Steady_state Transient Vec

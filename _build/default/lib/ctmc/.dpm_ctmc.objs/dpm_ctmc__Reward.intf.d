@@ -1,0 +1,1 @@
+lib/ctmc/reward.mli: Dpm_linalg Generator Vec

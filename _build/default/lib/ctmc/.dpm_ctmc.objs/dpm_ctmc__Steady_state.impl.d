@@ -1,0 +1,1 @@
+lib/ctmc/steady_state.ml: Array Dpm_linalg Generator Hashtbl Iterative List Lu Matrix Printf Sparse Structure Vec

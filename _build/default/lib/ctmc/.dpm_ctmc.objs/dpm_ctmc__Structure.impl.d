@@ -1,0 +1,1 @@
+lib/ctmc/structure.ml: Array Dpm_linalg Generator List Sparse

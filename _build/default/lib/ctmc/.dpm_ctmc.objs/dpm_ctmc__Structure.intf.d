@@ -1,0 +1,1 @@
+lib/ctmc/structure.mli: Dpm_linalg Generator Sparse

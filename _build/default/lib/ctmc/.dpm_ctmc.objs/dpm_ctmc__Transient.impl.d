@@ -1,0 +1,1 @@
+lib/ctmc/transient.ml: Array Dpm_linalg Float Generator List Sparse Vec

@@ -1,0 +1,1 @@
+lib/ctmc/transient.mli: Dpm_linalg Generator Vec

@@ -1,0 +1,123 @@
+open Dpm_linalg
+
+let check_targets g targets =
+  if targets = [] then invalid_arg "Absorbing: empty target set";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Generator.dim g then
+        invalid_arg (Printf.sprintf "Absorbing: target %d out of range" s))
+    targets
+
+(* States outside [special], in ascending order. *)
+let complement g special =
+  let n = Generator.dim g in
+  let is_special = Array.make n false in
+  List.iter (fun s -> is_special.(s) <- true) special;
+  Array.of_list
+    (List.filter (fun s -> not is_special.(s)) (List.init n (fun s -> s)))
+
+(* Sub-generator restricted to [transient] states: rates into the
+   absorbing set are dropped while the diagonal keeps the full exit
+   rate, so the restricted system is strictly diagonally dominant
+   whenever every state can leak into the absorbing set. *)
+let transient_matrix g transient =
+  let m = Array.length transient in
+  let pos = Hashtbl.create m in
+  Array.iteri (fun k s -> Hashtbl.replace pos s k) transient;
+  let a = Matrix.create m m in
+  Array.iteri
+    (fun k s ->
+      Matrix.set a k k (-.Generator.exit_rate g s);
+      Generator.iter_row g s (fun j r ->
+          match Hashtbl.find_opt pos j with
+          | Some k' -> Matrix.update a k k' (fun x -> x +. r)
+          | None -> ()))
+    transient;
+  a
+
+(* States that can reach the target set at all. *)
+let can_reach g targets s =
+  let seen = Structure.reachable_from g s in
+  List.exists (fun t -> seen.(t)) targets
+
+let mean_hitting_times g ~targets =
+  check_targets g targets;
+  let n = Generator.dim g in
+  let result = Vec.create n in
+  (* States that cannot reach the targets hit in infinite time; they
+     are excluded from the linear system (keeping them would make it
+     singular). *)
+  let blocked =
+    Array.to_list (complement g targets)
+    |> List.filter (fun s -> not (can_reach g targets s))
+  in
+  List.iter (fun s -> result.(s) <- infinity) blocked;
+  let transient = complement g (targets @ blocked) in
+  if Array.length transient > 0 then begin
+    let a = transient_matrix g transient in
+    (* E[T_i] solves  sum_j Q_ij E[T_j] = -1  on the solvable states. *)
+    let b = Vec.make (Array.length transient) (-1.0) in
+    let x = Lu.solve a b in
+    Array.iteri (fun k s -> result.(s) <- x.(k)) transient
+  end;
+  result
+
+let hitting_probabilities g ~targets ~avoid =
+  check_targets g targets;
+  List.iter
+    (fun s ->
+      if List.mem s targets then
+        invalid_arg "Absorbing: targets and avoid sets intersect")
+    avoid;
+  let n = Generator.dim g in
+  let result = Vec.create n in
+  List.iter (fun s -> result.(s) <- 1.0) targets;
+  (* States that can reach neither set stay at probability 0 only if
+     they cannot reach the targets; exclude states that can reach
+     neither to keep the system nonsingular. *)
+  let absorbing = targets @ avoid in
+  let stuck =
+    Array.to_list (complement g absorbing)
+    |> List.filter (fun s -> not (can_reach g absorbing s))
+  in
+  let transient = complement g (absorbing @ stuck) in
+  if Array.length transient > 0 then begin
+    let a = transient_matrix g transient in
+    let b =
+      Vec.init (Array.length transient) (fun k ->
+          let s = transient.(k) in
+          let into_targets = ref 0.0 in
+          Generator.iter_row g s (fun j r ->
+              if List.mem j targets then into_targets := !into_targets +. r);
+          -. !into_targets)
+    in
+    let x = Lu.solve a b in
+    Array.iteri (fun k s -> result.(s) <- x.(k)) transient
+  end;
+  result
+
+let expected_visits g ~targets =
+  check_targets g targets;
+  let n = Generator.dim g in
+  let out = Matrix.create n n in
+  let transient = complement g targets in
+  if Array.length transient > 0 then begin
+    List.iter
+      (fun s ->
+        if not (can_reach g targets s) then
+          invalid_arg
+            (Printf.sprintf
+               "Absorbing.expected_visits: state %d never reaches the targets" s))
+      (Array.to_list transient);
+    let a = transient_matrix g transient in
+    (* N = (-Q_T)^{-1}: entry (i, j) is the expected time spent in j
+       before absorption when starting in i. *)
+    let inv = Lu.inverse (Matrix.scale (-1.0) a) in
+    Array.iteri
+      (fun k s ->
+        Array.iteri
+          (fun k' s' -> Matrix.set out s s' (Matrix.get inv k k'))
+          transient)
+      transient
+  end;
+  out

@@ -1,0 +1,31 @@
+(** First-passage and absorption analysis.
+
+    For power management these answer latency questions the stationary
+    distribution cannot: "starting asleep with one queued request, how
+    long until the first service completes?", or "how likely is the
+    queue to fill before the server wakes?".  The machinery is the
+    standard one: make the target set absorbing and solve the linear
+    systems of the transient sub-generator. *)
+
+open Dpm_linalg
+
+val mean_hitting_times : Generator.t -> targets:int list -> Vec.t
+(** [mean_hitting_times g ~targets] is the vector of expected times to
+    first reach any state of [targets] from each state ([0.] on the
+    targets themselves).  Entries are [infinity] for states that
+    cannot reach the target set.  Raises [Invalid_argument] on an
+    empty or out-of-range target list. *)
+
+val hitting_probabilities :
+  Generator.t -> targets:int list -> avoid:int list -> Vec.t
+(** [hitting_probabilities g ~targets ~avoid] is, per start state, the
+    probability of reaching [targets] before [avoid] (both made
+    absorbing; they must be disjoint).  Targets map to [1.], avoided
+    states to [0.]. *)
+
+val expected_visits : Generator.t -> targets:int list -> Matrix.t
+(** [expected_visits g ~targets] is the fundamental-matrix analogue
+    for CTMCs: entry [(i, j)] is the expected total {e time} spent in
+    transient state [j] before absorption into [targets], starting
+    from [i].  Rows/columns are indexed by the original state numbers
+    with target rows/columns zero. *)

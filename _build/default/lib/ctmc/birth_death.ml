@@ -1,0 +1,90 @@
+open Dpm_linalg
+
+let check_rates name rates =
+  Array.iteri
+    (fun i r ->
+      if not (r > 0.0 && Float.is_finite r) then
+        invalid_arg
+          (Printf.sprintf "Birth_death: %s.(%d) = %g must be positive" name i r))
+    rates
+
+let check_shapes births deaths =
+  check_rates "births" births;
+  check_rates "deaths" deaths;
+  if Array.length births <> Array.length deaths then
+    invalid_arg "Birth_death: births and deaths must have the same length";
+  if Array.length births = 0 then invalid_arg "Birth_death: empty chain"
+
+let generator ~births ~deaths =
+  check_shapes births deaths;
+  let n = Array.length births in
+  let rates = ref [] in
+  for i = 0 to n - 1 do
+    rates := (i, i + 1, births.(i)) :: (i + 1, i, deaths.(i)) :: !rates
+  done;
+  Generator.of_rates ~dim:(n + 1) !rates
+
+let stationary ~births ~deaths =
+  check_shapes births deaths;
+  let n = Array.length births in
+  let p = Vec.create (n + 1) in
+  p.(0) <- 1.0;
+  for i = 0 to n - 1 do
+    p.(i + 1) <- p.(i) *. births.(i) /. deaths.(i)
+  done;
+  Vec.normalize1 p
+
+module Mm1k = struct
+  type metrics = {
+    occupancy : Vec.t;
+    mean_number : float;
+    loss_probability : float;
+    throughput : float;
+    mean_sojourn : float;
+    utilization : float;
+  }
+
+  let eval ~lambda ~mu ~k =
+    if lambda <= 0.0 || mu <= 0.0 then
+      invalid_arg "Mm1k.eval: rates must be positive";
+    if k < 1 then invalid_arg "Mm1k.eval: capacity must be at least 1";
+    let rho = lambda /. mu in
+    let occupancy =
+      if Float.abs (rho -. 1.0) < 1e-12 then
+        Vec.make (k + 1) (1.0 /. float_of_int (k + 1))
+      else
+        Vec.normalize1 (Vec.init (k + 1) (fun i -> rho ** float_of_int i))
+    in
+    let mean_number =
+      let acc = ref 0.0 in
+      Array.iteri (fun i p -> acc := !acc +. (float_of_int i *. p)) occupancy;
+      !acc
+    in
+    let loss_probability = occupancy.(k) in
+    let throughput = lambda *. (1.0 -. loss_probability) in
+    let mean_sojourn = mean_number /. throughput in
+    let utilization = 1.0 -. occupancy.(0) in
+    { occupancy; mean_number; loss_probability; throughput; mean_sojourn; utilization }
+end
+
+module Mm1 = struct
+  let check lambda mu =
+    if lambda <= 0.0 || mu <= 0.0 then invalid_arg "Mm1: rates must be positive";
+    if lambda >= mu then invalid_arg "Mm1: requires lambda < mu (stability)"
+
+  let mean_number ~lambda ~mu =
+    check lambda mu;
+    let rho = lambda /. mu in
+    rho /. (1.0 -. rho)
+
+  let mean_sojourn ~lambda ~mu =
+    check lambda mu;
+    1.0 /. (mu -. lambda)
+
+  let prob_n ~lambda ~mu n =
+    check lambda mu;
+    if n < 0 then 0.0
+    else
+      let rho = lambda /. mu in
+      (1.0 -. rho) *. (rho ** float_of_int n)
+end

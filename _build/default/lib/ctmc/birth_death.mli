@@ -1,0 +1,52 @@
+(** Birth-death chains and their closed forms.
+
+    The SQ is a decorated birth-death process, and queueing closed
+    forms (M/M/1, M/M/1/K) are the yardstick for validating both the
+    analytic pipeline and the simulator.  This module builds general
+    birth-death generators and evaluates their product-form stationary
+    distributions without going through a linear solve. *)
+
+open Dpm_linalg
+
+val generator : births:float array -> deaths:float array -> Generator.t
+(** [generator ~births ~deaths] is the chain on [{0..n}] with
+    up-rates [births.(i) : i -> i+1] (length [n]) and down-rates
+    [deaths.(i) : i+1 -> i] (length [n]).  Rates must be positive and
+    finite; raises [Invalid_argument] otherwise (zero rates would
+    disconnect the chain — build those with {!Generator.of_rates}
+    directly). *)
+
+val stationary : births:float array -> deaths:float array -> Vec.t
+(** Product form: [pi_{i+1} / pi_i = births.(i) / deaths.(i)],
+    normalized.  Matches [Steady_state.solve (generator ...)] to
+    rounding. *)
+
+(** M/M/1/K closed forms (K = system capacity, arrival [lambda],
+    service [mu]). *)
+module Mm1k : sig
+  type metrics = {
+    occupancy : Vec.t;  (** distribution of the number in system *)
+    mean_number : float;  (** L *)
+    loss_probability : float;  (** P(system full) = blocked fraction *)
+    throughput : float;  (** accepted = served rate *)
+    mean_sojourn : float;  (** W, by Little's law on the accepted rate *)
+    utilization : float;  (** fraction of time the server is busy *)
+  }
+
+  val eval : lambda:float -> mu:float -> k:int -> metrics
+  (** [eval ~lambda ~mu ~k] evaluates the stationary M/M/1/K.
+      Handles [lambda = mu] (the [rho = 1] uniform case) exactly.
+      Raises [Invalid_argument] on nonpositive parameters. *)
+end
+
+(** M/M/1 (infinite queue) closed forms; requires [lambda < mu]. *)
+module Mm1 : sig
+  val mean_number : lambda:float -> mu:float -> float
+  (** [L = rho / (1 - rho)]. *)
+
+  val mean_sojourn : lambda:float -> mu:float -> float
+  (** [W = 1 / (mu - lambda)]. *)
+
+  val prob_n : lambda:float -> mu:float -> int -> float
+  (** [P(N = n) = (1 - rho) rho^n]. *)
+end

@@ -1,0 +1,40 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let of_generator ?(name = "ctmc") ?state_label ?rate_label g =
+  let state_label = Option.value state_label ~default:(Printf.sprintf "s%d") in
+  let rate_label =
+    Option.value rate_label ~default:(fun _ _ r -> Printf.sprintf "%g" r)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  for i = 0 to Generator.dim g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape (state_label i)))
+  done;
+  Generator.iter_off_diagonal g (fun i j r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" i j
+           (escape (rate_label i j r))));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_edges ?(name = "graph") ~nodes ~edges () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  List.iter
+    (fun (i, label) ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape label)))
+    nodes;
+  List.iter
+    (fun (i, j, label) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" i j (escape label)))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

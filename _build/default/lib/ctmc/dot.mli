@@ -1,0 +1,26 @@
+(** Graphviz DOT export of Markov chains.
+
+    Figures 1 and 2 of the paper are state-transition diagrams of the
+    SP and SQ processes; this module regenerates them (and any other
+    chain) as DOT source.  Self-loops are omitted, matching the
+    paper's drawing convention. *)
+
+val of_generator :
+  ?name:string ->
+  ?state_label:(int -> string) ->
+  ?rate_label:(int -> int -> float -> string) ->
+  Generator.t ->
+  string
+(** [of_generator g] renders the chain as a [digraph].  [state_label]
+    defaults to ["s<i>"]; [rate_label] defaults to printing the rate
+    with [%g]. *)
+
+val of_edges :
+  ?name:string ->
+  nodes:(int * string) list ->
+  edges:(int * int * string) list ->
+  unit ->
+  string
+(** [of_edges ~nodes ~edges ()] renders an arbitrary labeled digraph —
+    used for policy visualizations where edges are actions, not
+    rates. *)

@@ -1,0 +1,121 @@
+open Dpm_linalg
+
+type partition = int array
+
+let num_blocks p = 1 + Array.fold_left max (-1) p
+
+let check_partition g p =
+  if Array.length p <> Generator.dim g then
+    invalid_arg "Lumping: partition length mismatch";
+  let nb = num_blocks p in
+  if nb <= 0 then invalid_arg "Lumping: empty partition";
+  let seen = Array.make nb false in
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= nb then invalid_arg "Lumping: negative block id";
+      seen.(b) <- true)
+    p;
+  if not (Array.for_all (fun x -> x) seen) then
+    invalid_arg "Lumping: block ids must be contiguous 0..nblocks-1";
+  nb
+
+(* Rate from state s into each block (off-diagonal only). *)
+let block_rates g p nb s =
+  let out = Vec.create nb in
+  Generator.iter_row g s (fun j r -> out.(p.(j)) <- out.(p.(j)) +. r);
+  (* Internal rates within the state's own block do not count toward
+     the lumpability test between distinct blocks, but keeping them
+     and comparing whole vectors except the own-block entry is
+     simpler; callers mask it. *)
+  out
+
+let is_lumpable ?(tol = 1e-9) g p =
+  let nb = check_partition g p in
+  let n = Generator.dim g in
+  (* Representative block-rate vector per block. *)
+  let reps = Array.make nb None in
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    if !ok then begin
+      let b = p.(s) in
+      let rates = block_rates g p nb s in
+      match reps.(b) with
+      | None -> reps.(b) <- Some rates
+      | Some r ->
+          for b' = 0 to nb - 1 do
+            if b' <> b && Float.abs (rates.(b') -. r.(b')) > tol then ok := false
+          done
+    end
+  done;
+  !ok
+
+let quotient ?(tol = 1e-9) g p =
+  if not (is_lumpable ~tol g p) then
+    invalid_arg "Lumping.quotient: partition is not lumpable";
+  let nb = check_partition g p in
+  let n = Generator.dim g in
+  (* Take any representative per block. *)
+  let rep = Array.make nb (-1) in
+  for s = n - 1 downto 0 do
+    rep.(p.(s)) <- s
+  done;
+  let rates = ref [] in
+  for b = 0 to nb - 1 do
+    let r = block_rates g p nb rep.(b) in
+    for b' = 0 to nb - 1 do
+      if b' <> b && r.(b') > 0.0 then rates := (b, b', r.(b')) :: !rates
+    done
+  done;
+  Generator.of_rates ~dim:nb !rates
+
+let coarsest_refinement ?(tol = 1e-9) g p =
+  ignore (check_partition g p);
+  let n = Generator.dim g in
+  (* Iteratively split blocks by their block-rate signatures until
+     stable.  Quadratic, fine at the state-space sizes this library
+     targets. *)
+  let current = ref (Array.copy p) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let nb = num_blocks !current in
+    (* Signature: rates into each block, own-block entry masked,
+       discretized by tol to make grouping well-defined. *)
+    let signature s =
+      let r = block_rates g !current nb s in
+      let b = !current.(s) in
+      ( b,
+        Array.to_list
+          (Array.mapi
+             (fun b' x ->
+               if b' = b then 0L
+               else Int64.of_float (Float.round (x /. tol)))
+             r) )
+    in
+    let groups = Hashtbl.create 64 in
+    for s = 0 to n - 1 do
+      let key = signature s in
+      let members = Option.value (Hashtbl.find_opt groups key) ~default:[] in
+      Hashtbl.replace groups key (s :: members)
+    done;
+    if Hashtbl.length groups > nb then begin
+      changed := true;
+      (* Assign fresh contiguous ids by group, keeping determinism by
+         ordering groups by their smallest member. *)
+      let group_list =
+        Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+        |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+      in
+      let next = Array.make n 0 in
+      List.iteri (fun id members -> List.iter (fun s -> next.(s) <- id) members)
+        group_list;
+      current := next
+    end
+  done;
+  !current
+
+let lift p q =
+  Array.map (fun b ->
+      if b < 0 || b >= Vec.dim q then invalid_arg "Lumping.lift: block out of range"
+      else q.(b))
+    p

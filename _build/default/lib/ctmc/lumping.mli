@@ -1,0 +1,41 @@
+(** Exact (ordinary) lumpability of CTMCs.
+
+    A partition of the state space is {e lumpable} when, for every
+    block and every state in it, the total rate into each other block
+    is the same for all states of the block; the quotient chain on
+    blocks is then an exact reduction — steady-state probabilities of
+    blocks equal the summed member probabilities.
+
+    Power-managed systems often carry such symmetries (e.g. two
+    power modes with identical rates and costs are indistinguishable),
+    and lumping them shrinks every solver's input. *)
+
+open Dpm_linalg
+
+type partition = int array
+(** [partition.(state) = block id]; block ids must cover
+    [0 .. nblocks-1]. *)
+
+val is_lumpable : ?tol:float -> Generator.t -> partition -> bool
+(** [is_lumpable g p] checks the ordinary-lumpability condition within
+    [tol] (default 1e-9).  Raises [Invalid_argument] on a malformed
+    partition (wrong length, non-contiguous block ids). *)
+
+val quotient : ?tol:float -> Generator.t -> partition -> Generator.t
+(** [quotient g p] is the lumped chain.  Raises [Invalid_argument] if
+    the partition is not lumpable (use {!is_lumpable} to probe). *)
+
+val coarsest_refinement : ?tol:float -> Generator.t -> partition -> partition
+(** [coarsest_refinement g p] refines the initial partition [p] until
+    it becomes lumpable (partition-refinement a la Paige-Tarjan,
+    quadratic implementation): the result is the coarsest lumpable
+    partition refining [p].  Note the all-in-one partition is
+    trivially lumpable (every rate is internal), so start from a
+    partition that separates the states you must distinguish —
+    typically by cost/reward class — and the refinement will split
+    only where the dynamics force it. *)
+
+val lift : partition -> Vec.t -> Vec.t
+(** [lift p q] expands a block-indexed vector to states
+    ([result.(s) = q.(p.(s))]) — e.g. to compare quotient steady
+    states against the full chain's block sums. *)

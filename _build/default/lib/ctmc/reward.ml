@@ -1,0 +1,54 @@
+open Dpm_linalg
+
+type t = {
+  gen : Generator.t;
+  rate_rewards : Vec.t;
+  transition_rewards : (int * int * float) list;
+  earning : Vec.t; (* cached r_i *)
+}
+
+let create ?(transition_rewards = []) gen ~rate_rewards =
+  let n = Generator.dim gen in
+  if Vec.dim rate_rewards <> n then
+    invalid_arg "Reward.create: rate reward dimension mismatch";
+  List.iter
+    (fun (i, j, _) ->
+      if i < 0 || i >= n || j < 0 || j >= n || i = j then
+        invalid_arg
+          (Printf.sprintf "Reward.create: bad transition reward index (%d,%d)" i j))
+    transition_rewards;
+  let earning = Vec.copy rate_rewards in
+  List.iter
+    (fun (i, j, r) -> earning.(i) <- earning.(i) +. (Generator.get gen i j *. r))
+    transition_rewards;
+  { gen; rate_rewards; transition_rewards; earning }
+
+let generator t = t.gen
+let earning_rate t i = t.earning.(i)
+let earning_rates t = Vec.copy t.earning
+
+let long_run_average t =
+  let p = Steady_state.solve t.gen in
+  Vec.dot p t.earning
+
+let expected_total t ~t0 ~horizon =
+  Transient.accumulated_rewards t.gen ~p0:t0 ~rewards:t.earning ~t:horizon
+
+let value_trajectory t ~state ~times =
+  let n = Generator.dim t.gen in
+  if state < 0 || state >= n then invalid_arg "Reward.value_trajectory: bad state";
+  let p0 = Vec.create n in
+  p0.(state) <- 1.0;
+  List.map (fun horizon -> expected_total t ~t0:p0 ~horizon) times
+
+let discounted_values t ~discount =
+  if discount <= 0.0 then
+    invalid_arg "Reward.discounted_values: discount must be positive";
+  let n = Generator.dim t.gen in
+  (* v solves (aI - G) v = r. *)
+  let a =
+    Matrix.sub
+      (Matrix.scale discount (Matrix.identity n))
+      (Generator.to_matrix t.gen)
+  in
+  Lu.solve a t.earning

@@ -1,0 +1,58 @@
+(** Markov processes with rewards — Section II of the paper.
+
+    A reward structure attaches a rate reward [r_ii] (earned per unit
+    time in state [i]) and transition rewards [r_ij] (earned on each
+    [i -> j] jump).  The "earning rate" of a state combines both:
+
+    {v r_i = r_ii + sum_{j<>i} s_ij * r_ij v}
+
+    The expected total reward [v_i(t)] obeys the linear ODE system of
+    Eqn. (2.5); the long-run average reward of an irreducible chain is
+    the stationary expectation of the earning rates.  The paper's cost
+    function is exactly such a structure with power as the rate reward
+    and switching energy as the transition reward (negated, since the
+    paper minimizes cost). *)
+
+open Dpm_linalg
+
+type t
+(** A chain together with its reward structure. *)
+
+val create :
+  ?transition_rewards:(int * int * float) list ->
+  Generator.t ->
+  rate_rewards:Vec.t ->
+  t
+(** [create g ~rate_rewards ~transition_rewards] attaches rewards to
+    the chain [g].  [rate_rewards.(i)] is [r_ii]; each
+    [(i, j, r)] in [transition_rewards] is [r_ij] (indices must be
+    valid and [i <> j]).  Raises [Invalid_argument] on dimension or
+    index errors. *)
+
+val generator : t -> Generator.t
+(** The underlying chain. *)
+
+val earning_rate : t -> int -> float
+(** [earning_rate t i] is [r_i] as defined above. *)
+
+val earning_rates : t -> Vec.t
+(** All earning rates as a vector. *)
+
+val long_run_average : t -> float
+(** [long_run_average t] is [sum_i p_i r_i] with [p] the stationary
+    distribution — the limiting average reward per unit time
+    (Section II, alternative (1)). *)
+
+val expected_total : t -> t0:Vec.t -> horizon:float -> float
+(** [expected_total t ~t0 ~horizon] integrates the ODE (2.5): the
+    expected reward accumulated over [[0, horizon]] from the initial
+    distribution [t0], computed by uniformization. *)
+
+val value_trajectory : t -> state:int -> times:float list -> float list
+(** [value_trajectory t ~state ~times] is [v_state] evaluated at each
+    epoch — the per-start-state solution of Eqn. (2.5). *)
+
+val discounted_values : t -> discount:float -> Vec.t
+(** [discounted_values t ~discount] is the vector
+    [v = (aI - G)^{-1} r] of expected discounted rewards (Section II,
+    alternative (2)), [discount > 0]. *)

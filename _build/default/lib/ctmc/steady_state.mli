@@ -1,0 +1,58 @@
+(** Limiting (steady-state) distributions — Theorem 2.1.
+
+    For an irreducible positive-recurrent chain, the limiting
+    distribution is the unique solution of [p G = 0], [sum p = 1].
+    Three solvers are provided:
+
+    - {!gth}: the Grassmann-Taksar-Heyman elimination, which performs
+      no subtractions and is therefore backward stable even for the
+      stiff generators produced by the big-M self-switch rate
+      (DESIGN.md decision 1);
+    - {!lu_solve}: replace one balance equation with the
+      normalization and solve by LU — the textbook approach;
+    - {!iterative}: sparse Gauss-Seidel for large state spaces.
+
+    [solve] picks GTH for dense-backed generators and Gauss-Seidel
+    for sparse-backed ones. *)
+
+open Dpm_linalg
+
+exception Not_irreducible of string
+(** Raised by {!solve} when the chain has zero or several closed
+    communicating classes, i.e. no start-state-independent limiting
+    distribution exists (Theorem 2.1 requires a unique one). *)
+
+val gth : Generator.t -> Vec.t
+(** [gth g] computes the stationary distribution by GTH elimination.
+    O(n^3) time, O(n^2) space (densifies sparse inputs).  Exact up to
+    rounding for {e irreducible} generators only — the back
+    substitution anchors the measure at state 0, so a transient
+    state 0 silently corrupts the result; use {!solve}, which
+    classifies states first, on chains that may have transient
+    states. *)
+
+val lu_solve : Generator.t -> Vec.t
+(** [lu_solve g] solves the transposed balance equations with the
+    normalization row substituted.  Raises [Lu.Singular] when the
+    chain has more than one closed class. *)
+
+val iterative : ?tol:float -> ?max_iter:int -> Generator.t -> Iterative.result
+(** [iterative g] runs sparse Gauss-Seidel sweeps (see
+    {!Dpm_linalg.Iterative.gauss_seidel_steady}). *)
+
+val solve : ?check:bool -> Generator.t -> Vec.t
+(** [solve g] computes the limiting distribution of any chain with a
+    unique closed class: it classifies states (Tarjan), solves the
+    closed class in isolation (GTH for dense-backed generators,
+    Gauss-Seidel with a GTH fallback for sparse ones) and assigns
+    probability zero to transient states.  Raises {!Not_irreducible}
+    when the closed class is not unique.  [check] is kept for
+    interface stability and ignored — classification always runs. *)
+
+val residual : Generator.t -> Vec.t -> float
+(** [residual g p] is [norm_inf (p G)] — how well [p] balances. *)
+
+val expected_value : Vec.t -> (int -> float) -> float
+(** [expected_value p f] is [sum_i p_i * f i], the stationary
+    expectation of a state function — used for the paper's
+    "functional values" of power and queue length. *)

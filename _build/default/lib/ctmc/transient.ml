@@ -1,0 +1,107 @@
+open Dpm_linalg
+
+let check_p0 g p0 =
+  if Vec.dim p0 <> Generator.dim g then
+    invalid_arg "Transient: initial distribution dimension mismatch";
+  Array.iter
+    (fun x ->
+      if x < 0.0 || not (Float.is_finite x) then
+        invalid_arg "Transient: initial distribution has invalid entries")
+    p0;
+  Vec.normalize1 p0
+
+(* Truncated Poisson window around the mode, with stable recurrences;
+   returns (k_lo, weights) where weights.(i) = P(N = k_lo + i). *)
+let poisson_window ~mean ~eps =
+  let mode = int_of_float mean in
+  let log_pmf k =
+    let acc = ref ((float_of_int k *. log mean) -. mean) in
+    for i = 2 to k do
+      acc := !acc -. log (float_of_int i)
+    done;
+    !acc
+  in
+  let p_mode = exp (log_pmf mode) in
+  let lo = ref mode and hi = ref mode in
+  let p_lo = ref p_mode and p_hi = ref p_mode in
+  let mass = ref p_mode in
+  while !mass < 1.0 -. eps do
+    let next_lo = if !lo > 0 then !p_lo *. float_of_int !lo /. mean else 0.0 in
+    let next_hi = !p_hi *. mean /. float_of_int (!hi + 1) in
+    if next_lo >= next_hi && !lo > 0 then begin
+      decr lo;
+      p_lo := next_lo;
+      mass := !mass +. next_lo
+    end
+    else begin
+      incr hi;
+      p_hi := next_hi;
+      mass := !mass +. next_hi
+    end
+  done;
+  let w = Array.make (!hi - !lo + 1) 0.0 in
+  let p = ref !p_lo in
+  for k = !lo to !hi do
+    w.(k - !lo) <- !p;
+    p := !p *. mean /. float_of_int (k + 1)
+  done;
+  (!lo, w)
+
+let probabilities ?(eps = 1e-10) g ~p0 ~t =
+  if t < 0.0 then invalid_arg "Transient: negative time";
+  let p0 = check_p0 g p0 in
+  let u = Generator.uniformization_rate g in
+  if t = 0.0 || u = 0.0 then p0
+  else begin
+    let lam = 1.02 *. u in
+    let mean = lam *. t in
+    let k_lo, weights = poisson_window ~mean ~eps in
+    let k_hi = k_lo + Array.length weights - 1 in
+    let p_sparse = Generator.uniformized_sparse ~rate:lam g in
+    let acc = Vec.create (Generator.dim g) in
+    let x = ref p0 in
+    for k = 0 to k_hi do
+      if k >= k_lo then Vec.axpy weights.(k - k_lo) !x acc;
+      if k < k_hi then x := Sparse.vec_mul !x p_sparse
+    done;
+    (* Compensate the truncated tail mass. *)
+    if Vec.sum acc > 0.0 then Vec.normalize1 acc else acc
+  end
+
+let probability_trajectory ?eps g ~p0 ~times =
+  List.map (fun t -> probabilities ?eps g ~p0 ~t) times
+
+(* Expected occupancy: int_0^t p(u) du
+   = sum_{k>=0} (1/L) * P(N > k) * p0 P^k   with N ~ Poisson(Lt). *)
+let mean_state_occupancy ?(eps = 1e-10) g ~p0 ~t =
+  if t < 0.0 then invalid_arg "Transient: negative time";
+  let p0 = check_p0 g p0 in
+  let n = Generator.dim g in
+  let u = Generator.uniformization_rate g in
+  if t = 0.0 then Vec.create n
+  else if u = 0.0 then Vec.scale t p0
+  else begin
+    let lam = 1.02 *. u in
+    let mean = lam *. t in
+    let k_lo, weights = poisson_window ~mean ~eps in
+    let k_hi = k_lo + Array.length weights - 1 in
+    let p_sparse = Generator.uniformized_sparse ~rate:lam g in
+    let acc = Vec.create n in
+    let x = ref p0 in
+    let cumulative = ref 0.0 in
+    for k = 0 to k_hi do
+      if k >= k_lo then cumulative := !cumulative +. weights.(k - k_lo);
+      let tail = Float.max 0.0 (1.0 -. !cumulative) in
+      Vec.axpy (tail /. lam) !x acc;
+      if k < k_hi then x := Sparse.vec_mul !x p_sparse
+    done;
+    (* Occupancies must sum to t by definition; rescale away the
+       truncation error. *)
+    let s = Vec.sum acc in
+    if s > 0.0 then Vec.scale (t /. s) acc else acc
+  end
+
+let accumulated_rewards ?eps g ~p0 ~rewards ~t =
+  if Vec.dim rewards <> Generator.dim g then
+    invalid_arg "Transient.accumulated_rewards: reward dimension mismatch";
+  Vec.dot (mean_state_occupancy ?eps g ~p0 ~t) rewards

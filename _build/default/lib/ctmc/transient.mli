@@ -1,0 +1,40 @@
+(** Transient analysis by uniformization (Jensen's method).
+
+    The state distribution at time [t] of a chain with generator [G]
+    started from [p0] is
+
+    {v p(t) = sum_k e^{-Lt} (Lt)^k / k!  *  p0 P^k v}
+
+    with [P = I + G/L] the uniformized chain and [L] at least the
+    maximum exit rate.  The Poisson tail is truncated to a requested
+    [eps]; all arithmetic stays in probability space (no subtractive
+    cancellation), which is why uniformization is the method of choice
+    over matrix exponentials for generators. *)
+
+open Dpm_linalg
+
+val probabilities :
+  ?eps:float -> Generator.t -> p0:Vec.t -> t:float -> Vec.t
+(** [probabilities g ~p0 ~t] is the distribution at time [t] from the
+    initial distribution [p0] (must be nonnegative and sum to about
+    1; it is renormalized).  [eps] (default [1e-10]) bounds the
+    truncated Poisson mass.  [t < 0] raises [Invalid_argument]. *)
+
+val probability_trajectory :
+  ?eps:float -> Generator.t -> p0:Vec.t -> times:float list -> Vec.t list
+(** [probability_trajectory g ~p0 ~times] evaluates {!probabilities}
+    at several (nonnegative, not necessarily sorted) epochs, reusing
+    the initial distribution. *)
+
+val accumulated_rewards :
+  ?eps:float -> Generator.t -> p0:Vec.t -> rewards:Vec.t -> t:float -> float
+(** [accumulated_rewards g ~p0 ~rewards ~t] is
+    [int_0^t p(u) . rewards du], the expected reward accumulated over
+    [[0, t]] when state [i] earns [rewards.(i)] per unit time — the
+    integral form of the paper's total expected reward (Section II). *)
+
+val mean_state_occupancy :
+  ?eps:float -> Generator.t -> p0:Vec.t -> t:float -> Vec.t
+(** [mean_state_occupancy g ~p0 ~t] is the vector of expected total
+    times spent in each state during [[0, t]]; its entries sum to
+    [t]. *)

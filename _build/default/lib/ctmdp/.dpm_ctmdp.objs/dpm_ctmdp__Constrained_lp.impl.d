@@ -1,0 +1,1 @@
+lib/ctmdp/constrained_lp.ml: Array Dpm_ctmc Dpm_linalg Float List Matrix Model Simplex Vec

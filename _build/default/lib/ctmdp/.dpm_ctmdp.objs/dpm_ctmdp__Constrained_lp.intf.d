@@ -1,0 +1,1 @@
+lib/ctmdp/constrained_lp.mli: Dpm_ctmc Dpm_linalg Model

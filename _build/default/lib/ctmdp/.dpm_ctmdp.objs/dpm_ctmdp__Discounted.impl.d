@@ -1,0 +1,1 @@
+lib/ctmdp/discounted.ml: Array Dpm_ctmc Dpm_linalg Float Generator List Lu Matrix Model Policy Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/discounted.mli: Dpm_linalg Model Policy Vec

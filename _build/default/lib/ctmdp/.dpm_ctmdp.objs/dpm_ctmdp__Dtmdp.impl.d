@@ -1,0 +1,1 @@
+lib/ctmdp/dtmdp.ml: Array Dpm_ctmc Dpm_linalg Float Hashtbl List Lu Matrix Option Printf Vec

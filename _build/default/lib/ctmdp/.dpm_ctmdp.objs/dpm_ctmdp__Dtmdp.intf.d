@@ -1,0 +1,1 @@
+lib/ctmdp/dtmdp.mli: Dpm_linalg Matrix Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/finite_horizon.ml: Array Dpm_linalg Float List Model Policy Printf Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/finite_horizon.mli: Dpm_linalg Model Policy Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/lp_solver.ml: Array Dpm_linalg List Matrix Model Policy Simplex Vec

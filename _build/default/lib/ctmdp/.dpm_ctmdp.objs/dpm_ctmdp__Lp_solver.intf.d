@@ -1,0 +1,1 @@
+lib/ctmdp/lp_solver.mli: Dpm_linalg Model Policy Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/model.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/ctmdp/model.mli: Format

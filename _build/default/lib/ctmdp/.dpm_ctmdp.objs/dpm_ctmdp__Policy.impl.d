@@ -1,0 +1,1 @@
+lib/ctmdp/policy.ml: Array Dpm_ctmc Dpm_linalg Format Generator List Model Printf Seq Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/policy.mli: Dpm_ctmc Dpm_linalg Format Generator Model Seq Vec

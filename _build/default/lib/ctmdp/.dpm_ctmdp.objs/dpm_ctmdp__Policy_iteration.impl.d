@@ -1,0 +1,1 @@
+lib/ctmdp/policy_iteration.ml: Array Dpm_ctmc Dpm_linalg Float Generator List Logs Lu Matrix Model Policy Printf Seq Vec

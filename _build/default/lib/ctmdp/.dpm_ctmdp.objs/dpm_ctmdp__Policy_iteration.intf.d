@@ -1,0 +1,1 @@
+lib/ctmdp/policy_iteration.mli: Dpm_linalg Model Policy Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/value_iteration.ml: Array Dpm_linalg Float List Model Policy Vec

@@ -1,0 +1,1 @@
+lib/ctmdp/value_iteration.mli: Dpm_linalg Model Policy Vec

@@ -1,0 +1,82 @@
+open Dpm_linalg
+
+type result = {
+  values : Vec.t;
+  schedule : (float * Policy.t) list;
+  steps : int;
+}
+
+let solve ?terminal ?(steps_per_mean = 8) ?(max_steps = 2_000_000) m ~horizon =
+  if horizon <= 0.0 || not (Float.is_finite horizon) then
+    invalid_arg "Finite_horizon.solve: horizon must be positive and finite";
+  if steps_per_mean < 1 then
+    invalid_arg "Finite_horizon.solve: steps_per_mean must be >= 1";
+  let n = Model.num_states m in
+  let terminal =
+    match terminal with
+    | None -> Vec.create n
+    | Some v ->
+        if Vec.dim v <> n then
+          invalid_arg "Finite_horizon.solve: terminal cost dimension mismatch";
+        Vec.copy v
+  in
+  let u = Model.max_exit_rate m in
+  let lam = Float.max 1e-9 (1.05 *. u) *. float_of_int steps_per_mean in
+  let steps =
+    int_of_float (Float.ceil (lam *. horizon)) |> max 1
+  in
+  if steps > max_steps then
+    invalid_arg
+      (Printf.sprintf
+         "Finite_horizon.solve: %d steps needed (rate %g x horizon %g); the \
+          model is too stiff for uniformized backward induction — see the \
+          stiffness caveat in the interface"
+         steps lam horizon);
+  let dt = horizon /. float_of_int steps in
+  let rate_scale = dt (* per-step cost = c * dt; transition prob = rate * dt *) in
+  let backup v i k =
+    let c = Model.choice m i k in
+    List.fold_left
+      (fun acc (j, r) -> acc +. (r *. rate_scale *. (v.(j) -. v.(i))))
+      ((c.Model.cost *. rate_scale) +. v.(i))
+      c.Model.rates
+  in
+  let v = ref terminal in
+  (* Collect the greedy policy per step (backwards), then compress
+     runs into the piecewise-stationary schedule. *)
+  let policies = Array.make steps [||] in
+  for k = steps - 1 downto 0 do
+    let greedy = Array.make n 0 in
+    let next =
+      Vec.init n (fun i ->
+          let best = ref (backup !v i 0) and best_k = ref 0 in
+          for c = 1 to Model.num_choices m i - 1 do
+            let value = backup !v i c in
+            if value < !best -. 1e-15 then begin
+              best := value;
+              best_k := c
+            end
+          done;
+          greedy.(i) <- !best_k;
+          !best)
+    in
+    policies.(k) <- greedy;
+    v := next
+  done;
+  (* Walk forward in time; a schedule entry marks each change point. *)
+  let schedule = ref [] in
+  let last = ref [||] in
+  for k = 0 to steps - 1 do
+    if policies.(k) <> !last then begin
+      schedule :=
+        (float_of_int k *. dt, Policy.of_choice_indices m policies.(k))
+        :: !schedule;
+      last := policies.(k)
+    end
+  done;
+  { values = !v; schedule = List.rev !schedule; steps }
+
+let value_at r ~state =
+  if state < 0 || state >= Vec.dim r.values then
+    invalid_arg "Finite_horizon.value_at: bad state";
+  r.values.(state)

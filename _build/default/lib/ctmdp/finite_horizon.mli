@@ -1,0 +1,49 @@
+(** Finite-planning-horizon CTMDPs — Miller [8] in the paper's
+    bibliography.
+
+    Over a finite horizon the optimal policy is piecewise-stationary
+    (Definition 2.9): the action may depend on the time remaining.
+    We compute it by backward induction on the uniformized chain: with
+    rate [L >= max exit rate], the value function obeys
+
+    {v v_{k-1}(i) = min_a ( c_i^a / L + sum_j P^a_ij v_k(j) ) v}
+
+    over [N ~ L * horizon * steps_per_mean] steps, which converges to
+    the continuous-time optimum as the step count grows (the step
+    error is O(1/steps_per_mean)).
+
+    Stiffness caveat: models whose rates span many orders of magnitude
+    (e.g. a big-M self-switch rate) force [L], and hence the step
+    count, sky-high — the same effect that stalls value iteration in
+    the ABL3 ablation.  Use the average-cost {!Policy_iteration} for
+    the paper's DPM models; this solver is for genuinely
+    finite-horizon questions on well-scaled models. *)
+
+open Dpm_linalg
+
+type result = {
+  values : Vec.t;
+      (** expected total cost over the horizon from each start state,
+          including the terminal cost *)
+  schedule : (float * Policy.t) list;
+      (** piecewise-stationary optimal policy: [(t, p)] means "use [p]
+          from time [t] on", ascending in [t], first entry at 0. *)
+  steps : int;  (** backward-induction steps used *)
+}
+
+val solve :
+  ?terminal:Vec.t ->
+  ?steps_per_mean:int ->
+  ?max_steps:int ->
+  Model.t ->
+  horizon:float ->
+  result
+(** [solve m ~horizon] computes the finite-horizon optimum.
+    [terminal] is the cost collected at the horizon (default zeros);
+    [steps_per_mean] (default 8) sets the time resolution as a
+    multiple of the uniformization rate; [max_steps] (default
+    2_000_000) guards against stiff models — exceeding it raises
+    [Invalid_argument] with a pointer to the stiffness caveat. *)
+
+val value_at : result -> state:int -> float
+(** Convenience accessor into {!result.values}. *)

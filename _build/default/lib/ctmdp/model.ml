@@ -1,0 +1,92 @@
+type choice = { action : int; rates : (int * float) list; cost : float }
+
+type t = { n : int; table : choice array array }
+
+let validate_choice ~n ~state c =
+  if not (Float.is_finite c.cost) then
+    invalid_arg
+      (Printf.sprintf "Ctmdp.Model: state %d action %d has non-finite cost" state
+         c.action);
+  List.iter
+    (fun (j, r) ->
+      if j < 0 || j >= n then
+        invalid_arg
+          (Printf.sprintf "Ctmdp.Model: state %d action %d targets state %d (of %d)"
+             state c.action j n);
+      if j = state then
+        invalid_arg
+          (Printf.sprintf "Ctmdp.Model: state %d action %d has a self-rate" state
+             c.action);
+      if r < 0.0 || not (Float.is_finite r) then
+        invalid_arg
+          (Printf.sprintf
+             "Ctmdp.Model: state %d action %d has invalid rate %g to %d" state
+             c.action r j))
+    c.rates
+
+let create ~num_states choices_of =
+  if num_states <= 0 then invalid_arg "Ctmdp.Model.create: no states";
+  let table =
+    Array.init num_states (fun i ->
+        match choices_of i with
+        | [] ->
+            invalid_arg
+              (Printf.sprintf "Ctmdp.Model.create: state %d has no actions" i)
+        | cs ->
+            List.iter (validate_choice ~n:num_states ~state:i) cs;
+            let labels = List.map (fun c -> c.action) cs in
+            let sorted = List.sort_uniq compare labels in
+            if List.length sorted <> List.length labels then
+              invalid_arg
+                (Printf.sprintf
+                   "Ctmdp.Model.create: state %d has duplicate action labels" i);
+            Array.of_list cs)
+  in
+  { n = num_states; table }
+
+let num_states m = m.n
+let num_choices m i = Array.length m.table.(i)
+
+let choice m i k =
+  if i < 0 || i >= m.n then invalid_arg "Ctmdp.Model.choice: bad state";
+  if k < 0 || k >= Array.length m.table.(i) then
+    invalid_arg
+      (Printf.sprintf "Ctmdp.Model.choice: state %d has no choice %d" i k);
+  m.table.(i).(k)
+
+let choices m i =
+  if i < 0 || i >= m.n then invalid_arg "Ctmdp.Model.choices: bad state";
+  Array.to_list m.table.(i)
+
+let find_choice m i ~action =
+  let rec scan k =
+    if k >= Array.length m.table.(i) then None
+    else if m.table.(i).(k).action = action then Some k
+    else scan (k + 1)
+  in
+  if i < 0 || i >= m.n then invalid_arg "Ctmdp.Model.find_choice: bad state";
+  scan 0
+
+let total_choices m =
+  Array.fold_left (fun acc row -> acc + Array.length row) 0 m.table
+
+let exit_rate c = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 c.rates
+
+let max_exit_rate m =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc c -> Float.max acc (exit_rate c)) acc row)
+    0.0 m.table
+
+let map_costs f m =
+  {
+    m with
+    table =
+      Array.mapi
+        (fun i row -> Array.map (fun c -> { c with cost = f i c }) row)
+        m.table;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf "CTMDP: %d states, %d state-action pairs, max exit rate %g"
+    m.n (total_choices m) (max_exit_rate m)

@@ -1,0 +1,94 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+type t = { selection : int array }
+
+let of_choice_indices m idx =
+  if Array.length idx <> Model.num_states m then
+    invalid_arg "Policy.of_choice_indices: dimension mismatch";
+  Array.iteri
+    (fun i k ->
+      if k < 0 || k >= Model.num_choices m i then
+        invalid_arg
+          (Printf.sprintf "Policy.of_choice_indices: state %d has no choice %d" i k))
+    idx;
+  { selection = Array.copy idx }
+
+let of_actions m labels =
+  if Array.length labels <> Model.num_states m then
+    invalid_arg "Policy.of_actions: dimension mismatch";
+  let selection =
+    Array.mapi
+      (fun i label ->
+        match Model.find_choice m i ~action:label with
+        | Some k -> k
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Policy.of_actions: state %d offers no action %d" i
+                 label))
+      labels
+  in
+  { selection }
+
+let uniform_first m = { selection = Array.make (Model.num_states m) 0 }
+
+let choice_index p i = p.selection.(i)
+
+let action m p i = (Model.choice m i p.selection.(i)).Model.action
+
+let actions m p = Array.init (Model.num_states m) (action m p)
+
+let equal a b = a.selection = b.selection
+
+let generator m p =
+  let n = Model.num_states m in
+  let rates = ref [] in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i p.selection.(i) in
+    List.iter
+      (fun (j, r) -> if r > 0.0 then rates := (i, j, r) :: !rates)
+      c.Model.rates
+  done;
+  Generator.of_rates ~dim:n !rates
+
+let cost_vector m p =
+  Vec.init (Model.num_states m) (fun i ->
+      (Model.choice m i p.selection.(i)).Model.cost)
+
+let enumerate m =
+  let n = Model.num_states m in
+  (* Odometer over per-state choice counts. *)
+  let next sel =
+    let sel = Array.copy sel in
+    let rec bump i =
+      if i < 0 then None
+      else if sel.(i) + 1 < Model.num_choices m i then begin
+        sel.(i) <- sel.(i) + 1;
+        Some sel
+      end
+      else begin
+        sel.(i) <- 0;
+        bump (i - 1)
+      end
+    in
+    bump (n - 1)
+  in
+  let rec seq sel () =
+    Seq.Cons ({ selection = Array.copy sel }, fun () ->
+        match next sel with None -> Seq.Nil | Some sel' -> seq sel' ())
+  in
+  seq (Array.make n 0)
+
+let count m =
+  let acc = ref 1.0 in
+  for i = 0 to Model.num_states m - 1 do
+    acc := !acc *. float_of_int (Model.num_choices m i)
+  done;
+  !acc
+
+let pp m ppf p =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to Model.num_states m - 1 do
+    Format.fprintf ppf "%d -> %d@," i (action m p i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Stationary policies (Definition 2.8).
+
+    Theorems 2.2 and 2.3 justify restricting the optimization to
+    stationary (time-independent) policies, so a policy here is just
+    one choice per state.  Internally a policy stores choice
+    {e indices} into the model's per-state choice arrays; action
+    labels are recovered through the model. *)
+
+open Dpm_linalg
+open Dpm_ctmc
+
+type t
+
+val of_choice_indices : Model.t -> int array -> t
+(** [of_choice_indices m idx] builds a policy selecting choice
+    [idx.(i)] in state [i].  Raises [Invalid_argument] on bad
+    dimensions or out-of-range indices. *)
+
+val of_actions : Model.t -> int array -> t
+(** [of_actions m labels] resolves per-state action labels.  Raises
+    [Invalid_argument] when some state does not offer the requested
+    label. *)
+
+val uniform_first : Model.t -> t
+(** The policy picking each state's first listed choice — the
+    conventional policy-iteration starting point. *)
+
+val choice_index : t -> int -> int
+(** [choice_index p i] is the selected choice's index in state [i]. *)
+
+val action : Model.t -> t -> int -> int
+(** [action m p i] is the selected action's label in state [i]. *)
+
+val actions : Model.t -> t -> int array
+(** All selected labels, indexed by state. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the selections. *)
+
+val generator : Model.t -> t -> Generator.t
+(** [generator m p] is the CTMC induced by following [p]
+    (the paper's [G^p]). *)
+
+val cost_vector : Model.t -> t -> Vec.t
+(** [cost_vector m p] is the state-indexed cost-rate vector
+    [c_i^{p(i)}]. *)
+
+val enumerate : Model.t -> t Seq.t
+(** [enumerate m] lazily lists every stationary policy — usable only
+    on tiny models (the count is [prod_i |A_i|]); the test suite uses
+    it to brute-force-check optimality. *)
+
+val count : Model.t -> float
+(** [count m] is [prod_i |A_i|] as a float (may be huge). *)
+
+val pp : Model.t -> Format.formatter -> t -> unit
+(** Prints [state -> action] pairs. *)

@@ -1,0 +1,141 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+type evaluation = { gain : float; bias : Vec.t }
+
+type step = {
+  iteration : int;
+  policy_actions : int array;
+  evaluation : evaluation;
+  changed_states : int;
+}
+
+type result = {
+  policy : Policy.t;
+  gain : float;
+  bias : Vec.t;
+  iterations : int;
+  trace : step list;
+}
+
+let evaluate_gen ~ref_state ~restart_rate m p =
+  let n = Model.num_states m in
+  if ref_state < 0 || ref_state >= n then
+    invalid_arg "Policy_iteration.evaluate: bad reference state";
+  let g = Policy.generator m p in
+  let c = Policy.cost_vector m p in
+  (* Unknowns x: x.(j) = v_j for j <> ref_state, x.(ref_state) = gain.
+     Equation for state i:  sum_j G_ij v_j - gain = -c_i,
+     with v_{ref} = 0 substituted.  A positive [restart_rate] adds an
+     epsilon-rate transition from every state to [ref_state], which
+     makes any chain unichain — the perturbation used when a
+     multichain policy turns up mid-iteration. *)
+  let a =
+    Matrix.init n n (fun i j ->
+        if j = ref_state then -1.0
+        else begin
+          let base = Generator.get g i j in
+          if restart_rate = 0.0 || i = ref_state then base
+          else if j = i then base -. restart_rate
+          else base
+        end)
+  in
+  let b = Vec.map (fun ci -> -.ci) c in
+  let x = Lu.solve a b in
+  let bias = Vec.init n (fun j -> if j = ref_state then 0.0 else x.(j)) in
+  { gain = x.(ref_state); bias }
+
+let evaluate ?(ref_state = 0) m p = evaluate_gen ~ref_state ~restart_rate:0.0 m p
+
+(* Multichain policies (possible when the model contains several
+   self-sufficient "orbits" — e.g. two active server speeds whose
+   states never command each other) make the exact evaluation
+   singular.  Retrying with a tiny restart rate toward the reference
+   state restores unichain structure at an O(eps) bias error. *)
+let evaluate_robust ?(ref_state = 0) m p =
+  match evaluate_gen ~ref_state ~restart_rate:0.0 m p with
+  | e -> e
+  | exception Lu.Singular _ ->
+      let eps = 1e-9 *. Float.max 1.0 (Model.max_exit_rate m) in
+      Logs.debug (fun k ->
+          k "policy evaluation singular (multichain policy); retrying with \
+             restart rate %g" eps);
+      evaluate_gen ~ref_state ~restart_rate:eps m p
+
+let test_quantity i (c : Model.choice) bias =
+  (* c_i^a + sum_j s^a_ij v_j, with the diagonal folded in:
+     sum_j q_ij v_j = sum_{j<>i} rate_ij (v_j - v_i). *)
+  List.fold_left
+    (fun acc (j, r) -> acc +. (r *. (bias.(j) -. bias.(i))))
+    c.Model.cost c.Model.rates
+
+let improve m (eval : evaluation) ~incumbent =
+  let n = Model.num_states m in
+  let tol = 1e-9 in
+  let changed = ref 0 in
+  let selection =
+    Array.init n (fun i ->
+        let current = Policy.choice_index incumbent i in
+        let current_value = test_quantity i (Model.choice m i current) eval.bias in
+        let best = ref current and best_value = ref current_value in
+        for k = 0 to Model.num_choices m i - 1 do
+          if k <> current then begin
+            let v = test_quantity i (Model.choice m i k) eval.bias in
+            if v < !best_value -. tol then begin
+              best := k;
+              best_value := v
+            end
+          end
+        done;
+        if !best <> current then incr changed;
+        !best)
+  in
+  (Policy.of_choice_indices m selection, !changed)
+
+let solve ?ref_state ?(max_iter = 1000) ?init m =
+  let init = match init with Some p -> p | None -> Policy.uniform_first m in
+  let rec loop iteration policy trace =
+    if iteration > max_iter then
+      failwith
+        (Printf.sprintf "Policy_iteration.solve: no convergence after %d iterations"
+           max_iter);
+    let evaluation = evaluate_robust ?ref_state m policy in
+    let next, changed = improve m evaluation ~incumbent:policy in
+    let step =
+      {
+        iteration;
+        policy_actions = Policy.actions m policy;
+        evaluation;
+        changed_states = changed;
+      }
+    in
+    Logs.debug (fun k ->
+        k "policy iteration %d: gain=%g changed=%d" iteration evaluation.gain
+          changed);
+    if changed = 0 then
+      ( {
+          policy;
+          gain = evaluation.gain;
+          bias = evaluation.bias;
+          iterations = iteration;
+          trace = List.rev (step :: trace);
+        }
+        : result )
+    else loop (iteration + 1) next (step :: trace)
+  in
+  loop 1 init []
+
+let brute_force m =
+  let best = ref None in
+  Seq.iter
+    (fun p ->
+      match evaluate m p with
+      | { gain; _ } -> (
+          match !best with
+          | Some (_, g) when g <= gain -> ()
+          | _ -> best := Some (p, gain))
+      | exception Lu.Singular _ -> ())
+    (Policy.enumerate m);
+  match !best with
+  | Some (p, g) -> (p, g)
+  | None -> failwith "Policy_iteration.brute_force: no evaluable policy"

@@ -1,0 +1,70 @@
+(** Average-cost policy iteration for CTMDPs — the paper's solver
+    (Section IV, Figure 3; the algorithm of Howard [10] extended to
+    continuous time by Miller [9]).
+
+    The evaluation step solves the relative-value (bias) equations of
+    the policy's chain,
+
+    {v c_i - g + sum_j G^p_ij v_j = 0,   v_ref = 0 v}
+
+    for the gain [g] (average cost per unit time) and relative values
+    [v]; the improvement step replaces each state's action by one
+    minimizing the test quantity [c_i^a + sum_j s^a_ij v_j], keeping
+    the incumbent on ties.  On a finite unichain model this converges
+    to an average-cost-optimal stationary policy in finitely many
+    iterations. *)
+
+open Dpm_linalg
+
+type evaluation = {
+  gain : float;  (** average cost per unit time, [g] *)
+  bias : Vec.t;  (** relative values [v], [v_ref = 0] *)
+}
+
+type step = {
+  iteration : int;
+  policy_actions : int array;  (** action labels, by state *)
+  evaluation : evaluation;
+  changed_states : int;  (** states whose action the improvement changed *)
+}
+
+type result = {
+  policy : Policy.t;
+  gain : float;
+  bias : Vec.t;
+  iterations : int;
+  trace : step list;  (** chronological *)
+}
+
+val evaluate : ?ref_state:int -> Model.t -> Policy.t -> evaluation
+(** [evaluate m p] solves the relative-value equations of policy [p].
+    [ref_state] (default 0) is the state pinned to bias 0.  Raises
+    [Lu.Singular] if the policy's chain is not unichain (the DPM
+    action constraints rule this out for models built by
+    [Dpm_core]). *)
+
+val evaluate_robust : ?ref_state:int -> Model.t -> Policy.t -> evaluation
+(** Like {!evaluate}, but when the policy's chain is multichain (the
+    exact system is singular) it re-solves with a tiny restart rate
+    toward the reference state, which restores unichain structure at
+    an O(1e-9)-relative bias error.  {!solve} uses this internally so
+    multichain policies encountered mid-iteration do not abort the
+    optimization. *)
+
+val improve : Model.t -> evaluation -> incumbent:Policy.t -> Policy.t * int
+(** [improve m eval ~incumbent] returns the greedy policy with
+    respect to [eval.bias] and the number of states whose action
+    changed.  Ties (within an absolute tolerance of 1e-9) keep the
+    incumbent's choice, which guarantees termination. *)
+
+val solve : ?ref_state:int -> ?max_iter:int -> ?init:Policy.t -> Model.t -> result
+(** [solve m] runs policy iteration from [init] (default: each
+    state's first choice) until the policy is stable.  [max_iter]
+    defaults to 1000; exceeding it raises [Failure] (it indicates a
+    modeling bug — PI must terminate on finite models). *)
+
+val brute_force : Model.t -> Policy.t * float
+(** [brute_force m] evaluates every stationary policy and returns a
+    gain-minimal one.  Exponential; only for cross-checking tiny
+    models in tests.  Policies whose chain is multichain (evaluation
+    fails) are skipped. *)

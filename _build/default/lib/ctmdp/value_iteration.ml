@@ -1,0 +1,69 @@
+open Dpm_linalg
+
+type result = {
+  policy : Policy.t;
+  gain_lower : float;
+  gain_upper : float;
+  values : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) m =
+  let n = Model.num_states m in
+  let u = Model.max_exit_rate m in
+  (* Strictly above the max exit rate so every state keeps a self-loop
+     and the uniformized chain is aperiodic. *)
+  let lam = if u = 0.0 then 1.0 else 1.05 *. u in
+  let backup v i k =
+    let c = Model.choice m i k in
+    (* c/L + v(i) + (1/L) sum_j rate_ij (v(j) - v(i)) *)
+    List.fold_left
+      (fun acc (j, r) -> acc +. (r /. lam *. (v.(j) -. v.(i))))
+      ((c.Model.cost /. lam) +. v.(i))
+      c.Model.rates
+  in
+  let v = ref (Vec.create n) in
+  let iterations = ref 0 in
+  let lower = ref neg_infinity and upper = ref infinity in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    let next =
+      Vec.init n (fun i ->
+          let best = ref (backup !v i 0) in
+          for k = 1 to Model.num_choices m i - 1 do
+            best := Float.min !best (backup !v i k)
+          done;
+          !best)
+    in
+    let diff = Vec.sub next !v in
+    let span = Vec.span diff in
+    (* Per-step gain bounds; scale by lam for continuous time. *)
+    lower := lam *. Array.fold_left Float.min infinity diff;
+    upper := lam *. Array.fold_left Float.max neg_infinity diff;
+    (* Keep values bounded by re-centering on state 0. *)
+    let offset = next.(0) in
+    v := Vec.map (fun x -> x -. offset) next;
+    incr iterations;
+    if span < tol then converged := true
+  done;
+  let greedy =
+    Array.init n (fun i ->
+        let best = ref 0 and best_value = ref (backup !v i 0) in
+        for k = 1 to Model.num_choices m i - 1 do
+          let value = backup !v i k in
+          if value < !best_value then begin
+            best := k;
+            best_value := value
+          end
+        done;
+        !best)
+  in
+  {
+    policy = Policy.of_choice_indices m greedy;
+    gain_lower = !lower;
+    gain_upper = !upper;
+    values = !v;
+    iterations = !iterations;
+    converged = !converged;
+  }

@@ -1,0 +1,1 @@
+lib/linalg/iterative.ml: Array Printf Sparse Vec

@@ -1,0 +1,1 @@
+lib/linalg/iterative.mli: Sparse Vec

@@ -1,0 +1,1 @@
+lib/linalg/tensor.ml: Matrix Printf Sparse

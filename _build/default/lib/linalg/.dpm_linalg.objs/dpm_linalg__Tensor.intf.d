@@ -1,0 +1,1 @@
+lib/linalg/tensor.mli: Matrix Sparse

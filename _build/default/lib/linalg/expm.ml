@@ -1,0 +1,64 @@
+let one_norm m =
+  (* Maximum absolute column sum. *)
+  let n = Matrix.rows m and cols = Matrix.cols m in
+  let best = ref 0.0 in
+  for j = 0 to cols - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. Float.abs (Matrix.get m i j)
+    done;
+    best := Float.max !best !acc
+  done;
+  !best
+
+(* Pade(6,6) coefficients for exp. *)
+let pade_coeffs = [| 1.0; 0.5; 5.0 /. 44.0; 1.0 /. 66.0; 1.0 /. 792.0; 1.0 /. 15840.0; 1.0 /. 665280.0 |]
+
+let expm a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Expm.expm: matrix not square";
+  if n = 0 then invalid_arg "Expm.expm: empty matrix";
+  (* Scale so the norm is small enough for the Pade approximant. *)
+  let norm = one_norm a in
+  let s =
+    if norm <= 0.5 then 0
+    else int_of_float (Float.ceil (Float.log (norm /. 0.5) /. Float.log 2.0))
+  in
+  let scaled = Matrix.scale (1.0 /. (2.0 ** float_of_int s)) a in
+  (* Evaluate numerator U + V and denominator U - V style split:
+     p(A) = sum c_k A^k; q(A) = p(-A); exp(A) ~ q(A)^{-1} p(A). *)
+  let p = ref (Matrix.scale pade_coeffs.(0) (Matrix.identity n)) in
+  let q = ref (Matrix.scale pade_coeffs.(0) (Matrix.identity n)) in
+  let power = ref (Matrix.identity n) in
+  for k = 1 to Array.length pade_coeffs - 1 do
+    power := Matrix.mul !power scaled;
+    let term = Matrix.scale pade_coeffs.(k) !power in
+    p := Matrix.add !p term;
+    q :=
+      (if k mod 2 = 0 then Matrix.add !q term
+       else Matrix.sub !q term)
+  done;
+  (* Solve q X = p column by column. *)
+  let x =
+    match Lu.decompose !q with
+    | f ->
+        let dst = Matrix.create n n in
+        for j = 0 to n - 1 do
+          let col = Lu.solve_factored f (Matrix.col !p j) in
+          for i = 0 to n - 1 do
+            Matrix.set dst i j col.(i)
+          done
+        done;
+        dst
+    | exception Lu.Singular _ -> failwith "Expm.expm: Pade denominator singular"
+  in
+  (* Undo the scaling by repeated squaring. *)
+  let result = ref x in
+  for _ = 1 to s do
+    result := Matrix.mul !result !result
+  done;
+  !result
+
+let transition_matrix g ~t =
+  if t < 0.0 then invalid_arg "Expm.transition_matrix: negative time";
+  expm (Matrix.scale t g)

@@ -1,0 +1,22 @@
+(** Matrix exponential.
+
+    [e^{tG}] of a generator gives the exact transition-probability
+    matrix of a CTMC — an independent cross-check for the
+    uniformization-based transient solver (they must agree to solver
+    tolerance, and the test suite verifies they do).
+
+    The implementation is the classic scaling-and-squaring method with
+    a diagonal Pade(6,6) approximant: scale [A] by [2^-s] so its
+    1-norm drops below 0.5, evaluate the Pade approximant, and square
+    [s] times. *)
+
+val expm : Matrix.t -> Matrix.t
+(** [expm a] is [e^a] for a square matrix.  Raises [Invalid_argument]
+    if [a] is not square, [Failure] if the internal linear solve
+    breaks down (entries of wildly mixed magnitude can defeat the
+    Pade denominator; generators scaled by reasonable times are
+    fine). *)
+
+val transition_matrix : Matrix.t -> t:float -> Matrix.t
+(** [transition_matrix g ~t] is [e^{tG}] — for a generator [g], the
+    matrix of transition probabilities over a window of length [t]. *)

@@ -1,0 +1,121 @@
+type result = {
+  solution : Vec.t;
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+let default_init n = function
+  | Some v ->
+      if Vec.dim v <> n then invalid_arg "Iterative: init dimension mismatch";
+      Vec.copy v
+  | None -> Vec.make n (1.0 /. float_of_int n)
+
+let power_method ?(tol = 1e-12) ?(max_iter = 100_000) ?init p =
+  let n = Sparse.rows p in
+  if Sparse.cols p <> n then invalid_arg "Iterative.power_method: not square";
+  let x = ref (Vec.normalize1 (default_init n init)) in
+  let iterations = ref 0 and change = ref infinity in
+  while !change > tol && !iterations < max_iter do
+    let next = Vec.normalize1 (Sparse.vec_mul !x p) in
+    change := Vec.norm1 (Vec.sub next !x);
+    x := next;
+    incr iterations
+  done;
+  {
+    solution = !x;
+    iterations = !iterations;
+    residual = !change;
+    converged = !change <= tol;
+  }
+
+let diagonal_of name q =
+  let n = Sparse.rows q in
+  let d = Vec.create n in
+  Sparse.iter q (fun i j x -> if i = j then d.(i) <- x);
+  Array.iteri
+    (fun i x ->
+      if x = 0.0 then
+        invalid_arg (Printf.sprintf "Iterative.%s: zero diagonal at row %d" name i))
+    d;
+  d
+
+let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000) ?init q =
+  let n = Sparse.rows q in
+  if Sparse.cols q <> n then
+    invalid_arg "Iterative.gauss_seidel_steady: not square";
+  let diag = diagonal_of "gauss_seidel_steady" q in
+  Array.iteri
+    (fun i x ->
+      if x >= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Iterative.gauss_seidel_steady: nonnegative diagonal at row %d" i))
+    diag;
+  (* Column access pattern: sweep over rows of the transpose. *)
+  let qt = Sparse.transpose q in
+  let p = ref (Vec.normalize1 (default_init n init)) in
+  let iterations = ref 0 and change = ref infinity in
+  while !change > tol && !iterations < max_iter do
+    let prev = Vec.copy !p in
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      Sparse.iter_row qt j (fun i qij -> if i <> j then acc := !acc +. (!p.(i) *. qij));
+      !p.(j) <- !acc /. -.diag.(j)
+    done;
+    p := Vec.normalize1 !p;
+    change := Vec.norm1 (Vec.sub !p prev);
+    incr iterations
+  done;
+  let residual = Vec.norm_inf (Sparse.vec_mul !p q) in
+  {
+    solution = !p;
+    iterations = !iterations;
+    residual;
+    converged = !change <= tol;
+  }
+
+let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000) ?init a
+    b =
+  let n = Sparse.rows a in
+  if Sparse.cols a <> n then
+    invalid_arg (Printf.sprintf "Iterative.%s: not square" name);
+  if Vec.dim b <> n then
+    invalid_arg (Printf.sprintf "Iterative.%s: rhs dimension mismatch" name);
+  let diag = diagonal_of name a in
+  let x = ref (match init with Some v -> Vec.copy v | None -> Vec.create n) in
+  let iterations = ref 0 and residual = ref infinity in
+  while !residual > tol && !iterations < max_iter do
+    x := update a b diag !x;
+    residual := Vec.norm_inf (Vec.sub (Sparse.mul_vec a !x) b);
+    incr iterations
+  done;
+  {
+    solution = !x;
+    iterations = !iterations;
+    residual = !residual;
+    converged = !residual <= tol;
+  }
+
+let jacobi_update a b diag x =
+  let n = Vec.dim x in
+  Vec.init n (fun i ->
+      let acc = ref b.(i) in
+      Sparse.iter_row a i (fun j aij -> if j <> i then acc := !acc -. (aij *. x.(j)));
+      !acc /. diag.(i))
+
+let gauss_seidel_update a b diag x =
+  let next = Vec.copy x in
+  for i = 0 to Vec.dim x - 1 do
+    let acc = ref b.(i) in
+    Sparse.iter_row a i (fun j aij ->
+        if j <> i then acc := !acc -. (aij *. next.(j)));
+    next.(i) <- !acc /. diag.(i)
+  done;
+  next
+
+let jacobi ?tol ?max_iter ?init a b =
+  linear_sweep_solver "jacobi" jacobi_update ?tol ?max_iter ?init a b
+
+let gauss_seidel ?tol ?max_iter ?init a b =
+  linear_sweep_solver "gauss_seidel" gauss_seidel_update ?tol ?max_iter ?init a b

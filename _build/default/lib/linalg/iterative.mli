@@ -1,0 +1,42 @@
+(** Iterative solvers for sparse systems.
+
+    The dense LU path covers the paper's instance sizes; the
+    queue-capacity ablation and any large composed model run through
+    these matrix-free style iterations instead.  All iterations report
+    convergence through the {!result} record rather than raising, so
+    callers can decide how to treat a hit iteration cap. *)
+
+type result = {
+  solution : Vec.t;  (** last iterate *)
+  iterations : int;  (** sweeps performed *)
+  residual : float;  (** final convergence measure (see each solver) *)
+  converged : bool;  (** whether [residual <= tol] was reached *)
+}
+
+val power_method :
+  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> result
+(** [power_method p] iterates [x <- x P] on a row-stochastic matrix
+    [p] until the L1 change falls below [tol] (default [1e-12]), from
+    [init] (default uniform).  The iterate is renormalized to sum 1
+    every sweep, so the fixed point is the stationary distribution of
+    the chain.  [residual] is the last L1 change. *)
+
+val gauss_seidel_steady :
+  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> result
+(** [gauss_seidel_steady q] solves [p q = 0, sum p = 1] for an
+    irreducible CTMC generator [q] by Gauss-Seidel sweeps on the
+    normal form [p_j = (sum_{i<>j} p_i q_ij) / (-q_jj)].  Diagonal
+    entries must be strictly negative (every state has an exit);
+    a zero diagonal raises [Invalid_argument].  [residual] is
+    [norm_inf (p q)] of the final normalized iterate. *)
+
+val jacobi :
+  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> Vec.t -> result
+(** [jacobi a b] solves [a x = b] by Jacobi iteration (requires a
+    nonzero diagonal; raises [Invalid_argument] otherwise).
+    [residual] is [norm_inf (a x - b)]. *)
+
+val gauss_seidel :
+  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> Vec.t -> result
+(** [gauss_seidel a b] solves [a x = b] by forward Gauss-Seidel
+    sweeps; same diagonal requirement and residual as {!jacobi}. *)

@@ -1,0 +1,94 @@
+exception Singular of int
+
+type t = {
+  lu : Matrix.t; (* packed L (unit diagonal, below) and U (on/above) *)
+  perm : int array; (* row permutation: row [i] of U came from [perm.(i)] *)
+  sign : float; (* permutation parity, for determinants *)
+}
+
+let decompose ?(pivot_tol = 1e-13) a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.decompose: matrix not square";
+  let lu = Matrix.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  let scale = Float.max 1.0 (Matrix.max_abs a) in
+  let threshold = pivot_tol *. scale in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest remaining entry of column k
+       to the diagonal. *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get lu i k) > Float.abs (Matrix.get lu !pivot_row k)
+      then pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      let rk = Matrix.row lu k and rp = Matrix.row lu !pivot_row in
+      Matrix.set_row lu k rp;
+      Matrix.set_row lu !pivot_row rk;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Matrix.get lu k k in
+    if Float.abs pivot < threshold then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let factor = Matrix.get lu i k /. pivot in
+      Matrix.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Matrix.set lu i j (Matrix.get lu i j -. (factor *. Matrix.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; _ } b =
+  let n = Matrix.rows lu in
+  if Vec.dim b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  (* Forward substitution with the permuted right-hand side. *)
+  let y = Vec.init n (fun i -> b.(perm.(i))) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -. (Matrix.get lu i j *. y.(j))
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (Matrix.get lu i j *. y.(j))
+    done;
+    y.(i) <- y.(i) /. Matrix.get lu i i
+  done;
+  y
+
+let solve ?pivot_tol a b = solve_factored (decompose ?pivot_tol a) b
+
+let solve_many ?pivot_tol a bs =
+  let f = decompose ?pivot_tol a in
+  List.map (solve_factored f) bs
+
+let det { lu; sign; _ } =
+  let n = Matrix.rows lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get lu i i
+  done;
+  !d
+
+let inverse ?pivot_tol a =
+  let n = Matrix.rows a in
+  let f = decompose ?pivot_tol a in
+  let inv = Matrix.create n n in
+  for j = 0 to n - 1 do
+    let e = Vec.create n in
+    e.(j) <- 1.0;
+    let x = solve_factored f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j x.(i)
+    done
+  done;
+  inv
+
+let residual_norm a x b = Vec.norm_inf (Vec.sub (Matrix.mul_vec a x) b)

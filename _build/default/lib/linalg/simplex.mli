@@ -1,0 +1,40 @@
+(** Linear programming: dense two-phase primal simplex.
+
+    Built to reproduce the paper's efficiency claim against the linear
+    programming formulation of policy optimization used by the
+    DAC'98 baseline [11] (see {!Dpm_ctmdp.Lp_solver}); the problems
+    there are small (tens of variables), so a dense tableau method
+    with Bland's anti-cycling rule is entirely adequate — and easy to
+    verify.
+
+    Problems are in standard equality form:
+
+    {v minimize c . x   subject to   A x = b,  x >= 0 v}
+
+    Inequalities are the caller's business (add slack variables). *)
+
+type outcome =
+  | Optimal of {
+      x : Vec.t;  (** an optimal vertex *)
+      objective : float;  (** [c . x] at the optimum *)
+      dual : Vec.t;
+          (** one dual variable per equality constraint; for the MDP
+              LP these are the relative values / gain *)
+    }
+  | Infeasible  (** no [x >= 0] satisfies [A x = b] *)
+  | Unbounded  (** the objective decreases without bound *)
+
+val minimize :
+  ?max_pivots:int -> ?tol:float -> c:Vec.t -> a:Matrix.t -> Vec.t -> outcome
+(** [minimize ~c ~a b] solves the standard-form program.  [tol]
+    (default 1e-9) separates zero from nonzero in ratio tests and
+    feasibility checks; [max_pivots] (default 100_000) guards against
+    pathological cycling (Bland's rule makes cycling impossible in
+    exact arithmetic, the cap is a floating-point safety net — hitting
+    it raises [Failure]).  Raises [Invalid_argument] on shape
+    mismatches. *)
+
+val check_feasible : ?tol:float -> a:Matrix.t -> b:Vec.t -> Vec.t -> bool
+(** [check_feasible ~a ~b x] tests [A x = b] (within [tol], default
+    1e-7) and [x >= -tol] — used by the tests and available to
+    callers wanting a posteriori verification. *)

@@ -1,0 +1,34 @@
+let product a b =
+  let ra = Matrix.rows a and ca = Matrix.cols a in
+  let rb = Matrix.rows b and cb = Matrix.cols b in
+  Matrix.init (ra * rb) (ca * cb) (fun i j ->
+      Matrix.get a (i / rb) (j / cb) *. Matrix.get b (i mod rb) (j mod cb))
+
+let check_square name m r c =
+  if r <> c then invalid_arg (Printf.sprintf "Tensor.%s: matrix not square" name)
+  else ignore m
+
+let sum a b =
+  check_square "sum" a (Matrix.rows a) (Matrix.cols a);
+  check_square "sum" b (Matrix.rows b) (Matrix.cols b);
+  let na = Matrix.rows a and nb = Matrix.rows b in
+  Matrix.add (product a (Matrix.identity nb)) (product (Matrix.identity na) b)
+
+let sparse_product a b =
+  let rb = Sparse.rows b and cb = Sparse.cols b in
+  let ts = ref [] in
+  Sparse.iter a (fun i1 j1 x ->
+      Sparse.iter b (fun i2 j2 y ->
+          ts := ((i1 * rb) + i2, (j1 * cb) + j2, x *. y) :: !ts));
+  Sparse.of_triplets ~rows:(Sparse.rows a * rb) ~cols:(Sparse.cols a * cb) !ts
+
+let sparse_sum a b =
+  if Sparse.rows a <> Sparse.cols a || Sparse.rows b <> Sparse.cols b then
+    invalid_arg "Tensor.sparse_sum: matrix not square";
+  let na = Sparse.rows a and nb = Sparse.rows b in
+  Sparse.add
+    (sparse_product a (Sparse.identity nb))
+    (sparse_product (Sparse.identity na) b)
+
+let pair_index ~inner_dim i1 i2 = (i1 * inner_dim) + i2
+let split_index ~inner_dim k = (k / inner_dim, k mod inner_dim)

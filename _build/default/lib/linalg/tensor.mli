@@ -1,0 +1,30 @@
+(** Kronecker (tensor) product and sum.
+
+    Section III of the paper assembles the generator of the composed
+    power-managed system from the SP and SQ generators with the tensor
+    product [A (x) B] and tensor sum [A (+) B = A (x) I + I (x) B]
+    (Definition 4.4).  Both dense and sparse variants are provided; the
+    index convention is the standard one: entry
+    [((i1*n2 + i2), (j1*m2 + j2))] of [A (x) B] is [A(i1,j1) * B(i2,j2)]
+    where [B] is [n2 x m2]. *)
+
+val product : Matrix.t -> Matrix.t -> Matrix.t
+(** [product a b] is the Kronecker product [a (x) b]. *)
+
+val sum : Matrix.t -> Matrix.t -> Matrix.t
+(** [sum a b] is the Kronecker sum [a (x) I_nb + I_na (x) b].  Raises
+    [Invalid_argument] unless both matrices are square. *)
+
+val sparse_product : Sparse.t -> Sparse.t -> Sparse.t
+(** Sparse Kronecker product. *)
+
+val sparse_sum : Sparse.t -> Sparse.t -> Sparse.t
+(** Sparse Kronecker sum; raises [Invalid_argument] unless both are
+    square. *)
+
+val pair_index : inner_dim:int -> int -> int -> int
+(** [pair_index ~inner_dim i1 i2] is the flat index [i1*inner_dim + i2]
+    of the pair [(i1, i2)] in a tensor-structured state space. *)
+
+val split_index : inner_dim:int -> int -> int * int
+(** [split_index ~inner_dim k] inverts {!pair_index}. *)

@@ -1,0 +1,95 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let make n x = Array.make n x
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_list = Array.of_list
+let to_list = Array.to_list
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_same_dim name u v =
+  if Array.length u <> Array.length v then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length u) (Array.length v))
+
+let blit ~src ~dst =
+  check_same_dim "blit" src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let map = Array.map
+let mapi = Array.mapi
+
+let map2 f u v =
+  check_same_dim "map2" u v;
+  Array.init (Array.length u) (fun i -> f u.(i) v.(i))
+
+let add u v = map2 ( +. ) u v
+let sub u v = map2 ( -. ) u v
+let scale a v = Array.map (fun x -> a *. x) v
+
+let axpy a x y =
+  check_same_dim "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot u v =
+  check_same_dim "dot" u v;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let sum v = Array.fold_left ( +. ) 0.0 v
+let norm_inf v = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 v
+let norm1 v = Array.fold_left (fun m x -> m +. Float.abs x) 0.0 v
+let norm2 v = sqrt (dot v v)
+
+let span v =
+  if Array.length v = 0 then 0.0
+  else begin
+    let lo = ref v.(0) and hi = ref v.(0) in
+    Array.iter
+      (fun x ->
+        if x < !lo then lo := x;
+        if x > !hi then hi := x)
+      v;
+    !hi -. !lo
+  end
+
+let extremum_index name better v =
+  if Array.length v = 0 then invalid_arg (Printf.sprintf "Vec.%s: empty" name);
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if better v.(i) v.(!best) then best := i
+  done;
+  !best
+
+let max_index v = extremum_index "max_index" ( > ) v
+let min_index v = extremum_index "min_index" ( < ) v
+
+let normalize1 v =
+  let s = sum v in
+  if s = 0.0 || not (Float.is_finite s) then
+    invalid_arg "Vec.normalize1: entry sum is zero or not finite";
+  scale (1.0 /. s) v
+
+let approx_equal ?(tol = 1e-9) u v =
+  Array.length u = Array.length v
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length u - 1 do
+    if Float.abs (u.(i) -. v.(i)) > tol then ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    v

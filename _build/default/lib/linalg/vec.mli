@@ -1,0 +1,96 @@
+(** Dense vectors of floats.
+
+    A thin layer over [float array] providing the numerical-kernel
+    operations needed by the CTMC/CTMDP solvers: BLAS-1 style
+    arithmetic, norms, and a few reductions.  All operations raise
+    [Invalid_argument] on dimension mismatch; none of them alias their
+    result with an input unless the name says [_inplace]. *)
+
+type t = float array
+
+val create : int -> t
+(** [create n] is the zero vector of dimension [n]. *)
+
+val make : int -> float -> t
+(** [make n x] is the dimension-[n] vector with every entry [x]. *)
+
+val init : int -> (int -> float) -> t
+(** [init n f] is [[| f 0; ...; f (n-1) |]]. *)
+
+val dim : t -> int
+(** [dim v] is the number of entries of [v]. *)
+
+val copy : t -> t
+(** [copy v] is a fresh vector equal to [v]. *)
+
+val of_list : float list -> t
+(** [of_list xs] converts a list to a vector. *)
+
+val to_list : t -> float list
+(** [to_list v] converts a vector to a list. *)
+
+val fill : t -> float -> unit
+(** [fill v x] sets every entry of [v] to [x]. *)
+
+val blit : src:t -> dst:t -> unit
+(** [blit ~src ~dst] copies [src] into [dst]. *)
+
+val map : (float -> float) -> t -> t
+(** [map f v] applies [f] entrywise. *)
+
+val mapi : (int -> float -> float) -> t -> t
+(** [mapi f v] applies [f] entrywise with the index. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+(** [map2 f u v] combines [u] and [v] entrywise. *)
+
+val add : t -> t -> t
+(** [add u v] is the entrywise sum. *)
+
+val sub : t -> t -> t
+(** [sub u v] is the entrywise difference. *)
+
+val scale : float -> t -> t
+(** [scale a v] is [a * v]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> float
+(** [dot u v] is the inner product. *)
+
+val sum : t -> float
+(** [sum v] is the sum of all entries. *)
+
+val norm_inf : t -> float
+(** [norm_inf v] is the maximum absolute entry. *)
+
+val norm1 : t -> float
+(** [norm1 v] is the sum of absolute entries. *)
+
+val norm2 : t -> float
+(** [norm2 v] is the Euclidean norm. *)
+
+val span : t -> float
+(** [span v] is [max v - min v], the span seminorm used as the
+    stopping criterion of relative value iteration. *)
+
+val max_index : t -> int
+(** [max_index v] is the index of the largest entry (first on ties).
+    Raises [Invalid_argument] on the empty vector. *)
+
+val min_index : t -> int
+(** [min_index v] is the index of the smallest entry (first on ties).
+    Raises [Invalid_argument] on the empty vector. *)
+
+val normalize1 : t -> t
+(** [normalize1 v] rescales [v] so its entries sum to 1.  Raises
+    [Invalid_argument] if the entry sum is zero (or not finite). *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** [approx_equal ~tol u v] is true when [u] and [v] have the same
+    dimension and agree entrywise within absolute tolerance [tol]
+    (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printer, e.g. [[0.25; 0.75]]. *)

@@ -1,0 +1,1 @@
+lib/prob/stat.ml: Array Float Format List Printf

@@ -1,0 +1,132 @@
+let require_positive_rate name rate =
+  if not (rate > 0.0 && Float.is_finite rate) then
+    invalid_arg (Printf.sprintf "Dist.%s: rate must be positive and finite" name)
+
+let exponential_sample rng ~rate =
+  require_positive_rate "exponential_sample" rate;
+  -.log (Rng.float_positive rng) /. rate
+
+let exponential_pdf ~rate x =
+  require_positive_rate "exponential_pdf" rate;
+  if x < 0.0 then 0.0 else rate *. exp (-.rate *. x)
+
+let exponential_cdf ~rate x =
+  require_positive_rate "exponential_cdf" rate;
+  if x < 0.0 then 0.0 else 1.0 -. exp (-.rate *. x)
+
+let uniform_sample rng ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform_sample: hi < lo";
+  lo +. ((hi -. lo) *. Rng.float rng)
+
+let log_factorial =
+  (* Stirling with correction terms beyond the small-n table. *)
+  let table = Array.make 128 0.0 in
+  for n = 2 to 127 do
+    table.(n) <- table.(n - 1) +. log (float_of_int n)
+  done;
+  fun n ->
+    if n < 0 then invalid_arg "Dist.log_factorial: negative"
+    else if n < 128 then table.(n)
+    else
+      let x = float_of_int n +. 1.0 in
+      ((x -. 0.5) *. log x) -. x
+      +. (0.5 *. log (2.0 *. Float.pi))
+      +. (1.0 /. (12.0 *. x))
+      -. (1.0 /. (360.0 *. (x ** 3.0)))
+
+let poisson_pmf ~mean k =
+  if mean < 0.0 then invalid_arg "Dist.poisson_pmf: negative mean";
+  if k < 0 then 0.0
+  else if mean = 0.0 then if k = 0 then 1.0 else 0.0
+  else exp ((float_of_int k *. log mean) -. mean -. log_factorial k)
+
+let poisson_sample rng ~mean =
+  if mean < 0.0 then invalid_arg "Dist.poisson_sample: negative mean";
+  if mean = 0.0 then 0
+  else if mean < 30.0 then begin
+    (* Knuth: count uniforms until the product drops below e^-mean. *)
+    let limit = exp (-.mean) in
+    let rec count k prod =
+      let prod = prod *. Rng.float_positive rng in
+      if prod <= limit then k else count (k + 1) prod
+    in
+    count 0 1.0
+  end
+  else begin
+    (* Count Exp(1) gaps fitting in [mean]; exact, O(mean) draws. *)
+    let rec count k acc =
+      let acc = acc +. (-.log (Rng.float_positive rng)) in
+      if acc > mean then k else count (k + 1) acc
+    in
+    count 0 0.0
+  end
+
+let poisson_weights ~mean ~eps =
+  if mean < 0.0 then invalid_arg "Dist.poisson_weights: negative mean";
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Dist.poisson_weights: eps must be in (0,1)";
+  if mean = 0.0 then (0, [| 1.0 |])
+  else begin
+    let mode = int_of_float mean in
+    (* Walk outward from the mode until the captured mass reaches
+       1 - eps.  Recurrences keep each step O(1). *)
+    let p_mode = poisson_pmf ~mean mode in
+    let lo = ref mode and hi = ref mode in
+    let p_lo = ref p_mode and p_hi = ref p_mode in
+    let mass = ref p_mode in
+    while !mass < 1.0 -. eps do
+      (* Extend on the side with the larger next term. *)
+      let next_lo = if !lo > 0 then !p_lo *. float_of_int !lo /. mean else 0.0 in
+      let next_hi = !p_hi *. mean /. float_of_int (!hi + 1) in
+      if next_lo >= next_hi && !lo > 0 then begin
+        decr lo;
+        p_lo := next_lo;
+        mass := !mass +. next_lo
+      end
+      else begin
+        incr hi;
+        p_hi := next_hi;
+        mass := !mass +. next_hi
+      end
+    done;
+    let w = Array.make (!hi - !lo + 1) 0.0 in
+    let p = ref !p_lo in
+    for k = !lo to !hi do
+      w.(k - !lo) <- !p;
+      p := !p *. mean /. float_of_int (k + 1)
+    done;
+    (!lo, w)
+  end
+
+let geometric_sample rng ~p =
+  if not (p > 0.0 && p <= 1.0) then
+    invalid_arg "Dist.geometric_sample: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = Rng.float_positive rng in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let categorical_sample rng weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if not (total > 0.0) then
+    invalid_arg "Dist.categorical_sample: weights must have positive sum";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Dist.categorical_sample: negative weight")
+    weights;
+  let target = Rng.float rng *. total in
+  let rec scan i acc =
+    if i = Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let erlang_sample rng ~k ~rate =
+  if k <= 0 then invalid_arg "Dist.erlang_sample: k must be positive";
+  require_positive_rate "erlang_sample" rate;
+  let acc = ref 0.0 in
+  for _ = 1 to k do
+    acc := !acc +. exponential_sample rng ~rate
+  done;
+  !acc

@@ -1,0 +1,49 @@
+(** Probability distributions: sampling and densities.
+
+    The paper's model is built entirely from exponential clocks
+    (Poisson arrivals, exponential service and switching times); the
+    Poisson pmf additionally drives the uniformization weights of the
+    transient CTMC solver. *)
+
+val exponential_sample : Rng.t -> rate:float -> float
+(** [exponential_sample rng ~rate] draws [Exp(rate)] by inversion;
+    mean [1/rate].  Raises [Invalid_argument] unless [rate > 0]. *)
+
+val exponential_pdf : rate:float -> float -> float
+(** [exponential_pdf ~rate x] is the density at [x] ([0.] for
+    [x < 0]). *)
+
+val exponential_cdf : rate:float -> float -> float
+(** [exponential_cdf ~rate x] is [P(X <= x)]. *)
+
+val uniform_sample : Rng.t -> lo:float -> hi:float -> float
+(** [uniform_sample rng ~lo ~hi] is uniform on [[lo, hi)].  Raises
+    [Invalid_argument] if [hi < lo]. *)
+
+val poisson_pmf : mean:float -> int -> float
+(** [poisson_pmf ~mean k] is [P(N = k)] for [N ~ Poisson(mean)],
+    computed in log space to stay finite for large [mean]. *)
+
+val poisson_sample : Rng.t -> mean:float -> int
+(** [poisson_sample rng ~mean] draws a Poisson variate: Knuth's
+    product method for small means, normal-approximation-free
+    inversion by summing exponential gaps for larger ones.  Raises
+    [Invalid_argument] unless [mean >= 0]. *)
+
+val poisson_weights : mean:float -> eps:float -> int * float array
+(** [poisson_weights ~mean ~eps] is [(k_lo, w)] where
+    [w.(i) = P(N = k_lo + i)] and the tails dropped on each side carry
+    probability at most [eps] in total.  Used by uniformization. *)
+
+val geometric_sample : Rng.t -> p:float -> int
+(** [geometric_sample rng ~p] is the number of failures before the
+    first success, [p] in (0, 1]. *)
+
+val categorical_sample : Rng.t -> float array -> int
+(** [categorical_sample rng weights] draws index [i] with probability
+    proportional to [weights.(i)] (nonnegative, not all zero). *)
+
+val erlang_sample : Rng.t -> k:int -> rate:float -> float
+(** [erlang_sample rng ~k ~rate] is the sum of [k] independent
+    [Exp(rate)] draws — handy for smoother synthetic service times in
+    the examples. *)

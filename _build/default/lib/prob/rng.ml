@@ -1,0 +1,58 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands a single 64-bit seed into well-mixed state words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy r = { s0 = r.s0; s1 = r.s1; s2 = r.s2; s3 = r.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let next_uint64 r =
+  let open Int64 in
+  let result = add (rotl (add r.s0 r.s3) 23) r.s0 in
+  let t = shift_left r.s1 17 in
+  r.s2 <- logxor r.s2 r.s0;
+  r.s3 <- logxor r.s3 r.s1;
+  r.s1 <- logxor r.s1 r.s2;
+  r.s0 <- logxor r.s0 r.s3;
+  r.s2 <- logxor r.s2 t;
+  r.s3 <- rotl r.s3 45;
+  result
+
+let split r = create (next_uint64 r)
+
+let float r =
+  (* Use the top 53 bits for a uniform double in [0,1). *)
+  let bits = Int64.shift_right_logical (next_uint64 r) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float_positive r = 1.0 -. float r
+
+let int r bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let b = Int64.of_int bound in
+  let limit = Int64.mul (Int64.div Int64.max_int b) b in
+  let rec draw () =
+    let x = Int64.logand (next_uint64 r) Int64.max_int in
+    if x >= limit then draw () else Int64.to_int (Int64.rem x b)
+  in
+  draw ()
+
+let bool r = Int64.logand (next_uint64 r) 1L = 1L

@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    The event-driven simulator must be reproducible bit-for-bit across
+    runs and platforms, so we carry our own generator instead of the
+    stdlib's: xoshiro256++ seeded through splitmix64, the standard
+    modern combination.  Each simulation owns an explicit [t]; there is
+    no global state.
+
+    [split] derives an independent stream, so the workload generator,
+    the service-time generator and the switch-time generator can each
+    consume their own stream — adding a policy that draws more or fewer
+    switch times does not perturb the arrival sequence. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed via
+    splitmix64 state expansion.  Any seed (including 0) is valid. *)
+
+val copy : t -> t
+(** [copy r] is an independent generator with the same state. *)
+
+val split : t -> t
+(** [split r] draws from [r] to seed a fresh, statistically
+    independent generator. *)
+
+val next_uint64 : t -> int64
+(** [next_uint64 r] is the next raw 64-bit output. *)
+
+val float : t -> float
+(** [float r] is uniform on [[0, 1)] with 53-bit resolution. *)
+
+val float_positive : t -> float
+(** [float_positive r] is uniform on [(0, 1]]; never returns [0.],
+    which makes it safe as input to [log] in exponential sampling. *)
+
+val int : t -> int -> int
+(** [int r bound] is uniform on [[0, bound-1]].  Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val bool : t -> bool
+(** [bool r] is a fair coin flip. *)

@@ -1,0 +1,107 @@
+(** Streaming statistics.
+
+    The simulator reports two kinds of averages: per-event averages
+    (e.g. waiting time per request) accumulated with Welford's
+    algorithm, and time-weighted averages (e.g. power, queue length)
+    accumulated as integrals over the simulated clock. *)
+
+(** Per-sample accumulator (Welford). *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  (** A fresh, empty accumulator. *)
+
+  val add : t -> float -> unit
+  (** [add t x] folds one observation in. *)
+
+  val count : t -> int
+  (** Number of observations so far. *)
+
+  val mean : t -> float
+  (** Running mean; [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [nan] with fewer than two samples. *)
+
+  val std_dev : t -> float
+  (** Square root of {!variance}. *)
+
+  val std_error : t -> float
+  (** Standard error of the mean. *)
+
+  val confidence95 : t -> float * float
+  (** [confidence95 t] is the normal-approximation 95% confidence
+      interval for the mean, [(lo, hi)]. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] combines two accumulators (Chan's parallel update). *)
+end
+
+(** Time-weighted accumulator for piecewise-constant signals. *)
+module Time_weighted : sig
+  type t
+
+  val create : ?at:float -> float -> t
+  (** [create ~at v] starts observing a signal with value [v] at time
+      [at] (default [0.]). *)
+
+  val update : t -> at:float -> float -> unit
+  (** [update t ~at v] records that the signal changed to [v] at time
+      [at].  Raises [Invalid_argument] if the clock moves backwards. *)
+
+  val add_impulse : t -> float -> unit
+  (** [add_impulse t x] adds a point mass [x] to the integral — e.g.
+      a switching-energy impulse on top of a power signal. *)
+
+  val integral : t -> upto:float -> float
+  (** [integral t ~upto] is the integral of the signal from the start
+      time to [upto] (including impulses). *)
+
+  val average : t -> upto:float -> float
+  (** [average t ~upto] is [integral / elapsed]; [nan] when no time
+      has elapsed. *)
+
+  val current : t -> float
+  (** The signal's current value. *)
+end
+
+(** Fixed-bin histogram over [[lo, hi)]. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** [create ~lo ~hi ~bins] allocates [bins] equal-width bins plus
+      underflow/overflow counters.  Raises [Invalid_argument] when
+      [hi <= lo] or [bins <= 0]. *)
+
+  val add : t -> float -> unit
+  (** Record one observation. *)
+
+  val count : t -> int
+  (** Total observations, including under/overflow. *)
+
+  val bin_count : t -> int -> int
+  (** [bin_count t i] is the count of bin [i]. *)
+
+  val underflow : t -> int
+  (** Observations below [lo]. *)
+
+  val overflow : t -> int
+  (** Observations at or above [hi]. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] estimates the [q]-quantile (0 <= q <= 1) from
+      bin midpoints.  [nan] when empty. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** ASCII rendering, one row per non-empty bin. *)
+end
+
+val mean : float list -> float
+(** Arithmetic mean of a list; [nan] on empty. *)
+
+val relative_error : actual:float -> approx:float -> float
+(** [relative_error ~actual ~approx] is
+    [(approx - actual) / actual * 100.], the signed percentage used in
+    Table 1 of the paper. *)

@@ -1,0 +1,1 @@
+lib/sim/controller.ml: Dpm_core Float List Optimize Printf Service_provider Sys_model

@@ -1,0 +1,1 @@
+lib/sim/controller.mli: Dpm_core

@@ -1,0 +1,1 @@
+lib/sim/power_sim.ml: Array Controller Dist Dpm_core Dpm_prob Event_heap Format List Option Queue Rng Service_provider Stat Sys_model Workload

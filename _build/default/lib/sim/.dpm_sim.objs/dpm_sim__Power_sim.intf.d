@@ -1,0 +1,1 @@
+lib/sim/power_sim.mli: Controller Dpm_core Format Workload

@@ -1,0 +1,1 @@
+lib/sim/summary.ml: Dpm_prob Float Format List Power_sim Stat

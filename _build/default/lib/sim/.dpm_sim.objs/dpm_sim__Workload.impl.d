@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Dist Dpm_prob Float List Rng

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Dpm_prob Rng

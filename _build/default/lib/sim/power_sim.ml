@@ -1,0 +1,325 @@
+open Dpm_core
+open Dpm_prob
+
+type stop = Requests of int | Sim_time of float
+
+type result = {
+  controller : string;
+  duration : float;
+  generated : int;
+  accepted : int;
+  lost : int;
+  completed : int;
+  avg_power : float;
+  avg_waiting_requests : float;
+  avg_waiting_time : float;
+  waiting_time_stderr : float;
+  loss_probability : float;
+  controller_decisions : int;
+  switch_count : int;
+  switch_energy : float;
+  mode_residency : float array;
+}
+
+type snapshot = {
+  snap_time : float;
+  snap_event : string;
+  snap_mode : int;
+  snap_queue : int;
+  snap_switching_to : int option;
+  snap_in_transfer : bool;
+}
+
+type event = Arrival | Service_done | Switch_done of int | Timer_fired
+
+type sim = {
+  sp : Service_provider.t;
+  capacity : int;
+  ctl : Controller.t;
+  decision_energy : float;
+  observer : (snapshot -> unit) option;
+  events : event Event_heap.t;
+  arrival_rng : Rng.t;
+  service_rng : Rng.t;
+  switch_rng : Rng.t;
+  workload : Workload.t;
+  (* dynamic state *)
+  mutable now : float;
+  mutable mode : int;
+  mutable switching : (int * Event_heap.handle) option;
+  mutable in_transfer : bool;
+  queue : float Queue.t; (* arrival timestamps, head = in service (if any) *)
+  mutable serving : Event_heap.handle option;
+  (* statistics *)
+  power : Stat.Time_weighted.t;
+  count : Stat.Time_weighted.t;
+  waiting : Stat.Welford.t;
+  residency : float array;
+  mutable residency_mark : float;
+  mutable generated : int;
+  mutable accepted : int;
+  mutable lost : int;
+  mutable completed : int;
+  mutable switch_count : int;
+  mutable switch_energy : float;
+  mutable decisions : int;
+}
+
+let observation s =
+  {
+    Controller.time = s.now;
+    mode = s.mode;
+    switching_to = Option.map fst s.switching;
+    queue_length = Queue.length s.queue;
+    in_transfer = s.in_transfer;
+  }
+
+let settle_residency s =
+  s.residency.(s.mode) <- s.residency.(s.mode) +. (s.now -. s.residency_mark);
+  s.residency_mark <- s.now
+
+let cancel_switch s =
+  match s.switching with
+  | None -> ()
+  | Some (_, h) ->
+      Event_heap.cancel s.events h;
+      s.switching <- None
+
+let start_switch s target =
+  cancel_switch s;
+  let rate = Service_provider.switch_rate s.sp s.mode target in
+  let delay = Dist.exponential_sample s.switch_rng ~rate in
+  let h = Event_heap.push s.events ~time:(s.now +. delay) (Switch_done target) in
+  s.switching <- Some (target, h)
+
+let maybe_start_service s =
+  if
+    s.serving = None
+    && (not s.in_transfer)
+    && (not (Queue.is_empty s.queue))
+    && Service_provider.is_active s.sp s.mode
+  then begin
+    let rate = Service_provider.service_rate s.sp s.mode in
+    let delay = Dist.exponential_sample s.service_rng ~rate in
+    s.serving <- Some (Event_heap.push s.events ~time:(s.now +. delay) Service_done)
+  end
+
+let apply_decision s (d : Controller.decision) =
+  (match d.timer with
+  | Some delay when delay >= 0.0 ->
+      ignore (Event_heap.push s.events ~time:(s.now +. delay) Timer_fired)
+  | Some _ | None -> ());
+  (match d.target with
+  | None -> ()
+  | Some t when t < 0 || t >= Service_provider.num_modes s.sp ->
+      invalid_arg "Power_sim: controller commanded an unknown mode"
+  | Some t ->
+      if t = s.mode then begin
+        (* "Stay": cancel any pending switch; a transfer resolves
+           instantly (the paper's infinite self-switch rate). *)
+        cancel_switch s;
+        s.in_transfer <- false
+      end
+      else begin
+        let already = match s.switching with Some (t', _) -> t' = t | None -> false in
+        if not already then begin
+          (* Constraint (1): never pull an active SP off a request in
+             flight.  The command is dropped; the controller will be
+             consulted again on the next event. *)
+          let service_in_progress = s.serving <> None in
+          let target_inactive = not (Service_provider.is_active s.sp t) in
+          if not (service_in_progress && target_inactive) then start_switch s t
+        end
+      end);
+  maybe_start_service s
+
+let consult s reason =
+  s.decisions <- s.decisions + 1;
+  if s.decision_energy > 0.0 then
+    Stat.Time_weighted.add_impulse s.power s.decision_energy;
+  apply_decision s (s.ctl.Controller.decide (observation s) reason)
+
+let notify_observer s label =
+  match s.observer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          snap_time = s.now;
+          snap_event = label;
+          snap_mode = s.mode;
+          snap_queue = Queue.length s.queue;
+          snap_switching_to = Option.map fst s.switching;
+          snap_in_transfer = s.in_transfer;
+        }
+
+let schedule_next_arrival s =
+  match Workload.next_arrival s.workload s.arrival_rng ~now:s.now with
+  | None -> ()
+  | Some t -> ignore (Event_heap.push s.events ~time:t Arrival)
+
+let handle_event s event =
+  let label =
+    match event with
+  | Arrival ->
+      s.generated <- s.generated + 1;
+      schedule_next_arrival s;
+      if Queue.length s.queue >= s.capacity then begin
+        s.lost <- s.lost + 1;
+        consult s Controller.Arrival_lost;
+        "arrival_lost"
+      end
+      else begin
+        Queue.add s.now s.queue;
+        s.accepted <- s.accepted + 1;
+        Stat.Time_weighted.update s.count ~at:s.now
+          (float_of_int (Queue.length s.queue));
+        consult s Controller.Arrival;
+        "arrival"
+      end
+  | Service_done ->
+      let level = Queue.length s.queue in
+      let arrived = Queue.pop s.queue in
+      Stat.Welford.add s.waiting (s.now -. arrived);
+      s.completed <- s.completed + 1;
+      s.serving <- None;
+      s.in_transfer <- true;
+      Stat.Time_weighted.update s.count ~at:s.now
+        (float_of_int (Queue.length s.queue));
+      consult s (Controller.Service_completed level);
+      (* A controller that issues no command leaves the SP where it
+         is, and an SP that is not switching keeps serving: resolve
+         the transfer instantly rather than stall the server. *)
+      if s.in_transfer && s.switching = None then begin
+        s.in_transfer <- false;
+        maybe_start_service s
+      end;
+      "service_done"
+  | Switch_done target ->
+      settle_residency s;
+      s.switch_energy <-
+        s.switch_energy +. Service_provider.switch_energy s.sp s.mode target;
+      Stat.Time_weighted.add_impulse s.power
+        (Service_provider.switch_energy s.sp s.mode target);
+      s.switch_count <- s.switch_count + 1;
+      s.mode <- target;
+      s.switching <- None;
+      s.in_transfer <- false;
+      Stat.Time_weighted.update s.power ~at:s.now (Service_provider.power s.sp target);
+      consult s Controller.Switch_completed;
+      "switch_done"
+  | Timer_fired ->
+      consult s Controller.Timer;
+      "timer"
+  in
+  notify_observer s label
+
+let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
+    ~workload ~controller ~stop () =
+  let sp = Sys_model.sp sys in
+  let initial_mode =
+    match initial_mode with
+    | Some m ->
+        if m < 0 || m >= Service_provider.num_modes sp then
+          invalid_arg "Power_sim.run: bad initial mode";
+        m
+    | None -> Service_provider.fastest_active sp
+  in
+  (match stop with
+  | Requests n when n <= 0 -> invalid_arg "Power_sim.run: request count must be positive"
+  | Sim_time t when t <= 0.0 -> invalid_arg "Power_sim.run: horizon must be positive"
+  | Requests _ | Sim_time _ -> ());
+  let root = Rng.create seed in
+  let s =
+    {
+      sp;
+      capacity = Sys_model.queue_capacity sys;
+      ctl = controller;
+      decision_energy;
+      observer;
+      events = Event_heap.create ();
+      arrival_rng = Rng.split root;
+      service_rng = Rng.split root;
+      switch_rng = Rng.split root;
+      workload;
+      now = 0.0;
+      mode = initial_mode;
+      switching = None;
+      in_transfer = false;
+      queue = Queue.create ();
+      serving = None;
+      power = Stat.Time_weighted.create (Service_provider.power sp initial_mode);
+      count = Stat.Time_weighted.create 0.0;
+      waiting = Stat.Welford.create ();
+      residency = Array.make (Service_provider.num_modes sp) 0.0;
+      residency_mark = 0.0;
+      generated = 0;
+      accepted = 0;
+      lost = 0;
+      completed = 0;
+      switch_count = 0;
+      switch_energy = 0.0;
+      decisions = 0;
+    }
+  in
+  consult s Controller.Init;
+  schedule_next_arrival s;
+  let stop_now () =
+    match stop with
+    | Requests n -> s.generated >= n
+    | Sim_time t -> s.now >= t
+  in
+  let horizon = match stop with Sim_time t -> Some t | Requests _ -> None in
+  let rec loop () =
+    if not (stop_now ()) then begin
+      match Event_heap.pop s.events with
+      | None -> () (* workload exhausted and nothing pending *)
+      | Some (t, event) -> (
+          match horizon with
+          | Some h when t > h -> s.now <- h
+          | Some _ | None ->
+              s.now <- t;
+              handle_event s event;
+              loop ())
+    end
+  in
+  loop ();
+  settle_residency s;
+  let duration = s.now in
+  let residency_total = Array.fold_left ( +. ) 0.0 s.residency in
+  {
+    controller = s.ctl.Controller.name;
+    duration;
+    generated = s.generated;
+    accepted = s.accepted;
+    lost = s.lost;
+    completed = s.completed;
+    avg_power = Stat.Time_weighted.average s.power ~upto:duration;
+    avg_waiting_requests = Stat.Time_weighted.average s.count ~upto:duration;
+    avg_waiting_time = Stat.Welford.mean s.waiting;
+    waiting_time_stderr = Stat.Welford.std_error s.waiting;
+    loss_probability =
+      (if s.generated > 0 then float_of_int s.lost /. float_of_int s.generated
+       else 0.0);
+    controller_decisions = s.decisions;
+    switch_count = s.switch_count;
+    switch_energy = s.switch_energy;
+    mode_residency =
+      (if residency_total > 0.0 then
+         Array.map (fun x -> x /. residency_total) s.residency
+       else s.residency);
+  }
+
+let replicate ?(seeds = [ 1L; 2L; 3L; 4L; 5L ]) ~sys ~workload ~controller ~stop () =
+  List.map
+    (fun seed ->
+      run ~seed ~sys ~workload:(workload ()) ~controller:(controller ()) ~stop ())
+    seeds
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%-14s power=%7.3f W  waiting=%6.4f req  wait=%6.3f s  loss=%5.2f%%  \
+     switches=%d"
+    r.controller r.avg_power r.avg_waiting_requests r.avg_waiting_time
+    (100.0 *. r.loss_probability)
+    r.switch_count

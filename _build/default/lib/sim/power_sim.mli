@@ -1,0 +1,110 @@
+(** Event-driven simulation of the power-managed system — the
+    experimental apparatus of Section V.
+
+    The simulator mirrors the physical system rather than the Markov
+    model: requests arrive from a {!Workload}, join a FIFO queue of
+    capacity [Q] (lost when it is full), and are served one at a time
+    whenever the SP is settled in an active mode; service times are
+    exponential at the mode's rate, switch times exponential at the
+    commanded switch's rate, and each completed switch deposits its
+    energy impulse.  After every event the {!Controller} is consulted
+    and its command applied under the paper's semantics:
+
+    - a command to leave an active mode is deferred while a service
+      is in progress (constraint (1): service is never interrupted;
+      the controller is re-consulted at the next event anyway);
+    - after a service completion the system is {e in transfer}: no
+      new service starts until the commanded switch completes —
+      commanding the current mode resolves the transfer instantly
+      (the paper's [chi(s,s) = infinity], exactly, with no big-M
+      approximation);
+    - re-commanding during a pending switch resamples the switch
+      (memoryless), and commanding the current mode cancels it.
+
+    All randomness flows from one seed through independent
+    substreams (arrivals / services / switches), so runs are
+    reproducible and low-variance comparisons across controllers
+    reuse the same arrival sequence. *)
+
+type stop = Requests of int | Sim_time of float
+(** Stop after the N-th generated request (the paper uses 50,000) or
+    at a fixed simulated time. *)
+
+type snapshot = {
+  snap_time : float;  (** clock at the instant after the event *)
+  snap_event : string;  (** "arrival", "arrival_lost", "service_done", "switch_done", "timer" *)
+  snap_mode : int;  (** SP mode (source mode while switching) *)
+  snap_queue : int;  (** requests in the system *)
+  snap_switching_to : int option;  (** pending switch target *)
+  snap_in_transfer : bool;  (** inside a transfer period *)
+}
+(** One line of the event log passed to [observer] (see {!run}); the
+    {!Trace} module records these into a bounded buffer. *)
+
+type result = {
+  controller : string;  (** controller name *)
+  duration : float;  (** simulated seconds *)
+  generated : int;  (** arrivals drawn from the workload *)
+  accepted : int;  (** arrivals that entered the queue *)
+  lost : int;  (** arrivals dropped on a full queue *)
+  completed : int;  (** services finished *)
+  avg_power : float;
+      (** time-averaged power including switch-energy impulses (W) *)
+  avg_waiting_requests : float;
+      (** time-averaged number of requests in the system — the
+          simulated counterpart of the model's [C_sq] average *)
+  avg_waiting_time : float;
+      (** mean sojourn (arrival to completion) of completed requests
+          (s) *)
+  waiting_time_stderr : float;
+      (** standard error of the sojourn mean *)
+  loss_probability : float;  (** [lost / generated] *)
+  controller_decisions : int;
+      (** how many times the controller was consulted — the paper's
+          "signal traffic" criticism of per-time-slice power managers
+          is this number (compare an event-driven policy with a
+          {!Controller.periodic} one) *)
+  switch_count : int;  (** completed mode switches *)
+  switch_energy : float;  (** total switching energy (J) *)
+  mode_residency : float array;  (** fraction of time per mode *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?initial_mode:int ->
+  ?decision_energy:float ->
+  ?observer:(snapshot -> unit) ->
+  sys:Dpm_core.Sys_model.t ->
+  workload:Workload.t ->
+  controller:Controller.t ->
+  stop:stop ->
+  unit ->
+  result
+(** [run ~sys ~workload ~controller ~stop ()] simulates one run.
+    [sys] supplies the SP and the queue capacity (its arrival rate is
+    ignored — the workload drives arrivals).  [initial_mode] defaults
+    to the fastest active mode.  [seed] defaults to 1.
+    [decision_energy] (default 0) charges an energy impulse per
+    controller consultation — the PM overhead of the paper's
+    criticism (4) of time-sliced power managers.  [observer], when
+    given, receives a {!snapshot} after every handled event (used by
+    {!Trace}).  A controller that returns no command after a service
+    completion leaves the SP in place, and an unswitching SP resumes
+    service immediately (no artificial stall).  Raises
+    [Invalid_argument] on a non-positive request count / horizon or a
+    bad initial mode. *)
+
+val replicate :
+  ?seeds:int64 list ->
+  sys:Dpm_core.Sys_model.t ->
+  workload:(unit -> Workload.t) ->
+  controller:(unit -> Controller.t) ->
+  stop:stop ->
+  unit ->
+  result list
+(** [replicate] runs independent replications (fresh workload and
+    controller per seed; default seeds 1..5) — used to put confidence
+    intervals on the experiment tables. *)
+
+val pp : Format.formatter -> result -> unit
+(** One-line summary. *)

@@ -1,0 +1,46 @@
+open Dpm_prob
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  ci95_half_width : float;
+  n : int;
+}
+
+type t = {
+  power : estimate;
+  waiting_requests : estimate;
+  waiting_time : estimate;
+  loss_probability : estimate;
+  switch_count : estimate;
+}
+
+let estimate_of values =
+  let w = Stat.Welford.create () in
+  List.iter (Stat.Welford.add w) values;
+  let se = Stat.Welford.std_error w in
+  {
+    mean = Stat.Welford.mean w;
+    std_error = se;
+    ci95_half_width = 1.959964 *. se;
+    n = Stat.Welford.count w;
+  }
+
+let of_results results =
+  if results = [] then invalid_arg "Summary.of_results: no replications";
+  let pick f = estimate_of (List.map f results) in
+  {
+    power = pick (fun r -> r.Power_sim.avg_power);
+    waiting_requests = pick (fun r -> r.Power_sim.avg_waiting_requests);
+    waiting_time = pick (fun r -> r.Power_sim.avg_waiting_time);
+    loss_probability = pick (fun r -> r.Power_sim.loss_probability);
+    switch_count = pick (fun r -> float_of_int r.Power_sim.switch_count);
+  }
+
+let contains e x =
+  (not (Float.is_nan e.ci95_half_width))
+  && Float.abs (x -. e.mean) <= e.ci95_half_width
+
+let pp_estimate ppf e =
+  if Float.is_nan e.ci95_half_width then Format.fprintf ppf "%.4g" e.mean
+  else Format.fprintf ppf "%.4g +/- %.2g" e.mean e.ci95_half_width

@@ -1,0 +1,33 @@
+(** Replication statistics.
+
+    A single simulation gives point estimates; independent
+    replications ({!Power_sim.replicate}) give confidence intervals.
+    This module folds a list of results into per-metric estimates the
+    experiment tables can print as [mean +/- half-width]. *)
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  ci95_half_width : float;  (** normal-approximation 95% interval *)
+  n : int;  (** replications *)
+}
+
+type t = {
+  power : estimate;  (** average power (W) *)
+  waiting_requests : estimate;
+  waiting_time : estimate;
+  loss_probability : estimate;
+  switch_count : estimate;
+}
+
+val of_results : Power_sim.result list -> t
+(** [of_results rs] summarizes the replications.  Raises
+    [Invalid_argument] on an empty list.  With a single replication
+    the dispersion fields are [nan]. *)
+
+val contains : estimate -> float -> bool
+(** [contains e x] tests whether [x] lies inside the 95% interval —
+    the check the model-vs-simulation tables use. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+(** ["12.34 +/- 0.05"]. *)

@@ -1,0 +1,60 @@
+type t = {
+  buffer : Power_sim.snapshot option array;
+  mutable next : int; (* slot for the next write *)
+  mutable total : int; (* snapshots ever seen *)
+}
+
+let create ?(capacity = 65_536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buffer = Array.make capacity None; next = 0; total = 0 }
+
+let observer t snap =
+  t.buffer.(t.next) <- Some snap;
+  t.next <- (t.next + 1) mod Array.length t.buffer;
+  t.total <- t.total + 1
+
+let length t = min t.total (Array.length t.buffer)
+let dropped t = max 0 (t.total - Array.length t.buffer)
+
+let snapshots t =
+  let cap = Array.length t.buffer in
+  let n = length t in
+  let start = if t.total <= cap then 0 else t.next in
+  List.filter_map
+    (fun k -> t.buffer.((start + k) mod cap))
+    (List.init n (fun k -> k))
+
+let mode_intervals t =
+  match snapshots t with
+  | [] -> []
+  | first :: rest ->
+      (* Runs of constant mode; the final run closes at the last
+         snapshot's time. *)
+      let rec walk start mode last acc = function
+        | [] -> List.rev ((start, last, mode) :: acc)
+        | s :: tail ->
+            if s.Power_sim.snap_mode = mode then
+              walk start mode s.Power_sim.snap_time acc tail
+            else
+              walk s.Power_sim.snap_time s.Power_sim.snap_mode
+                s.Power_sim.snap_time
+                ((start, s.Power_sim.snap_time, mode) :: acc)
+                tail
+      in
+      walk first.Power_sim.snap_time first.Power_sim.snap_mode
+        first.Power_sim.snap_time [] rest
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time,event,mode,queue,switching_to,in_transfer\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.6f,%s,%d,%d,%s,%b\n" s.Power_sim.snap_time
+           s.Power_sim.snap_event s.Power_sim.snap_mode s.Power_sim.snap_queue
+           (match s.Power_sim.snap_switching_to with
+           | Some m -> string_of_int m
+           | None -> "")
+           s.Power_sim.snap_in_transfer))
+    (snapshots t);
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Bounded event-trace recording.
+
+    Plug {!observer} into {!Power_sim.run} to keep the last [capacity]
+    event snapshots of a simulation — enough to debug a policy's
+    behavior or to render a mode/queue timeline — without unbounded
+    memory on multi-million-event runs. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] allocates a ring buffer for [capacity] (default
+    65_536) snapshots. *)
+
+val observer : t -> Power_sim.snapshot -> unit
+(** The callback to pass as [?observer] to {!Power_sim.run}. *)
+
+val length : t -> int
+(** Snapshots currently retained. *)
+
+val dropped : t -> int
+(** Snapshots evicted because the buffer was full. *)
+
+val snapshots : t -> Power_sim.snapshot list
+(** Retained snapshots in chronological order. *)
+
+val mode_intervals : t -> (float * float * int) list
+(** [(start, stop, mode)] runs of constant SP mode over the retained
+    window — the data behind a power-state timeline plot. *)
+
+val to_csv : t -> string
+(** CSV rendering: [time,event,mode,queue,switching_to,in_transfer]. *)

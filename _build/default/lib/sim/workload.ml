@@ -1,0 +1,161 @@
+open Dpm_prob
+
+type kind =
+  | Poisson of float
+  | Piecewise of { segments : (float * float) list; final_rate : float }
+  | Mmpp of {
+      rates : float array;
+      switch_rate : float array array;
+      mutable phase : int;
+      mutable phase_until : float option;
+          (* time of the next phase switch, sampled lazily *)
+    }
+  | Trace of { mutable remaining : float list }
+
+type t = { kind : kind; mutable last_now : float }
+
+let check_rate r =
+  if r <= 0.0 || not (Float.is_finite r) then
+    invalid_arg "Workload: rates must be positive and finite"
+
+let poisson ~rate =
+  check_rate rate;
+  { kind = Poisson rate; last_now = neg_infinity }
+
+let piecewise ~segments ~final_rate =
+  check_rate final_rate;
+  let rec check_boundaries prev = function
+    | [] -> ()
+    | (until, rate) :: rest ->
+        check_rate rate;
+        if until <= prev then
+          invalid_arg "Workload.piecewise: boundaries must increase";
+        check_boundaries until rest
+  in
+  check_boundaries 0.0 segments;
+  { kind = Piecewise { segments; final_rate }; last_now = neg_infinity }
+
+let mmpp ~rates ~switch_rate =
+  if Array.length rates < 2 then invalid_arg "Workload.mmpp: need >= 2 phases";
+  Array.iter check_rate rates;
+  let n = Array.length rates in
+  if Array.length switch_rate <> n then
+    invalid_arg "Workload.mmpp: switch_rate shape mismatch";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg "Workload.mmpp: switch_rate shape mismatch";
+      Array.iteri
+        (fun j r ->
+          if i <> j && (r < 0.0 || not (Float.is_finite r)) then
+            invalid_arg "Workload.mmpp: negative switch rate")
+        row)
+    switch_rate;
+  {
+    kind = Mmpp { rates; switch_rate; phase = 0; phase_until = None };
+    last_now = neg_infinity;
+  }
+
+let trace times =
+  let rec check prev = function
+    | [] -> ()
+    | t :: rest ->
+        if t <= prev then invalid_arg "Workload.trace: times must increase";
+        check t rest
+  in
+  check 0.0 times;
+  { kind = Trace { remaining = times }; last_now = neg_infinity }
+
+let rate_at segments final_rate t =
+  let rec scan = function
+    | [] -> final_rate
+    | (until, rate) :: rest -> if t < until then rate else scan rest
+  in
+  scan segments
+
+let next_arrival w rng ~now =
+  if now < w.last_now then
+    invalid_arg "Workload.next_arrival: time moved backwards";
+  w.last_now <- now;
+  match w.kind with
+  | Poisson rate -> Some (now +. Dist.exponential_sample rng ~rate)
+  | Piecewise { segments; final_rate } ->
+      (* Thinning against the maximum rate keeps the stream exact for
+         the inhomogeneous process. *)
+      let max_rate =
+        List.fold_left (fun acc (_, r) -> Float.max acc r) final_rate segments
+      in
+      let rec draw t =
+        let t = t +. Dist.exponential_sample rng ~rate:max_rate in
+        if Rng.float rng <= rate_at segments final_rate t /. max_rate then t
+        else draw t
+      in
+      Some (draw now)
+  | Mmpp m ->
+      (* Race the next arrival (at the phase's rate) against the next
+         phase switch; iterate across switches until an arrival wins. *)
+      let rec walk t =
+        let phase_exit =
+          Array.fold_left ( +. ) 0.0 m.switch_rate.(m.phase)
+          -. m.switch_rate.(m.phase).(m.phase)
+        in
+        let switch_at =
+          match m.phase_until with
+          | Some u when u > t -> u
+          | _ ->
+              if phase_exit <= 0.0 then infinity
+              else t +. Dist.exponential_sample rng ~rate:phase_exit
+        in
+        let arrival_at = t +. Dist.exponential_sample rng ~rate:m.rates.(m.phase) in
+        if arrival_at <= switch_at then begin
+          m.phase_until <- (if switch_at = infinity then None else Some switch_at);
+          Some arrival_at
+        end
+        else begin
+          (* Jump phases; pick the destination by rate weights. *)
+          let weights =
+            Array.mapi
+              (fun j r -> if j = m.phase then 0.0 else r)
+              m.switch_rate.(m.phase)
+          in
+          m.phase <- Dist.categorical_sample rng weights;
+          m.phase_until <- None;
+          walk switch_at
+        end
+      in
+      walk now
+  | Trace t -> (
+      match t.remaining with
+      | [] -> None
+      | x :: rest ->
+          if x <= now then
+            invalid_arg "Workload.next_arrival: trace time not after now"
+          else begin
+            t.remaining <- rest;
+            Some x
+          end)
+
+let mean_rate_hint w =
+  match w.kind with
+  | Poisson rate -> rate
+  | Piecewise { segments; final_rate } ->
+      (* Time-weighted mean over the declared horizon, then the final
+         rate dominates; a hint, not an exact statistic. *)
+      let rec fold prev acc = function
+        | [] -> (acc, prev)
+        | (until, rate) :: rest -> fold until (acc +. (rate *. (until -. prev))) rest
+      in
+      let weighted, horizon = fold 0.0 0.0 segments in
+      if horizon > 0.0 then
+        (weighted +. final_rate *. horizon) /. (2.0 *. horizon)
+      else final_rate
+  | Mmpp m ->
+      Array.fold_left ( +. ) 0.0 m.rates /. float_of_int (Array.length m.rates)
+  | Trace { remaining } -> (
+      match remaining with
+      | [] | [ _ ] -> 0.0
+      | first :: rest ->
+          let last = List.fold_left (fun _ x -> x) first rest in
+          if last > first then
+            float_of_int (List.length rest) /. (last -. first)
+          else 0.0)

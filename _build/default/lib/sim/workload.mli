@@ -1,0 +1,43 @@
+(** Request workloads (the Service Requestor of the paper, and
+    richer sources for the examples).
+
+    The paper's SR is a single-mode Poisson source.  Beyond it we
+    provide a piecewise-stationary source (the paper's Section III
+    remark about a PM estimating the input rate of a slowly varying
+    workload), a two-phase MMPP (bursty traffic), and trace replay.
+    A workload is a stateful stream of absolute arrival times. *)
+
+open Dpm_prob
+
+type t
+
+val poisson : rate:float -> t
+(** Stationary Poisson arrivals; [rate > 0]. *)
+
+val piecewise : segments:(float * float) list -> final_rate:float -> t
+(** [piecewise ~segments ~final_rate] changes rate over time:
+    [(until, rate)] pairs with strictly increasing [until] apply
+    [rate] up to each boundary; [final_rate] applies afterwards.
+    Rates must be positive.  Sampling is by thinning against the
+    maximum rate, so boundaries need not align with arrivals. *)
+
+val mmpp : rates:float array -> switch_rate:float array array -> t
+(** A Markov-modulated Poisson process: [rates.(k)] while the
+    modulating chain occupies phase [k], [switch_rate] its generator
+    off-diagonals (diagonal ignored).  Starts in phase 0. *)
+
+val trace : float list -> t
+(** Replay absolute arrival times (strictly increasing, positive).
+    The stream ends when the trace does. *)
+
+val next_arrival : t -> Rng.t -> now:float -> float option
+(** [next_arrival w rng ~now] draws the first arrival strictly after
+    [now]; [None] when the source is exhausted (only for {!trace}).
+    Calls must have nondecreasing [now] — the workload is a stream,
+    not a random-access process. *)
+
+val mean_rate_hint : t -> float
+(** A representative rate (exact for {!poisson}; time- or
+    phase-averaged otherwise) — used by examples to size time-out
+    values the way the paper does (n = inter-arrival time, n = half
+    of it). *)

@@ -1,0 +1,1 @@
+test/test_absorbing.ml: Absorbing Alcotest Array Dpm_core Dpm_ctmc Dpm_linalg Float Generator List Matrix Paper_instance Policies Printf Sys_model Test_util

@@ -1,0 +1,1 @@
+test/test_analytic.ml: Alcotest Analytic Array Dpm_core List Paper_instance Policies Sys_model Test_util

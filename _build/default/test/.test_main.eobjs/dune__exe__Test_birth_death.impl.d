@@ -1,0 +1,1 @@
+test/test_birth_death.ml: Alcotest Array Birth_death Dpm_ctmc Dpm_linalg QCheck2 Steady_state Test_util Vec

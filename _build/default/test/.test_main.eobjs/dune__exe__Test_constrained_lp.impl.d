@@ -1,0 +1,1 @@
+test/test_constrained_lp.ml: Alcotest Analytic Array Constrained_lp Dpm_core Dpm_ctmdp Dpm_sim List Optimize Paper_instance Printf Sys_model Test_util

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Controller Dpm_core Dpm_sim Paper_instance Sys_model Test_util

@@ -1,0 +1,1 @@
+test/test_ctmdp_model.ml: Alcotest Dpm_ctmc Dpm_ctmdp Float List Model Policy Test_util

@@ -1,0 +1,1 @@
+test/test_discounted.ml: Alcotest Array Discounted Dpm_ctmdp Model Policy Policy_iteration Printf QCheck2 Seq Test_util

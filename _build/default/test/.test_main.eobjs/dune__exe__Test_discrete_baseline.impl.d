@@ -1,0 +1,1 @@
+test/test_discrete_baseline.ml: Alcotest Analytic Controller Discrete_baseline Dpm_core Dpm_sim Float Optimize Paper_instance Power_sim Printf Sys_model Test_util Workload

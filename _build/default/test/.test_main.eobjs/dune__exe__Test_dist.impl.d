@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Dpm_prob Printf Stat Test_util

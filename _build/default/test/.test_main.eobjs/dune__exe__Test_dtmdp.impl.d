@@ -1,0 +1,1 @@
+test/test_dtmdp.ml: Alcotest Dpm_ctmdp Dpm_prob Dtmdp Float List Test_util

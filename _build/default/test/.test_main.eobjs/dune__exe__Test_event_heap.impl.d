@@ -1,0 +1,1 @@
+test/test_event_heap.ml: Alcotest Dpm_sim Event_heap Float List QCheck2 Test_util

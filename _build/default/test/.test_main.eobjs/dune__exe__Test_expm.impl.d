@@ -1,0 +1,1 @@
+test/test_expm.ml: Alcotest Array Dpm_ctmc Dpm_linalg Expm Generator List Matrix Printf QCheck2 Test_util Transient Vec

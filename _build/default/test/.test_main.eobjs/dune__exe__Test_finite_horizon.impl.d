@@ -1,0 +1,1 @@
+test/test_finite_horizon.ml: Alcotest Array Dpm_core Dpm_ctmc Dpm_ctmdp Dpm_linalg Finite_horizon Float List Model Policy Policy_iteration Seq Test_util Vec

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Dpm_ctmc Dpm_linalg Float Generator List Matrix QCheck2 Sparse Test_util Vec

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analytic Array Controller Dpm_core Dpm_sim Float List Optimize Paper_instance Policies Power_sim Presets Printf Service_provider Sys_model Test_util Workload

@@ -1,0 +1,1 @@
+test/test_iterative.ml: Alcotest Array Dpm_linalg Float Iterative List Lu QCheck2 Sparse Test_util Vec

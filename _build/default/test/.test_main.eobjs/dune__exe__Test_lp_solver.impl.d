@@ -1,0 +1,1 @@
+test/test_lp_solver.ml: Alcotest Array Dpm_core Dpm_ctmc Dpm_ctmdp Float List Lp_solver Model Policy Policy_iteration Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Array Dpm_linalg Float Lu Matrix QCheck2 Test_util Vec

@@ -1,0 +1,1 @@
+test/test_lumping.ml: Alcotest Array Dpm_ctmc Float Generator List Lumping QCheck2 Steady_state Test_util

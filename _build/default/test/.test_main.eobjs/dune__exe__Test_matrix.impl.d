@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Dpm_linalg Matrix QCheck2 Test_util Vec

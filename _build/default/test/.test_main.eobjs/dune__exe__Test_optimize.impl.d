@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Analytic Array Dpm_core List Optimize Paper_instance Policies Printf Sys_model Test_util

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Array Dpm_core Dpm_ctmdp Format Paper_instance Policies Printf Service_provider Sys_model Test_util

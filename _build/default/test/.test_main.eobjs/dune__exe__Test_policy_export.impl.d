@@ -1,0 +1,1 @@
+test/test_policy_export.ml: Alcotest Dpm_core List Paper_instance Policies Policy_export Service_provider String Sys_model Test_util

@@ -1,0 +1,1 @@
+test/test_policy_iteration.ml: Alcotest Array Dpm_ctmc Dpm_ctmdp Dpm_linalg Float List Model Policy Policy_iteration Printf QCheck2 Seq Test_util

@@ -1,0 +1,1 @@
+test/test_power_sim.ml: Alcotest Analytic Array Controller Dpm_core Dpm_sim List Optimize Paper_instance Policies Power_sim Sys_model Test_util Workload

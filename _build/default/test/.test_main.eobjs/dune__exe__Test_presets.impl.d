@@ -1,0 +1,1 @@
+test/test_presets.ml: Alcotest Dpm_core List Paper_instance Presets Printf Service_provider Test_util

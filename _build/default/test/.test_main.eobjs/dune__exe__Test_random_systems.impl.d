@@ -1,0 +1,1 @@
+test/test_random_systems.ml: Analytic Array Dpm_core Dpm_ctmc Dpm_linalg Dpm_prob Dpm_sim Float Format List Matrix Optimize Policies Printf QCheck2 Service_provider String Sys_model Test_util Vec

@@ -1,0 +1,1 @@
+test/test_reward.ml: Alcotest Array Dot Dpm_ctmc Dpm_linalg Generator Lu Matrix Reward Steady_state String Test_util

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dpm_prob Printf Rng Test_util

@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Dpm_core Float List Optimize Paper_instance Printf Sensitivity Test_util

@@ -1,0 +1,1 @@
+test/test_service_provider.ml: Alcotest Array Dpm_core Dpm_ctmc List Paper_instance Service_provider String Test_util

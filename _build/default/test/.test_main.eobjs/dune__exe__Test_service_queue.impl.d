@@ -1,0 +1,1 @@
+test/test_service_queue.ml: Alcotest Dpm_core Dpm_ctmc Dpm_linalg Matrix Printf QCheck2 Service_queue Test_util Vec

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Dpm_linalg Float Matrix Printf QCheck2 Simplex Test_util Vec

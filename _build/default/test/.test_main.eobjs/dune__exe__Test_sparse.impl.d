@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Dpm_linalg List Matrix QCheck2 Sparse Test_util Vec

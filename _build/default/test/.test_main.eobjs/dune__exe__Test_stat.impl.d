@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Dpm_prob Float List QCheck2 Stat Test_util

@@ -1,0 +1,1 @@
+test/test_steady_state.ml: Alcotest Array Dpm_ctmc Dpm_linalg Float Generator Iterative List QCheck2 Steady_state Test_util Vec

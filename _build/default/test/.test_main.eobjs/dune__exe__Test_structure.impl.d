@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Dpm_ctmc Dpm_linalg Generator List QCheck2 Sparse Structure Test_util

@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest Analytic Controller Dpm_core Dpm_sim Float Format Int64 List Paper_instance Policies Power_sim Summary Sys_model Test_util Workload

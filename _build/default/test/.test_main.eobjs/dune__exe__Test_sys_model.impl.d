@@ -1,0 +1,1 @@
+test/test_sys_model.ml: Alcotest Array Dpm_core Dpm_ctmc Dpm_ctmdp Dpm_linalg Format List Matrix Paper_instance Printf Seq Service_provider Sys_model Test_util Vec

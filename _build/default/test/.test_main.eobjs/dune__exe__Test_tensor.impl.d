@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dpm_linalg Float Matrix QCheck2 Sparse Tensor Test_util Vec

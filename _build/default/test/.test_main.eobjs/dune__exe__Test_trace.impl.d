@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Controller Dpm_core Dpm_sim List Paper_instance Power_sim String Sys_model Test_util Trace Workload

@@ -1,0 +1,1 @@
+test/test_transient.ml: Alcotest Array Dpm_ctmc Dpm_linalg Generator List Matrix Printf QCheck2 Steady_state Test_util Transient Vec

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Dpm_linalg Dpm_prob Float QCheck2 QCheck_alcotest Random String

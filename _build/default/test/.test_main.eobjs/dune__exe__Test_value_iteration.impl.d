@@ -1,0 +1,1 @@
+test/test_value_iteration.ml: Alcotest Dpm_ctmdp List Model Policy_iteration Printf Test_util Value_iteration

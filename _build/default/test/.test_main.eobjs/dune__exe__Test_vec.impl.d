@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Dpm_linalg Float QCheck2 Test_util Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dpm_prob Dpm_sim List Rng Stat Test_util Workload

@@ -1,0 +1,115 @@
+open Dpm_ctmc
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+(* Pure death chain 2 -> 1 -> 0 at rate mu: hitting time of 0 from
+   state k is k / mu exactly. *)
+let death_chain mu n =
+  Generator.of_rates ~dim:n (List.init (n - 1) (fun i -> (i + 1, i, mu)))
+
+let death_chain_hitting_times () =
+  let mu = 2.0 in
+  let g = death_chain mu 4 in
+  let h = Absorbing.mean_hitting_times g ~targets:[ 0 ] in
+  Test_util.check_vec ~tol:1e-10 "k/mu" [| 0.0; 0.5; 1.0; 1.5 |] h
+
+let two_state_round_trip () =
+  (* 0 <-> 1; expected time from 0 to 1 is 1/lam. *)
+  let g = Generator.of_rates ~dim:2 [ (0, 1, 0.25); (1, 0, 5.0) ] in
+  let h = Absorbing.mean_hitting_times g ~targets:[ 1 ] in
+  Test_util.check_close ~tol:1e-12 "1/lam" 4.0 h.(0);
+  Test_util.check_close "target itself" 0.0 h.(1)
+
+let unreachable_targets_are_infinite () =
+  (* 0 -> 1 (absorbing), target 2 unreachable from both. *)
+  let g = Generator.of_rates ~dim:3 [ (0, 1, 1.0); (2, 1, 1.0) ] in
+  let h = Absorbing.mean_hitting_times g ~targets:[ 2 ] in
+  Alcotest.(check bool) "state 0 never arrives" true (h.(0) = infinity);
+  Alcotest.(check bool) "state 1 never arrives" true (h.(1) = infinity);
+  Test_util.check_close "target zero" 0.0 h.(2)
+
+let gambler_ruin_probabilities () =
+  (* Symmetric random walk on 0..4 with absorbing ends: probability
+     of hitting 4 before 0 from k is k/4. *)
+  let rates = ref [] in
+  for i = 1 to 3 do
+    rates := (i, i + 1, 1.0) :: (i, i - 1, 1.0) :: !rates
+  done;
+  let g = Generator.of_rates ~dim:5 !rates in
+  let h = Absorbing.hitting_probabilities g ~targets:[ 4 ] ~avoid:[ 0 ] in
+  Test_util.check_vec ~tol:1e-10 "k/4" [| 0.0; 0.25; 0.5; 0.75; 1.0 |] h
+
+let biased_walk_probabilities () =
+  (* Up rate 2, down rate 1 on 0..3: h_k = (1 - r^k) / (1 - r^3) with
+     r = down/up = 1/2. *)
+  let rates = ref [] in
+  for i = 1 to 2 do
+    rates := (i, i + 1, 2.0) :: (i, i - 1, 1.0) :: !rates
+  done;
+  let g = Generator.of_rates ~dim:4 !rates in
+  let h = Absorbing.hitting_probabilities g ~targets:[ 3 ] ~avoid:[ 0 ] in
+  let r = 0.5 in
+  let expect k = (1.0 -. (r ** float_of_int k)) /. (1.0 -. (r ** 3.0)) in
+  Test_util.check_close ~tol:1e-10 "h1" (expect 1) h.(1);
+  Test_util.check_close ~tol:1e-10 "h2" (expect 2) h.(2)
+
+let hitting_prob_validation () =
+  let g = Generator.of_rates ~dim:2 [ (0, 1, 1.0); (1, 0, 1.0) ] in
+  Test_util.check_raises_invalid "intersecting sets" (fun () ->
+      ignore (Absorbing.hitting_probabilities g ~targets:[ 0 ] ~avoid:[ 0 ]));
+  Test_util.check_raises_invalid "empty targets" (fun () ->
+      ignore (Absorbing.mean_hitting_times g ~targets:[]));
+  Test_util.check_raises_invalid "out of range" (fun () ->
+      ignore (Absorbing.mean_hitting_times g ~targets:[ 7 ]))
+
+let expected_visits_row_sums_are_hitting_times () =
+  (* sum_j N_ij = E[absorption time from i]. *)
+  let g =
+    Generator.of_rates ~dim:4
+      [ (1, 0, 1.0); (1, 2, 2.0); (2, 1, 1.0); (2, 3, 0.5); (3, 2, 2.0); (3, 0, 0.3) ]
+  in
+  let visits = Absorbing.expected_visits g ~targets:[ 0 ] in
+  let hits = Absorbing.mean_hitting_times g ~targets:[ 0 ] in
+  for i = 1 to 3 do
+    let row_sum = ref 0.0 in
+    for j = 0 to 3 do
+      row_sum := !row_sum +. Matrix.get visits i j
+    done;
+    Test_util.check_close ~tol:1e-9
+      (Printf.sprintf "row %d" i)
+      hits.(i) !row_sum
+  done
+
+let dpm_wakeup_latency () =
+  (* Domain sanity check: from (sleeping, q1) under the greedy
+     policy, the mean time to reach any empty-queue state must be at
+     least the wake-up time plus one service. *)
+  let open Dpm_core in
+  let sys = Paper_instance.system () in
+  let g = Sys_model.generator_of_actions sys ~actions:(Policies.greedy sys) in
+  let empty_states =
+    List.filter_map
+      (fun x ->
+        match x with
+        | Sys_model.Stable (_, 0) -> Some (Sys_model.index sys x)
+        | Sys_model.Stable _ | Sys_model.Transfer _ -> None)
+      (Array.to_list (Sys_model.states sys))
+  in
+  let h = Absorbing.mean_hitting_times g ~targets:empty_states in
+  let from_sleep_q1 = h.(Sys_model.index sys (Sys_model.Stable (2, 1))) in
+  Alcotest.(check bool) "at least wake + service" true
+    (from_sleep_q1 >= 1.1 +. 1.5);
+  Alcotest.(check bool) "finite" true (Float.is_finite from_sleep_q1)
+
+let suite =
+  [
+    t "death chain hitting times" `Quick death_chain_hitting_times;
+    t "two-state" `Quick two_state_round_trip;
+    t "unreachable is infinite" `Quick unreachable_targets_are_infinite;
+    t "gambler's ruin" `Quick gambler_ruin_probabilities;
+    t "biased walk" `Quick biased_walk_probabilities;
+    t "validation" `Quick hitting_prob_validation;
+    t "visits row sums" `Quick expected_visits_row_sums_are_hitting_times;
+    t "DPM wakeup latency" `Quick dpm_wakeup_latency;
+  ]

@@ -1,0 +1,136 @@
+open Dpm_core
+
+let t = Alcotest.test_case
+
+let sys () = Paper_instance.system ()
+
+let always_on_matches_mm1k () =
+  (* Under always-on the composed chain behaves like an M/M/1/Q queue
+     plus (collapsed) transfer states: power is the active mode's
+     constant draw, and the queue statistics follow M/M/1/K up to the
+     big-M transfer-state correction. *)
+  let s = sys () in
+  let m = Analytic.of_actions s ~actions:(Policies.always_on s) in
+  Test_util.check_relative ~rel:1e-4 "constant power" 40.0 m.Analytic.power;
+  let lam = Sys_model.arrival_rate s and mu = Paper_instance.service_rate in
+  let rho = lam /. mu in
+  let k = 5 in
+  (* M/M/1/K with K+1 levels: pi_i = rho^i (1-rho)/(1-rho^{K+1}). *)
+  let z = (1.0 -. (rho ** float_of_int (k + 1))) /. (1.0 -. rho) in
+  let expected_l =
+    let acc = ref 0.0 in
+    for i = 0 to k do
+      acc := !acc +. (float_of_int i *. (rho ** float_of_int i) /. z)
+    done;
+    !acc
+  in
+  Test_util.check_relative ~rel:1e-3 "M/M/1/K queue length" expected_l
+    m.Analytic.avg_waiting_requests;
+  let expected_loss = (rho ** float_of_int k) /. z in
+  Test_util.check_relative ~rel:1e-3 "M/M/1/K loss" expected_loss
+    m.Analytic.loss_probability
+
+let flow_conservation () =
+  let s = sys () in
+  List.iter
+    (fun actions ->
+      let m = Analytic.of_actions s ~actions in
+      let accepted =
+        Sys_model.arrival_rate s *. (1.0 -. m.Analytic.loss_probability)
+      in
+      Test_util.check_relative ~rel:1e-6 "throughput = accepted arrivals"
+        accepted m.Analytic.throughput)
+    [ Policies.always_on s; Policies.greedy s; Policies.n_policy s ~n:3 ]
+
+let littles_law_consistency () =
+  let s = sys () in
+  let m = Analytic.of_actions s ~actions:(Policies.n_policy s ~n:2) in
+  (* avg_waiting_time uses the accepted rate; the paper's variant the
+     raw rate.  Both must relate back to L. *)
+  let accepted = Sys_model.arrival_rate s *. (1.0 -. m.Analytic.loss_probability) in
+  Test_util.check_relative ~rel:1e-9 "Little (accepted)"
+    (m.Analytic.avg_waiting_requests /. accepted)
+    m.Analytic.avg_waiting_time;
+  Test_util.check_relative ~rel:1e-9 "Little (paper)"
+    (m.Analytic.avg_waiting_requests /. Sys_model.arrival_rate s)
+    m.Analytic.avg_waiting_time_paper
+
+let residency_sums_to_one () =
+  let s = sys () in
+  let m = Analytic.of_actions s ~actions:(Policies.greedy s) in
+  Test_util.check_close ~tol:1e-9 "mode residency mass" 1.0
+    (Array.fold_left ( +. ) 0.0 m.Analytic.mode_residency);
+  (* Greedy sleeps most of the time at rho = 0.25. *)
+  Alcotest.(check bool) "mostly sleeping" true
+    (m.Analytic.mode_residency.(Paper_instance.sleeping) > 0.5)
+
+let greedy_saves_power_but_adds_delay () =
+  let s = sys () in
+  let on = Analytic.of_actions s ~actions:(Policies.always_on s) in
+  let gr = Analytic.of_actions s ~actions:(Policies.greedy s) in
+  Alcotest.(check bool) "greedy cheaper" true (gr.Analytic.power < on.Analytic.power);
+  Alcotest.(check bool) "greedy slower" true
+    (gr.Analytic.avg_waiting_requests > on.Analytic.avg_waiting_requests)
+
+let n_policy_monotone_in_n () =
+  (* Larger N: less power (fewer wakeups), more delay.  The paper's
+     Figure 4 N-policy curve. *)
+  let s = sys () in
+  let metrics =
+    List.map (fun n -> Analytic.of_actions s ~actions:(Policies.n_policy s ~n))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "power decreases" true
+          (b.Analytic.power <= a.Analytic.power +. 1e-9);
+        Alcotest.(check bool) "delay increases" true
+          (b.Analytic.avg_waiting_requests >= a.Analytic.avg_waiting_requests -. 1e-9);
+        check rest
+    | _ -> ()
+  in
+  check metrics
+
+let self_switch_rate_insensitivity () =
+  (* DESIGN.md decision 1: the big-M approximation must not move the
+     metrics. *)
+  let mk rate =
+    Sys_model.create ~self_switch_rate:rate
+      ~sp:(Paper_instance.service_provider ())
+      ~queue_capacity:5 ~arrival_rate:(1.0 /. 6.0) ()
+  in
+  let m6 = Analytic.of_actions (mk 1e6) ~actions:(Policies.greedy (mk 1e6)) in
+  let m9 = Analytic.of_actions (mk 1e9) ~actions:(Policies.greedy (mk 1e9)) in
+  Test_util.check_relative ~rel:1e-4 "power stable" m9.Analytic.power
+    m6.Analytic.power;
+  Test_util.check_relative ~rel:1e-4 "queue stable"
+    m9.Analytic.avg_waiting_requests m6.Analytic.avg_waiting_requests
+
+let energy_per_request () =
+  let s = sys () in
+  let m = Analytic.of_actions s ~actions:(Policies.greedy s) in
+  Test_util.check_relative ~rel:1e-9 "definition"
+    (m.Analytic.power /. m.Analytic.throughput)
+    (Analytic.energy_per_request m)
+
+let of_action_array_matches_function () =
+  let s = sys () in
+  let f = Policies.n_policy s ~n:2 in
+  let a = Analytic.of_actions s ~actions:f in
+  let b = Analytic.of_action_array s (Policies.actions_array s f) in
+  Test_util.check_close ~tol:1e-12 "same power" a.Analytic.power b.Analytic.power;
+  Test_util.check_raises_invalid "wrong length" (fun () ->
+      ignore (Analytic.of_action_array s [| 0 |]))
+
+let suite =
+  [
+    t "always-on matches M/M/1/K" `Quick always_on_matches_mm1k;
+    t "flow conservation" `Quick flow_conservation;
+    t "Little's law" `Quick littles_law_consistency;
+    t "mode residency" `Quick residency_sums_to_one;
+    t "greedy vs always-on" `Quick greedy_saves_power_but_adds_delay;
+    t "N-policy monotone" `Quick n_policy_monotone_in_n;
+    t "big-M insensitivity" `Quick self_switch_rate_insensitivity;
+    t "energy per request" `Quick energy_per_request;
+    t "of_action_array" `Quick of_action_array_matches_function;
+  ]

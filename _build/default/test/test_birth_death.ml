@@ -1,0 +1,87 @@
+open Dpm_ctmc
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+let product_form_matches_solver () =
+  let births = [| 1.0; 0.8; 0.6; 0.4 |] and deaths = [| 2.0; 2.0; 1.5; 3.0 |] in
+  let closed = Birth_death.stationary ~births ~deaths in
+  let solved = Steady_state.solve (Birth_death.generator ~births ~deaths) in
+  Test_util.check_vec ~tol:1e-12 "product form" closed solved
+
+let validation () =
+  Test_util.check_raises_invalid "length mismatch" (fun () ->
+      ignore (Birth_death.generator ~births:[| 1.0 |] ~deaths:[| 1.0; 2.0 |]));
+  Test_util.check_raises_invalid "zero rate" (fun () ->
+      ignore (Birth_death.generator ~births:[| 0.0 |] ~deaths:[| 1.0 |]));
+  Test_util.check_raises_invalid "empty" (fun () ->
+      ignore (Birth_death.generator ~births:[||] ~deaths:[||]))
+
+let mm1k_against_solver () =
+  let lambda = 0.7 and mu = 1.1 and k = 6 in
+  let m = Birth_death.Mm1k.eval ~lambda ~mu ~k in
+  let g =
+    Birth_death.generator ~births:(Array.make k lambda) ~deaths:(Array.make k mu)
+  in
+  Test_util.check_vec ~tol:1e-12 "occupancy" (Steady_state.solve g)
+    m.Birth_death.Mm1k.occupancy;
+  (* Flow identities. *)
+  Test_util.check_relative ~rel:1e-12 "throughput = mu * utilization"
+    (mu *. m.Birth_death.Mm1k.utilization)
+    m.Birth_death.Mm1k.throughput;
+  Test_util.check_relative ~rel:1e-12 "Little" m.Birth_death.Mm1k.mean_sojourn
+    (m.Birth_death.Mm1k.mean_number /. m.Birth_death.Mm1k.throughput)
+
+let mm1k_rho_one () =
+  let m = Birth_death.Mm1k.eval ~lambda:1.0 ~mu:1.0 ~k:4 in
+  (* Uniform occupancy over 5 levels. *)
+  Test_util.check_vec ~tol:1e-12 "uniform" (Vec.make 5 0.2)
+    m.Birth_death.Mm1k.occupancy;
+  Test_util.check_close ~tol:1e-12 "mean" 2.0 m.Birth_death.Mm1k.mean_number
+
+let mm1k_converges_to_mm1 () =
+  (* For large K and rho < 1 the finite queue approaches M/M/1. *)
+  let lambda = 0.5 and mu = 1.0 in
+  let m = Birth_death.Mm1k.eval ~lambda ~mu ~k:80 in
+  Test_util.check_relative ~rel:1e-9 "L" (Birth_death.Mm1.mean_number ~lambda ~mu)
+    m.Birth_death.Mm1k.mean_number;
+  Test_util.check_relative ~rel:1e-9 "W" (Birth_death.Mm1.mean_sojourn ~lambda ~mu)
+    m.Birth_death.Mm1k.mean_sojourn
+
+let mm1_identities () =
+  let lambda = 0.3 and mu = 0.9 in
+  (* L = lambda W (Little). *)
+  Test_util.check_relative ~rel:1e-12 "Little"
+    (lambda *. Birth_death.Mm1.mean_sojourn ~lambda ~mu)
+    (Birth_death.Mm1.mean_number ~lambda ~mu);
+  (* Geometric occupancy sums to 1. *)
+  let total = ref 0.0 in
+  for n = 0 to 200 do
+    total := !total +. Birth_death.Mm1.prob_n ~lambda ~mu n
+  done;
+  Test_util.check_close ~tol:1e-9 "mass" 1.0 !total;
+  Test_util.check_raises_invalid "instability" (fun () ->
+      ignore (Birth_death.Mm1.mean_number ~lambda:2.0 ~mu:1.0))
+
+let prop_product_form =
+  Test_util.qtest ~count:60 "product form equals linear solve"
+    QCheck2.Gen.(
+      int_range 1 10 >>= fun n ->
+      pair
+        (map Array.of_list (list_repeat n (float_range 0.05 4.0)))
+        (map Array.of_list (list_repeat n (float_range 0.05 4.0))))
+    (fun (births, deaths) ->
+      Vec.approx_equal ~tol:1e-9
+        (Birth_death.stationary ~births ~deaths)
+        (Steady_state.solve (Birth_death.generator ~births ~deaths)))
+
+let suite =
+  [
+    t "product form" `Quick product_form_matches_solver;
+    t "validation" `Quick validation;
+    t "M/M/1/K vs solver" `Quick mm1k_against_solver;
+    t "M/M/1/K at rho=1" `Quick mm1k_rho_one;
+    t "M/M/1/K -> M/M/1" `Quick mm1k_converges_to_mm1;
+    t "M/M/1 identities" `Quick mm1_identities;
+    prop_product_form;
+  ]

@@ -1,0 +1,173 @@
+open Dpm_core
+open Dpm_ctmdp
+
+let t = Alcotest.test_case
+
+let sys_at rate = Paper_instance.system_at ~arrival_rate:rate
+
+let meets_bound_exactly_when_binding () =
+  List.iter
+    (fun rate ->
+      let sys = sys_at rate in
+      match Optimize.constrained_exact sys ~max_waiting_requests:1.0 with
+      | None -> Alcotest.failf "rate %g infeasible" rate
+      | Some r ->
+          (* The unconstrained power optimum has L > 1 at these rates,
+             so the constraint binds and the optimum saturates it. *)
+          Test_util.check_close ~tol:1e-6 "bound saturated" 1.0
+            r.Optimize.metrics.Analytic.avg_waiting_requests;
+          Alcotest.(check bool) "positive shadow price" true
+            (r.Optimize.lagrange_multiplier > 0.0))
+    [ 1.0 /. 6.0; 1.0 /. 4.0 ]
+
+let never_worse_than_bisection () =
+  List.iter
+    (fun rate ->
+      let sys = sys_at rate in
+      match
+        ( Optimize.constrained sys ~max_waiting_requests:1.0,
+          Optimize.constrained_exact sys ~max_waiting_requests:1.0 )
+      with
+      | Some b, Some e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rate %g: LP %.3f <= bisection %.3f" rate
+               e.Optimize.metrics.Analytic.power
+               b.Optimize.metrics.Analytic.power)
+            true
+            (e.Optimize.metrics.Analytic.power
+            <= b.Optimize.metrics.Analytic.power +. 1e-6)
+      | _ -> Alcotest.failf "rate %g infeasible" rate)
+    Paper_instance.sweep_rates
+
+let duality_gap_closed_at_high_load () =
+  (* At rate 1/3 the deterministic frontier has a concave gap: the
+     bisection returns always-on (40 W), the LP mixes and saves
+     substantially. *)
+  let sys = sys_at (1.0 /. 3.0) in
+  match
+    ( Optimize.constrained sys ~max_waiting_requests:1.0,
+      Optimize.constrained_exact sys ~max_waiting_requests:1.0 )
+  with
+  | Some b, Some e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "LP %.2f W well below bisection %.2f W"
+           e.Optimize.metrics.Analytic.power b.Optimize.metrics.Analytic.power)
+        true
+        (e.Optimize.metrics.Analytic.power
+        < b.Optimize.metrics.Analytic.power -. 4.0)
+  | _ -> Alcotest.fail "infeasible"
+
+let single_randomized_state () =
+  (* One linear constraint: at most one state mixes (Ross's classic
+     result), barring degeneracy. *)
+  List.iter
+    (fun rate ->
+      match
+        Optimize.constrained_exact (sys_at rate) ~max_waiting_requests:1.0
+      with
+      | None -> Alcotest.fail "infeasible"
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rate %g mixes in <= 1 state" rate)
+            true
+            (List.length r.Optimize.randomized_states <= 1);
+          (* Distributions are proper. *)
+          Array.iter
+            (fun dist ->
+              let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist in
+              Test_util.check_close ~tol:1e-6 "row sums 1" 1.0 total)
+            r.Optimize.distributions)
+    [ 1.0 /. 6.0; 1.0 /. 3.0 ]
+
+let infeasible_bound_returns_none () =
+  let sys = sys_at (1.0 /. 3.0) in
+  Alcotest.(check bool) "absurd bound infeasible" true
+    (Optimize.constrained_exact sys ~max_waiting_requests:0.01 = None)
+
+let unconstrained_bound_matches_power_optimum () =
+  (* A bound so loose it never binds: the LP must land on the pure
+     power optimum (weight 0). *)
+  let sys = sys_at (1.0 /. 6.0) in
+  let unconstrained = Optimize.solve ~weight:0.0 sys in
+  match Optimize.constrained_exact sys ~max_waiting_requests:100.0 with
+  | None -> Alcotest.fail "infeasible"
+  | Some r ->
+      Test_util.check_relative ~rel:1e-6 "same power"
+        unconstrained.Optimize.metrics.Analytic.power
+        r.Optimize.metrics.Analytic.power;
+      Test_util.check_close ~tol:1e-6 "zero shadow price" 0.0
+        r.Optimize.lagrange_multiplier
+
+let mixed_generator_consistency () =
+  (* The mixed chain's analytic metrics must equal the LP's own
+     objective/secondary values. *)
+  let sys = sys_at (1.0 /. 4.0) in
+  let model = Sys_model.to_ctmdp sys ~weight:0.0 in
+  let secondary i _ =
+    float_of_int (Sys_model.waiting_requests (Sys_model.state_of_index sys i))
+  in
+  match Constrained_lp.solve model ~secondary ~bound:1.0 with
+  | None -> Alcotest.fail "infeasible"
+  | Some r ->
+      let gen, costs =
+        Constrained_lp.mixed_generator model r.Constrained_lp.distributions
+      in
+      let m = Analytic.of_mixed sys ~gen ~power_rates:costs in
+      Test_util.check_relative ~rel:1e-6 "objective = mixed power"
+        r.Constrained_lp.objective m.Analytic.power;
+      Test_util.check_relative ~rel:1e-6 "secondary = mixed waiting"
+        r.Constrained_lp.secondary m.Analytic.avg_waiting_requests
+
+let time_sharing_realizes_the_mixture () =
+  (* Mix greedy (cheap, slow) and always-on (dear, fast) 50/50 with a
+     long period: simulated metrics must approach the average of the
+     two controllers' own simulated metrics. *)
+  let sys = Paper_instance.system () in
+  let run ctl =
+    Dpm_sim.Power_sim.run ~seed:61L ~sys
+      ~workload:(Dpm_sim.Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+      ~controller:ctl
+      ~stop:(Dpm_sim.Power_sim.Requests 60_000)
+      ()
+  in
+  let a = run (Dpm_sim.Controller.greedy sys) in
+  let b = run (Dpm_sim.Controller.always_on sys) in
+  let mixed =
+    run
+      (Dpm_sim.Controller.time_shared ~period:2_000.0 ~fraction:0.5
+         (Dpm_sim.Controller.greedy sys)
+         (Dpm_sim.Controller.always_on sys))
+  in
+  let expect f = 0.5 *. (f a +. f b) in
+  Test_util.check_relative ~rel:0.05 "power mixes"
+    (expect (fun r -> r.Dpm_sim.Power_sim.avg_power))
+    mixed.Dpm_sim.Power_sim.avg_power;
+  Test_util.check_relative ~rel:0.08 "waiting mixes"
+    (expect (fun r -> r.Dpm_sim.Power_sim.avg_waiting_requests))
+    mixed.Dpm_sim.Power_sim.avg_waiting_requests
+
+let time_shared_validation () =
+  let sys = Paper_instance.system () in
+  Test_util.check_raises_invalid "fraction" (fun () ->
+      ignore
+        (Dpm_sim.Controller.time_shared ~period:1.0 ~fraction:1.5
+           (Dpm_sim.Controller.greedy sys)
+           (Dpm_sim.Controller.always_on sys)));
+  Test_util.check_raises_invalid "period" (fun () ->
+      ignore
+        (Dpm_sim.Controller.time_shared ~period:0.0 ~fraction:0.5
+           (Dpm_sim.Controller.greedy sys)
+           (Dpm_sim.Controller.always_on sys)))
+
+let suite =
+  [
+    t "bound saturated when binding" `Quick meets_bound_exactly_when_binding;
+    t "never worse than bisection" `Quick never_worse_than_bisection;
+    t "closes the duality gap" `Quick duality_gap_closed_at_high_load;
+    t "single randomized state" `Quick single_randomized_state;
+    t "infeasible bound" `Quick infeasible_bound_returns_none;
+    t "loose bound = power optimum" `Quick unconstrained_bound_matches_power_optimum;
+    t "mixed generator consistency" `Quick mixed_generator_consistency;
+    t "time sharing realizes mixture" `Slow time_sharing_realizes_the_mixture;
+    t "time-shared validation" `Quick time_shared_validation;
+  ]

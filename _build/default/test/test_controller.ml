@@ -1,0 +1,140 @@
+open Dpm_core
+open Dpm_sim
+
+let t = Alcotest.test_case
+
+let sys () = Paper_instance.system ()
+
+let obs ?(time = 0.0) ?(switching = None) ?(in_transfer = false) ~mode ~queue () =
+  {
+    Controller.time;
+    mode;
+    switching_to = switching;
+    queue_length = queue;
+    in_transfer;
+  }
+
+let greedy_commands () =
+  let s = sys () in
+  let c = Controller.greedy s in
+  let d = c.Controller.decide (obs ~mode:Paper_instance.sleeping ~queue:1 ()) Controller.Arrival in
+  Alcotest.(check (option int)) "wake on demand" (Some Paper_instance.active)
+    d.Controller.target;
+  let d =
+    c.Controller.decide
+      (obs ~mode:Paper_instance.active ~queue:0 ~in_transfer:true ())
+      (Controller.Service_completed 1)
+  in
+  Alcotest.(check (option int)) "sleep when empty" (Some Paper_instance.sleeping)
+    d.Controller.target
+
+let n_policy_commands () =
+  let s = sys () in
+  let c = Controller.n_policy s ~n:3 in
+  let d = c.Controller.decide (obs ~mode:Paper_instance.sleeping ~queue:2 ()) Controller.Arrival in
+  Alcotest.(check (option int)) "below threshold holds" None d.Controller.target;
+  let d = c.Controller.decide (obs ~mode:Paper_instance.sleeping ~queue:3 ()) Controller.Arrival in
+  Alcotest.(check (option int)) "threshold wakes" (Some Paper_instance.active)
+    d.Controller.target;
+  (* Serving exhaustively: active with backlog re-commands itself. *)
+  let d =
+    c.Controller.decide
+      (obs ~mode:Paper_instance.active ~queue:1 ~in_transfer:true ())
+      (Controller.Service_completed 2)
+  in
+  Alcotest.(check (option int)) "exhaustive service" (Some Paper_instance.active)
+    d.Controller.target;
+  Test_util.check_raises_invalid "n >= 1" (fun () ->
+      ignore (Controller.n_policy s ~n:0))
+
+let timeout_sequence () =
+  let s = sys () in
+  let c = Controller.timeout s ~delay:2.0 in
+  (* Queue empties at t = 10 with the server up: a timer is armed,
+     no immediate switch. *)
+  let d =
+    c.Controller.decide
+      (obs ~time:10.0 ~mode:Paper_instance.active ~queue:0 ())
+      (Controller.Service_completed 1)
+  in
+  Alcotest.(check (option int)) "no switch yet" None d.Controller.target;
+  Alcotest.(check (option (float 1e-9))) "timer armed" (Some 2.0) d.Controller.timer;
+  (* Timer fires with the queue still empty: sleep. *)
+  let d =
+    c.Controller.decide
+      (obs ~time:12.0 ~mode:Paper_instance.active ~queue:0 ())
+      Controller.Timer
+  in
+  Alcotest.(check (option int)) "sleep after timeout" (Some Paper_instance.sleeping)
+    d.Controller.target
+
+let timeout_cancelled_by_arrival () =
+  let s = sys () in
+  let c = Controller.timeout s ~delay:2.0 in
+  ignore
+    (c.Controller.decide
+       (obs ~time:10.0 ~mode:Paper_instance.active ~queue:0 ())
+       (Controller.Service_completed 1));
+  (* An arrival resets idleness... *)
+  let d =
+    c.Controller.decide
+      (obs ~time:11.0 ~mode:Paper_instance.active ~queue:1 ())
+      Controller.Arrival
+  in
+  Alcotest.(check (option int)) "stay up for the request" (Some Paper_instance.active)
+    d.Controller.target;
+  (* ... so the stale timer at t = 12 must not sleep even if the
+     queue is empty again only since t = 11.5. *)
+  ignore
+    (c.Controller.decide
+       (obs ~time:11.5 ~mode:Paper_instance.active ~queue:0 ())
+       (Controller.Service_completed 1));
+  let d =
+    c.Controller.decide
+      (obs ~time:12.0 ~mode:Paper_instance.active ~queue:0 ())
+      Controller.Timer
+  in
+  Alcotest.(check (option int)) "stale timer ignored" None d.Controller.target
+
+let of_policy_transfer_lookup () =
+  let s = sys () in
+  (* A policy distinguishing transfer from stable states. *)
+  let policy = function
+    | Sys_model.Transfer (_, _) -> Paper_instance.waiting
+    | Sys_model.Stable (_, _) -> Paper_instance.active
+  in
+  let c = Controller.of_policy s policy in
+  let d =
+    c.Controller.decide
+      (obs ~mode:Paper_instance.active ~queue:2 ~in_transfer:true ())
+      (Controller.Service_completed 3)
+  in
+  Alcotest.(check (option int)) "transfer state lookup" (Some Paper_instance.waiting)
+    d.Controller.target;
+  let d =
+    c.Controller.decide (obs ~mode:Paper_instance.sleeping ~queue:2 ()) Controller.Arrival
+  in
+  Alcotest.(check (option int)) "stable lookup" (Some Paper_instance.active)
+    d.Controller.target;
+  (* Queue length beyond capacity clamps instead of crashing. *)
+  let d =
+    c.Controller.decide (obs ~mode:Paper_instance.sleeping ~queue:99 ()) Controller.Arrival
+  in
+  Alcotest.(check (option int)) "clamped" (Some Paper_instance.active) d.Controller.target
+
+let always_on_commands_fastest () =
+  let s = sys () in
+  let c = Controller.always_on s in
+  let d = c.Controller.decide (obs ~mode:Paper_instance.sleeping ~queue:0 ()) Controller.Init in
+  Alcotest.(check (option int)) "wake at init" (Some Paper_instance.active)
+    d.Controller.target
+
+let suite =
+  [
+    t "greedy" `Quick greedy_commands;
+    t "n-policy" `Quick n_policy_commands;
+    t "timeout sequence" `Quick timeout_sequence;
+    t "timeout stale timer" `Quick timeout_cancelled_by_arrival;
+    t "of_policy lookups" `Quick of_policy_transfer_lookup;
+    t "always-on" `Quick always_on_commands_fastest;
+  ]

@@ -1,0 +1,111 @@
+open Dpm_ctmdp
+
+let t = Alcotest.test_case
+
+(* A two-state machine: state 0 can run fast (high cost, fast exit) or
+   slow; state 1 always returns. *)
+let toy () =
+  Model.create ~num_states:2 (fun i ->
+      if i = 0 then
+        [
+          { Model.action = 10; rates = [ (1, 2.0) ]; cost = 5.0 };
+          { Model.action = 20; rates = [ (1, 0.5) ]; cost = 1.0 };
+        ]
+      else [ { Model.action = 0; rates = [ (0, 1.0) ]; cost = 0.0 } ])
+
+let shape () =
+  let m = toy () in
+  Alcotest.(check int) "states" 2 (Model.num_states m);
+  Alcotest.(check int) "choices at 0" 2 (Model.num_choices m 0);
+  Alcotest.(check int) "choices at 1" 1 (Model.num_choices m 1);
+  Alcotest.(check int) "total" 3 (Model.total_choices m);
+  Test_util.check_close "max exit" 2.0 (Model.max_exit_rate m)
+
+let lookup () =
+  let m = toy () in
+  let c = Model.choice m 0 1 in
+  Alcotest.(check int) "label" 20 c.Model.action;
+  Alcotest.(check (option int)) "find by label" (Some 1)
+    (Model.find_choice m 0 ~action:20);
+  Alcotest.(check (option int)) "missing label" None
+    (Model.find_choice m 1 ~action:99);
+  Test_util.check_raises_invalid "choice out of range" (fun () ->
+      ignore (Model.choice m 1 3))
+
+let validation () =
+  let bad f = Test_util.check_raises_invalid "invalid model" f in
+  bad (fun () -> Model.create ~num_states:0 (fun _ -> []));
+  bad (fun () -> Model.create ~num_states:1 (fun _ -> []));
+  bad (fun () ->
+      Model.create ~num_states:1 (fun _ ->
+          [ { Model.action = 0; rates = [ (0, 1.0) ]; cost = 0.0 } ]));
+  bad (fun () ->
+      Model.create ~num_states:2 (fun _ ->
+          [ { Model.action = 0; rates = [ (5, 1.0) ]; cost = 0.0 } ]));
+  bad (fun () ->
+      Model.create ~num_states:2 (fun _ ->
+          [ { Model.action = 0; rates = [ (1, -1.0) ]; cost = 0.0 } ]));
+  bad (fun () ->
+      Model.create ~num_states:2 (fun _ ->
+          [ { Model.action = 0; rates = [ (1, 1.0) ]; cost = Float.nan } ]));
+  bad (fun () ->
+      Model.create ~num_states:2 (fun i ->
+          if i = 0 then
+            [
+              { Model.action = 7; rates = [ (1, 1.0) ]; cost = 0.0 };
+              { Model.action = 7; rates = [ (1, 2.0) ]; cost = 0.0 };
+            ]
+          else [ { Model.action = 0; rates = [ (0, 1.0) ]; cost = 0.0 } ]))
+
+let map_costs_reweights () =
+  let m = toy () in
+  let m2 = Model.map_costs (fun _ c -> c.Model.cost *. 10.0) m in
+  Test_util.check_close "scaled" 50.0 (Model.choice m2 0 0).Model.cost;
+  Test_util.check_close "original intact" 5.0 (Model.choice m 0 0).Model.cost
+
+let policy_roundtrips () =
+  let m = toy () in
+  let p = Policy.of_actions m [| 20; 0 |] in
+  Alcotest.(check int) "action at 0" 20 (Policy.action m p 0);
+  Alcotest.(check int) "choice index" 1 (Policy.choice_index p 0);
+  Alcotest.(check bool) "round trip equal" true
+    (Policy.equal p (Policy.of_choice_indices m [| 1; 0 |]));
+  Test_util.check_raises_invalid "unknown label" (fun () ->
+      ignore (Policy.of_actions m [| 99; 0 |]));
+  Test_util.check_raises_invalid "bad index" (fun () ->
+      ignore (Policy.of_choice_indices m [| 0; 5 |]))
+
+let induced_chain () =
+  let m = toy () in
+  let p = Policy.of_actions m [| 10; 0 |] in
+  let g = Policy.generator m p in
+  Test_util.check_close "rate 0->1" 2.0 (Dpm_ctmc.Generator.get g 0 1);
+  Test_util.check_close "rate 1->0" 1.0 (Dpm_ctmc.Generator.get g 1 0);
+  Test_util.check_vec "costs" [| 5.0; 0.0 |] (Policy.cost_vector m p)
+
+let enumeration_counts () =
+  let m = toy () in
+  Test_util.check_close "count" 2.0 (Policy.count m);
+  let seen = List.of_seq (Policy.enumerate m) in
+  Alcotest.(check int) "enumerated" 2 (List.length seen);
+  (* All distinct. *)
+  match seen with
+  | [ a; b ] -> Alcotest.(check bool) "distinct" false (Policy.equal a b)
+  | _ -> Alcotest.fail "expected exactly two policies"
+
+let uniform_first_picks_index_zero () =
+  let m = toy () in
+  let p = Policy.uniform_first m in
+  Alcotest.(check int) "first choice" 10 (Policy.action m p 0)
+
+let suite =
+  [
+    t "shape" `Quick shape;
+    t "lookup" `Quick lookup;
+    t "validation" `Quick validation;
+    t "map_costs" `Quick map_costs_reweights;
+    t "policy roundtrips" `Quick policy_roundtrips;
+    t "induced chain" `Quick induced_chain;
+    t "enumeration" `Quick enumeration_counts;
+    t "uniform_first" `Quick uniform_first_picks_index_zero;
+  ]

@@ -1,0 +1,100 @@
+open Dpm_ctmdp
+
+let t = Alcotest.test_case
+
+let speed_control ~holding ~fast_cost =
+  let lam = 1.0 in
+  Model.create ~num_states:3 (fun i ->
+      let arrivals = if i < 2 then [ (i + 1, lam) ] else [] in
+      let serve rate = if i > 0 then [ (i - 1, rate) ] else [] in
+      let hold = holding *. float_of_int i in
+      [
+        { Model.action = 0; rates = arrivals @ serve 1.5; cost = hold +. 1.0 };
+        { Model.action = 1; rates = arrivals @ serve 4.0; cost = hold +. fast_cost };
+      ])
+
+let evaluate_two_state_closed_form () =
+  (* v = (aI - G)^{-1} c on the 2-state chain, checked by hand:
+     (a+1) v0 - v1 = 4;  -3 v0 + (a+3) v1 = 8 with a = 1:
+     2 v0 - v1 = 4; -3 v0 + 4 v1 = 8 -> v0 = 24/5, v1 = 28/5. *)
+  let m =
+    Model.create ~num_states:2 (fun i ->
+        if i = 0 then [ { Model.action = 0; rates = [ (1, 1.0) ]; cost = 4.0 } ]
+        else [ { Model.action = 0; rates = [ (0, 3.0) ]; cost = 8.0 } ])
+  in
+  let v = Discounted.evaluate m ~discount:1.0 (Policy.uniform_first m) in
+  Test_util.check_vec ~tol:1e-10 "closed form" [| 4.8; 5.6 |] v
+
+let optimal_values_dominate () =
+  (* The solver's value vector must be pointwise <= any fixed
+     policy's. *)
+  let m = speed_control ~holding:3.0 ~fast_cost:2.0 in
+  let r = Discounted.solve m ~discount:0.4 in
+  Seq.iter
+    (fun p ->
+      let v = Discounted.evaluate m ~discount:0.4 p in
+      Array.iteri
+        (fun i vi ->
+          if r.Discounted.values.(i) > vi +. 1e-8 then
+            Alcotest.failf "state %d: optimal %g > policy %g" i
+              r.Discounted.values.(i) vi)
+        v)
+    (Policy.enumerate m)
+
+let vanishing_discount_approaches_average_optimal () =
+  (* Theorem 2.3: the a-optimal policy for small a maximizes the
+     average criterion. *)
+  let m = speed_control ~holding:2.0 ~fast_cost:3.0 in
+  let avg = Policy_iteration.solve m in
+  let dis = Discounted.solve m ~discount:1e-5 in
+  let gain_of_dis_policy =
+    (Policy_iteration.evaluate m dis.Discounted.policy).Policy_iteration.gain
+  in
+  Test_util.check_close ~tol:1e-6 "same average gain"
+    avg.Policy_iteration.gain gain_of_dis_policy;
+  (* And a * v_dis(a) -> optimal average gain. *)
+  Test_util.check_relative ~rel:1e-3 "Abelian limit"
+    avg.Policy_iteration.gain
+    (1e-5 *. dis.Discounted.values.(0))
+
+let myopic_at_huge_discount () =
+  (* As a -> infinity only the immediate cost rate matters: the
+     cheapest action per state wins. *)
+  let m = speed_control ~holding:2.0 ~fast_cost:3.0 in
+  let r = Discounted.solve m ~discount:1e7 in
+  for i = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "cheapest action in state %d" i)
+      0 (* slow costs 1.0 < fast *)
+      (Policy.action m r.Discounted.policy i)
+  done
+
+let validation () =
+  let m = speed_control ~holding:1.0 ~fast_cost:2.0 in
+  Test_util.check_raises_invalid "nonpositive discount" (fun () ->
+      ignore (Discounted.solve m ~discount:0.0))
+
+let prop_monotone_in_discount =
+  (* Discounted total cost decreases as the discount rate grows
+     (costs are nonnegative). *)
+  Test_util.qtest ~count:40 "values decrease in the discount rate"
+    QCheck2.Gen.(pair (float_range 0.05 2.0) (float_range 0.1 2.0))
+    (fun (a, delta) ->
+      let m = speed_control ~holding:2.0 ~fast_cost:3.0 in
+      let v1 = Discounted.solve m ~discount:a in
+      let v2 = Discounted.solve m ~discount:(a +. delta) in
+      let ok = ref true in
+      Array.iteri
+        (fun i x -> if v2.Discounted.values.(i) > x +. 1e-8 then ok := false)
+        v1.Discounted.values;
+      !ok)
+
+let suite =
+  [
+    t "evaluate closed form" `Quick evaluate_two_state_closed_form;
+    t "optimal dominates all policies" `Quick optimal_values_dominate;
+    t "vanishing discount" `Quick vanishing_discount_approaches_average_optimal;
+    t "myopic at huge discount" `Quick myopic_at_huge_discount;
+    t "validation" `Quick validation;
+    prop_monotone_in_discount;
+  ]

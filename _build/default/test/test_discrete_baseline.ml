@@ -1,0 +1,158 @@
+open Dpm_core
+open Dpm_sim
+
+let t = Alcotest.test_case
+
+let sys () = Paper_instance.system ()
+
+let shapes_and_validation () =
+  let s = sys () in
+  let dt = Discrete_baseline.build s ~slice:0.5 ~weight:1.0 in
+  Alcotest.(check int) "S*(Q+1) states" 18 (Discrete_baseline.num_states dt);
+  Test_util.check_close "slice" 0.5 (Discrete_baseline.slice dt);
+  Test_util.check_raises_invalid "bad slice" (fun () ->
+      ignore (Discrete_baseline.build s ~slice:0.0 ~weight:1.0));
+  Test_util.check_raises_invalid "slice too long" (fun () ->
+      ignore (Discrete_baseline.build s ~slice:10.0 ~weight:1.0))
+
+let dt_gain_approaches_ct_gain () =
+  (* As the slice shrinks, the discrete optimum approaches the
+     continuous one from the paper's model.  They never coincide (the
+     DT model lacks transfer states), but the gap must shrink and stay
+     moderate. *)
+  let s = sys () in
+  let ct = (Optimize.solve ~weight:1.0 s).Optimize.gain in
+  let gap slice =
+    let dt = Discrete_baseline.build s ~slice ~weight:1.0 in
+    let r = Discrete_baseline.solve dt in
+    Float.abs (Discrete_baseline.gain_per_unit_time dt r -. ct) /. ct
+  in
+  let g_coarse = gap 1.0 and g_fine = gap 0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "finer slice closer (%.3f vs %.3f)" g_fine g_coarse)
+    true (g_fine <= g_coarse +. 0.01);
+  Alcotest.(check bool) "within 15%" true (g_fine < 0.15)
+
+let dt_policy_wakes_under_pressure () =
+  let s = sys () in
+  let dt = Discrete_baseline.build s ~slice:0.2 ~weight:5.0 in
+  let r = Discrete_baseline.solve dt in
+  (* With a strong delay weight, the sleeping SP must be told to wake
+     once requests queue up. *)
+  Alcotest.(check int) "wake at q5" Paper_instance.active
+    (Discrete_baseline.action_of dt r ~mode:Paper_instance.sleeping ~queue:5);
+  Alcotest.(check int) "wake at q1" Paper_instance.active
+    (Discrete_baseline.action_of dt r ~mode:Paper_instance.sleeping ~queue:1)
+
+let periodic_controller_issues_per_slice () =
+  let s = sys () in
+  let dt = Discrete_baseline.build s ~slice:0.5 ~weight:1.0 in
+  let r = Discrete_baseline.solve dt in
+  let ctl =
+    Controller.periodic ~period:(Discrete_baseline.slice dt)
+      ~decide:(fun ~mode ~queue -> Discrete_baseline.action_of dt r ~mode ~queue)
+  in
+  let res =
+    Power_sim.run ~seed:21L ~sys:s
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate s))
+      ~controller:ctl
+      ~stop:(Power_sim.Sim_time 1000.0)
+      ()
+  in
+  (* ~2000 slices in 1000 s: the decision count must be dominated by
+     the timer, not by the other events (~1000/6 arrivals). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "decision count %d ~ slice count" res.Power_sim.controller_decisions)
+    true
+    (res.Power_sim.controller_decisions > 1900
+    && res.Power_sim.controller_decisions < 3200)
+
+let event_driven_policy_decides_less () =
+  (* The paper's criticism (4): per-slice managers generate far more
+     PM traffic than the asynchronous CTMDP policy. *)
+  let s = sys () in
+  let sol = Optimize.solve ~weight:1.0 s in
+  let run ctl =
+    Power_sim.run ~seed:22L ~sys:s
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate s))
+      ~controller:ctl
+      ~stop:(Power_sim.Sim_time 5000.0)
+      ()
+  in
+  let ct = run (Controller.of_solution s sol) in
+  let dt = Discrete_baseline.build s ~slice:0.2 ~weight:1.0 in
+  let rdt = Discrete_baseline.solve dt in
+  let dt_res =
+    run
+      (Controller.periodic ~period:0.2 ~decide:(fun ~mode ~queue ->
+           Discrete_baseline.action_of dt rdt ~mode ~queue))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "CT %d decisions << DT %d" ct.Power_sim.controller_decisions
+       dt_res.Power_sim.controller_decisions)
+    true
+    (ct.Power_sim.controller_decisions * 5 < dt_res.Power_sim.controller_decisions)
+
+let decision_energy_charged () =
+  let s = sys () in
+  let run energy =
+    Power_sim.run ~seed:23L ~sys:s ~decision_energy:energy
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate s))
+      ~controller:(Controller.greedy s)
+      ~stop:(Power_sim.Requests 5_000)
+      ()
+  in
+  let free = run 0.0 in
+  let taxed = run 0.01 in
+  (* Same seed, same trajectory; power differs by exactly
+     decisions * energy / duration. *)
+  Alcotest.(check int) "same decisions" free.Power_sim.controller_decisions
+    taxed.Power_sim.controller_decisions;
+  Test_util.check_relative ~rel:1e-6 "energy accounted"
+    (free.Power_sim.avg_power
+    +. (0.01 *. float_of_int free.Power_sim.controller_decisions
+       /. free.Power_sim.duration))
+    taxed.Power_sim.avg_power
+
+let dt_model_mispredicts_vs_simulation () =
+  (* Criticisms (2)/(3): the DT model's own metric predictions are
+     worse than the CT model's, measured against the simulator. *)
+  let s = sys () in
+  let sol = Optimize.solve ~weight:1.0 s in
+  let ct_pred = sol.Optimize.metrics.Analytic.power in
+  let ct_sim =
+    (Power_sim.run ~seed:24L ~sys:s
+       ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate s))
+       ~controller:(Controller.of_solution s sol)
+       ~stop:(Power_sim.Requests 50_000) ())
+      .Power_sim.avg_power
+  in
+  let dt = Discrete_baseline.build s ~slice:0.5 ~weight:1.0 in
+  let rdt = Discrete_baseline.solve dt in
+  let dt_pred, _ = Discrete_baseline.predicted_metrics dt rdt in
+  let dt_sim =
+    (Power_sim.run ~seed:24L ~sys:s
+       ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate s))
+       ~controller:
+         (Controller.periodic ~period:0.5 ~decide:(fun ~mode ~queue ->
+              Discrete_baseline.action_of dt rdt ~mode ~queue))
+       ~stop:(Power_sim.Requests 50_000) ())
+      .Power_sim.avg_power
+  in
+  let ct_err = Float.abs (ct_pred -. ct_sim) /. ct_sim in
+  let dt_err = Float.abs (dt_pred -. dt_sim) /. dt_sim in
+  Alcotest.(check bool)
+    (Printf.sprintf "CT err %.2f%% < DT err %.2f%%" (100. *. ct_err)
+       (100. *. dt_err))
+    true (ct_err < dt_err)
+
+let suite =
+  [
+    t "shapes and validation" `Quick shapes_and_validation;
+    t "DT gain approaches CT" `Quick dt_gain_approaches_ct_gain;
+    t "DT policy wakes" `Quick dt_policy_wakes_under_pressure;
+    t "periodic decision count" `Quick periodic_controller_issues_per_slice;
+    t "CT decides less than DT" `Slow event_driven_policy_decides_less;
+    t "decision energy" `Quick decision_energy_charged;
+    t "DT model less accurate" `Slow dt_model_mispredicts_vs_simulation;
+  ]

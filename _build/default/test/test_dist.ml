@@ -1,0 +1,148 @@
+open Dpm_prob
+
+let t = Alcotest.test_case
+
+let exponential_moments () =
+  let r = Test_util.rng () in
+  let rate = 0.667 in
+  let n = 200_000 in
+  let w = Stat.Welford.create () in
+  for _ = 1 to n do
+    Stat.Welford.add w (Dist.exponential_sample r ~rate)
+  done;
+  Test_util.check_relative ~rel:0.02 "mean = 1/rate" (1.0 /. rate)
+    (Stat.Welford.mean w);
+  Test_util.check_relative ~rel:0.05 "variance = 1/rate^2"
+    (1.0 /. (rate *. rate))
+    (Stat.Welford.variance w)
+
+let exponential_pdf_cdf () =
+  Test_util.check_close "pdf at 0" 2.0 (Dist.exponential_pdf ~rate:2.0 0.0);
+  Test_util.check_close "pdf negative" 0.0 (Dist.exponential_pdf ~rate:2.0 (-1.0));
+  Test_util.check_close ~tol:1e-12 "cdf" (1.0 -. exp (-2.0))
+    (Dist.exponential_cdf ~rate:2.0 1.0);
+  Test_util.check_raises_invalid "nonpositive rate" (fun () ->
+      Dist.exponential_pdf ~rate:0.0 1.0)
+
+let memorylessness () =
+  (* P(X > s + t | X > s) = P(X > t): estimate both sides. *)
+  let r = Test_util.rng () in
+  let rate = 1.0 and s = 0.7 and tt = 0.9 in
+  let beyond_s = ref 0 and beyond_st = ref 0 in
+  for _ = 1 to 300_000 do
+    let x = Dist.exponential_sample r ~rate in
+    if x > s then begin
+      incr beyond_s;
+      if x > s +. tt then incr beyond_st
+    end
+  done;
+  let conditional = float_of_int !beyond_st /. float_of_int !beyond_s in
+  Test_util.check_relative ~rel:0.03 "memoryless" (exp (-.rate *. tt)) conditional
+
+let uniform_bounds () =
+  let r = Test_util.rng () in
+  for _ = 1 to 10_000 do
+    let x = Dist.uniform_sample r ~lo:(-2.0) ~hi:3.0 in
+    if x < -2.0 || x >= 3.0 then Alcotest.failf "uniform out of range: %g" x
+  done;
+  Test_util.check_raises_invalid "hi < lo" (fun () ->
+      Dist.uniform_sample r ~lo:1.0 ~hi:0.0)
+
+let poisson_pmf_sums_to_one () =
+  let mean = 7.3 in
+  let total = ref 0.0 in
+  for k = 0 to 100 do
+    total := !total +. Dist.poisson_pmf ~mean k
+  done;
+  Test_util.check_close ~tol:1e-9 "pmf mass" 1.0 !total;
+  Test_util.check_close "pmf negative k" 0.0 (Dist.poisson_pmf ~mean (-1));
+  Test_util.check_close "zero mean at 0" 1.0 (Dist.poisson_pmf ~mean:0.0 0)
+
+let poisson_pmf_recurrence () =
+  (* p(k+1)/p(k) = mean/(k+1) *)
+  let mean = 4.2 in
+  for k = 0 to 20 do
+    let ratio = Dist.poisson_pmf ~mean (k + 1) /. Dist.poisson_pmf ~mean k in
+    Test_util.check_close ~tol:1e-9
+      (Printf.sprintf "recurrence at %d" k)
+      (mean /. float_of_int (k + 1))
+      ratio
+  done
+
+let poisson_sampler_moments mean () =
+  let r = Test_util.rng () in
+  let w = Stat.Welford.create () in
+  for _ = 1 to 100_000 do
+    Stat.Welford.add w (float_of_int (Dist.poisson_sample r ~mean))
+  done;
+  Test_util.check_relative ~rel:0.03 "mean" mean (Stat.Welford.mean w);
+  Test_util.check_relative ~rel:0.06 "variance = mean" mean (Stat.Welford.variance w)
+
+let poisson_weights_window () =
+  let k_lo, w = Dist.poisson_weights ~mean:25.0 ~eps:1e-10 in
+  let mass = Array.fold_left ( +. ) 0.0 w in
+  Alcotest.(check bool) "captures 1 - eps" true (mass >= 1.0 -. 1e-10);
+  Alcotest.(check bool) "window starts at or below mode" true (k_lo <= 25);
+  Array.iteri
+    (fun i wi ->
+      Test_util.check_relative ~rel:1e-9
+        (Printf.sprintf "weight %d is the pmf" i)
+        (Dist.poisson_pmf ~mean:25.0 (k_lo + i))
+        wi)
+    w
+
+let geometric_mean () =
+  let r = Test_util.rng () in
+  let p = 0.3 in
+  let w = Stat.Welford.create () in
+  for _ = 1 to 100_000 do
+    Stat.Welford.add w (float_of_int (Dist.geometric_sample r ~p))
+  done;
+  Test_util.check_relative ~rel:0.03 "failures before success" ((1.0 -. p) /. p)
+    (Stat.Welford.mean w);
+  let r2 = Test_util.rng () in
+  Alcotest.(check int) "p = 1 is constant 0" 0 (Dist.geometric_sample r2 ~p:1.0)
+
+let categorical_frequencies () =
+  let r = Test_util.rng () in
+  let weights = [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Dist.categorical_sample r weights in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(1);
+  Test_util.check_relative ~rel:0.04 "weight 1/4" (0.25 *. float_of_int n)
+    (float_of_int counts.(0));
+  Test_util.check_raises_invalid "all-zero weights" (fun () ->
+      ignore (Dist.categorical_sample r [| 0.0; 0.0 |]))
+
+let erlang_moments () =
+  let r = Test_util.rng () in
+  let k = 4 and rate = 2.0 in
+  let w = Stat.Welford.create () in
+  for _ = 1 to 100_000 do
+    Stat.Welford.add w (Dist.erlang_sample r ~k ~rate)
+  done;
+  Test_util.check_relative ~rel:0.02 "mean k/rate" (float_of_int k /. rate)
+    (Stat.Welford.mean w);
+  Test_util.check_relative ~rel:0.05 "variance k/rate^2"
+    (float_of_int k /. (rate *. rate))
+    (Stat.Welford.variance w)
+
+let suite =
+  [
+    t "exponential moments" `Slow exponential_moments;
+    t "exponential pdf/cdf" `Quick exponential_pdf_cdf;
+    t "memorylessness" `Slow memorylessness;
+    t "uniform bounds" `Quick uniform_bounds;
+    t "poisson pmf mass" `Quick poisson_pmf_sums_to_one;
+    t "poisson pmf recurrence" `Quick poisson_pmf_recurrence;
+    t "poisson sampler small mean" `Slow (poisson_sampler_moments 3.7);
+    t "poisson sampler large mean" `Slow (poisson_sampler_moments 80.0);
+    t "poisson weights window" `Quick poisson_weights_window;
+    t "geometric mean" `Slow geometric_mean;
+    t "categorical frequencies" `Slow categorical_frequencies;
+    t "erlang moments" `Slow erlang_moments;
+  ]

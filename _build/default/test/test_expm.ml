@@ -1,0 +1,103 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+let t = Alcotest.test_case
+
+let exp_zero_is_identity () =
+  let e = Expm.expm (Matrix.create 3 3) in
+  Alcotest.(check bool) "identity" true (Matrix.approx_equal (Matrix.identity 3) e)
+
+let exp_diagonal () =
+  let e = Expm.expm (Matrix.diag [| 1.0; -2.0; 0.5 |]) in
+  Test_util.check_close ~tol:1e-12 "e^1" (exp 1.0) (Matrix.get e 0 0);
+  Test_util.check_close ~tol:1e-12 "e^-2" (exp (-2.0)) (Matrix.get e 1 1);
+  Test_util.check_close ~tol:1e-12 "e^.5" (exp 0.5) (Matrix.get e 2 2);
+  Test_util.check_close "off-diagonal" 0.0 (Matrix.get e 0 1)
+
+let exp_nilpotent () =
+  (* N = [[0,1],[0,0]]: e^N = I + N exactly. *)
+  let n = Matrix.of_arrays [| [| 0.0; 1.0 |]; [| 0.0; 0.0 |] |] in
+  let e = Expm.expm n in
+  Alcotest.(check bool) "I + N" true
+    (Matrix.approx_equal ~tol:1e-14
+       (Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 0.0; 1.0 |] |])
+       e)
+
+let exp_rotation () =
+  (* exp([[0,-t],[t,0]]) is the rotation matrix by angle t. *)
+  let theta = 0.7 in
+  let a = Matrix.of_arrays [| [| 0.0; -.theta |]; [| theta; 0.0 |] |] in
+  let e = Expm.expm a in
+  Test_util.check_close ~tol:1e-12 "cos" (cos theta) (Matrix.get e 0 0);
+  Test_util.check_close ~tol:1e-12 "-sin" (-.sin theta) (Matrix.get e 0 1);
+  Test_util.check_close ~tol:1e-12 "sin" (sin theta) (Matrix.get e 1 0)
+
+let semigroup_property () =
+  let a =
+    Matrix.of_arrays [| [| -1.0; 1.0; 0.0 |]; [| 2.0; -3.0; 1.0 |]; [| 0.5; 0.0; -0.5 |] |]
+  in
+  let e1 = Expm.transition_matrix a ~t:0.8 in
+  let e2 = Expm.transition_matrix a ~t:1.3 in
+  let e12 = Expm.transition_matrix a ~t:2.1 in
+  Alcotest.(check bool) "exp((s+t)A) = exp(sA) exp(tA)" true
+    (Matrix.approx_equal ~tol:1e-10 e12 (Matrix.mul e1 e2))
+
+let generator_rows_stay_stochastic () =
+  let g =
+    Generator.of_rates ~dim:4
+      [ (0, 1, 1.0); (1, 2, 0.5); (2, 3, 2.0); (3, 0, 0.7); (1, 0, 0.2) ]
+  in
+  let p = Expm.transition_matrix (Generator.to_matrix g) ~t:3.0 in
+  Test_util.check_vec ~tol:1e-10 "row sums one" (Vec.make 4 1.0) (Matrix.row_sums p);
+  Matrix.fold (fun () x -> if x < -1e-12 then Alcotest.fail "negative prob") () p
+
+let matches_uniformization () =
+  (* The two transient solvers are entirely independent; agreement is
+     strong evidence both are right. *)
+  let g =
+    Generator.of_rates ~dim:5
+      [ (0, 1, 0.4); (1, 2, 1.1); (2, 0, 0.6); (2, 3, 0.8); (3, 4, 2.0); (4, 2, 0.3); (4, 0, 0.9) ]
+  in
+  List.iter
+    (fun tt ->
+      let p_exp = Expm.transition_matrix (Generator.to_matrix g) ~t:tt in
+      let p0 = [| 1.0; 0.0; 0.0; 0.0; 0.0 |] in
+      let p_uni = Transient.probabilities ~eps:1e-13 g ~p0 ~t:tt in
+      let row0 = Matrix.row p_exp 0 in
+      Test_util.check_vec ~tol:1e-8
+        (Printf.sprintf "t = %g" tt)
+        row0 p_uni)
+    [ 0.1; 1.0; 5.0; 20.0 ]
+
+let validation () =
+  Test_util.check_raises_invalid "not square" (fun () ->
+      ignore (Expm.expm (Matrix.create 2 3)));
+  Test_util.check_raises_invalid "negative time" (fun () ->
+      ignore (Expm.transition_matrix (Matrix.identity 2) ~t:(-1.0)))
+
+let prop_inverse =
+  Test_util.qtest ~count:50 "exp(A) exp(-A) = I"
+    QCheck2.Gen.(
+      int_range 1 5 >>= fun n ->
+      map
+        (fun l ->
+          let a = Array.of_list l in
+          Matrix.init n n (fun i j -> a.((i * n) + j)))
+        (list_repeat (n * n) (float_range (-2.0) 2.0)))
+    (fun a ->
+      Matrix.approx_equal ~tol:1e-8
+        (Matrix.identity (Matrix.rows a))
+        (Matrix.mul (Expm.expm a) (Expm.expm (Matrix.scale (-1.0) a))))
+
+let suite =
+  [
+    t "exp(0) = I" `Quick exp_zero_is_identity;
+    t "diagonal" `Quick exp_diagonal;
+    t "nilpotent" `Quick exp_nilpotent;
+    t "rotation" `Quick exp_rotation;
+    t "semigroup" `Quick semigroup_property;
+    t "stochastic rows" `Quick generator_rows_stay_stochastic;
+    t "matches uniformization" `Quick matches_uniformization;
+    t "validation" `Quick validation;
+    prop_inverse;
+  ]

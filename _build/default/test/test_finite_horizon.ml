@@ -1,0 +1,139 @@
+open Dpm_ctmdp
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+let single_action_chain () =
+  Model.create ~num_states:2 (fun i ->
+      if i = 0 then [ { Model.action = 0; rates = [ (1, 1.0) ]; cost = 4.0 } ]
+      else [ { Model.action = 0; rates = [ (0, 3.0) ]; cost = 8.0 } ])
+
+let speed_control ~holding ~fast_cost =
+  let lam = 1.0 in
+  Model.create ~num_states:3 (fun i ->
+      let arrivals = if i < 2 then [ (i + 1, lam) ] else [] in
+      let serve rate = if i > 0 then [ (i - 1, rate) ] else [] in
+      let hold = holding *. float_of_int i in
+      [
+        { Model.action = 0; rates = arrivals @ serve 1.5; cost = hold +. 1.0 };
+        { Model.action = 1; rates = arrivals @ serve 4.0; cost = hold +. fast_cost };
+      ])
+
+let matches_transient_accumulation () =
+  (* One action: the finite-horizon value is just the accumulated
+     cost, computable independently by uniformization. *)
+  let m = single_action_chain () in
+  let horizon = 5.0 in
+  let r = Finite_horizon.solve ~steps_per_mean:64 m ~horizon in
+  let g =
+    Dpm_ctmc.Generator.of_rates ~dim:2 [ (0, 1, 1.0); (1, 0, 3.0) ]
+  in
+  let expect state =
+    let p0 = Vec.create 2 in
+    p0.(state) <- 1.0;
+    Dpm_ctmc.Transient.accumulated_rewards g ~p0 ~rewards:[| 4.0; 8.0 |] ~t:horizon
+  in
+  Test_util.check_relative ~rel:0.01 "value from 0" (expect 0)
+    (Finite_horizon.value_at r ~state:0);
+  Test_util.check_relative ~rel:0.01 "value from 1" (expect 1)
+    (Finite_horizon.value_at r ~state:1)
+
+let terminal_cost_added () =
+  let m = single_action_chain () in
+  let base = Finite_horizon.solve ~steps_per_mean:16 m ~horizon:1.0 in
+  let bumped =
+    Finite_horizon.solve ~steps_per_mean:16 ~terminal:[| 10.0; 10.0 |] m
+      ~horizon:1.0
+  in
+  (* A constant terminal cost shifts every value by exactly that
+     constant. *)
+  Test_util.check_close ~tol:1e-9 "constant shift" 10.0
+    (bumped.Finite_horizon.values.(0) -. base.Finite_horizon.values.(0));
+  Test_util.check_close ~tol:1e-9 "constant shift state 1" 10.0
+    (bumped.Finite_horizon.values.(1) -. base.Finite_horizon.values.(1))
+
+let long_horizon_gain_matches_average () =
+  let m = speed_control ~holding:2.0 ~fast_cost:3.0 in
+  let pi = Policy_iteration.solve m in
+  let horizon = 200.0 in
+  let r = Finite_horizon.solve ~steps_per_mean:8 m ~horizon in
+  (* v(T)/T -> optimal average gain. *)
+  Test_util.check_relative ~rel:0.02 "average rate"
+    pi.Policy_iteration.gain
+    (Finite_horizon.value_at r ~state:0 /. horizon);
+  (* Far from the horizon the schedule's first policy is the
+     average-optimal one. *)
+  (match r.Finite_horizon.schedule with
+  | (t0, p0) :: _ ->
+      Test_util.check_close "schedule starts at 0" 0.0 t0;
+      Alcotest.(check (array int)) "turnpike policy"
+        (Policy.actions m pi.Policy_iteration.policy)
+        (Policy.actions m p0)
+  | [] -> Alcotest.fail "empty schedule")
+
+let schedule_is_sorted_and_starts_at_zero () =
+  let m = speed_control ~holding:5.0 ~fast_cost:1.2 in
+  let r = Finite_horizon.solve ~steps_per_mean:8 m ~horizon:20.0 in
+  let times = List.map fst r.Finite_horizon.schedule in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted change points" true (sorted times);
+  (match times with
+  | t0 :: _ -> Test_util.check_close "first at 0" 0.0 t0
+  | [] -> Alcotest.fail "empty schedule")
+
+let finite_horizon_beats_any_fixed_policy () =
+  (* The piecewise-stationary optimum can only improve on stationary
+     policies over a finite horizon. *)
+  let m = speed_control ~holding:3.0 ~fast_cost:2.0 in
+  let horizon = 4.0 in
+  let r = Finite_horizon.solve ~steps_per_mean:32 m ~horizon in
+  Seq.iter
+    (fun p ->
+      (* Expected cost of the fixed policy over the horizon. *)
+      let g = Policy.generator m p in
+      let c = Policy.cost_vector m p in
+      let p0 = Vec.create (Model.num_states m) in
+      p0.(0) <- 1.0;
+      let fixed =
+        Dpm_ctmc.Transient.accumulated_rewards g ~p0 ~rewards:c ~t:horizon
+      in
+      if Finite_horizon.value_at r ~state:0 > fixed +. 0.02 *. Float.abs fixed
+      then
+        Alcotest.failf "fixed policy beats the finite-horizon optimum: %g < %g"
+          fixed
+          (Finite_horizon.value_at r ~state:0))
+    (Policy.enumerate m)
+
+let stiff_model_rejected () =
+  let sys = Dpm_core.Paper_instance.system () in
+  let m = Dpm_core.Sys_model.to_ctmdp sys ~weight:1.0 in
+  (* Big-M rates make the step count explode; the solver must refuse
+     loudly instead of looping for hours. *)
+  Test_util.check_raises_invalid "stiffness guard" (fun () ->
+      ignore (Finite_horizon.solve m ~horizon:100.0))
+
+let validation () =
+  let m = single_action_chain () in
+  Test_util.check_raises_invalid "bad horizon" (fun () ->
+      ignore (Finite_horizon.solve m ~horizon:0.0));
+  Test_util.check_raises_invalid "bad terminal" (fun () ->
+      ignore (Finite_horizon.solve ~terminal:[| 1.0 |] m ~horizon:1.0));
+  Test_util.check_raises_invalid "value_at range" (fun () ->
+      ignore
+        (Finite_horizon.value_at
+           (Finite_horizon.solve ~steps_per_mean:2 m ~horizon:0.5)
+           ~state:9))
+
+let suite =
+  [
+    t "matches transient accumulation" `Quick matches_transient_accumulation;
+    t "terminal cost" `Quick terminal_cost_added;
+    t "long horizon = average" `Slow long_horizon_gain_matches_average;
+    t "schedule sorted" `Quick schedule_is_sorted_and_starts_at_zero;
+    t "beats fixed policies" `Quick finite_horizon_beats_any_fixed_policy;
+    t "stiffness guard" `Quick stiff_model_rejected;
+    t "validation" `Quick validation;
+  ]

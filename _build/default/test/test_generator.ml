@@ -1,0 +1,144 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+let t = Alcotest.test_case
+
+let two_state lam mu = Generator.of_rates ~dim:2 [ (0, 1, lam); (1, 0, mu) ]
+
+let of_rates_diagonal () =
+  let g = two_state 1.0 3.0 in
+  Test_util.check_close "diagonal 0" (-1.0) (Generator.get g 0 0);
+  Test_util.check_close "diagonal 1" (-3.0) (Generator.get g 1 1);
+  Test_util.check_close "exit rate" 3.0 (Generator.exit_rate g 1);
+  Alcotest.(check int) "dim" 2 (Generator.dim g)
+
+let of_rates_duplicates_sum () =
+  let g = Generator.of_rates ~dim:2 [ (0, 1, 1.0); (0, 1, 2.0); (1, 0, 1.0) ] in
+  Test_util.check_close "summed rate" 3.0 (Generator.get g 0 1)
+
+let of_rates_validation () =
+  let invalid f = match f () with
+    | exception Generator.Invalid _ -> ()
+    | _ -> Alcotest.fail "expected Generator.Invalid"
+  in
+  invalid (fun () -> Generator.of_rates ~dim:0 []);
+  invalid (fun () -> Generator.of_rates ~dim:2 [ (0, 0, 1.0) ]);
+  invalid (fun () -> Generator.of_rates ~dim:2 [ (0, 2, 1.0) ]);
+  invalid (fun () -> Generator.of_rates ~dim:2 [ (0, 1, -1.0) ]);
+  invalid (fun () -> Generator.of_rates ~dim:2 [ (0, 1, Float.nan) ])
+
+let of_matrix_validation () =
+  let good =
+    Matrix.of_arrays [| [| -1.0; 1.0 |]; [| 2.0; -2.0 |] |]
+  in
+  let g = Generator.of_matrix good in
+  Test_util.check_close "entry" 2.0 (Generator.get g 1 0);
+  let invalid m = match Generator.of_matrix m with
+    | exception Generator.Invalid _ -> ()
+    | _ -> Alcotest.fail "expected Generator.Invalid"
+  in
+  invalid (Matrix.of_arrays [| [| -1.0; 2.0 |]; [| 2.0; -2.0 |] |]);
+  invalid (Matrix.of_arrays [| [| 1.0; -1.0 |]; [| 2.0; -2.0 |] |]);
+  invalid (Matrix.create 2 3)
+
+let sparse_backing_for_large () =
+  let n = 300 in
+  let rates = List.init (n - 1) (fun i -> (i, i + 1, 1.0)) in
+  let g = Generator.of_rates ~dim:n ((n - 1, 0, 1.0) :: rates) in
+  Alcotest.(check bool) "large generator is sparse-backed" false
+    (Generator.is_dense_backed g);
+  Test_util.check_close "rate present" 1.0 (Generator.get g 5 6);
+  Test_util.check_close "diagonal" (-1.0) (Generator.get g 5 5)
+
+let dense_sparse_roundtrip () =
+  let g = two_state 1.5 2.5 in
+  Alcotest.(check bool) "to_sparse/to_matrix agree" true
+    (Matrix.approx_equal (Generator.to_matrix g)
+       (Sparse.to_dense (Generator.to_sparse g)))
+
+let iteration_visits_positive_rates () =
+  let g = Generator.of_rates ~dim:3 [ (0, 1, 1.0); (1, 2, 2.0); (2, 0, 3.0) ] in
+  let seen = ref [] in
+  Generator.iter_off_diagonal g (fun i j r -> seen := (i, j, r) :: !seen);
+  Alcotest.(check int) "three edges" 3 (List.length !seen);
+  let row = ref [] in
+  Generator.iter_row g 1 (fun j r -> row := (j, r) :: !row);
+  Alcotest.(check (list (pair int (float 0.0)))) "row 1" [ (2, 2.0) ] !row
+
+let uniformization () =
+  let g = two_state 1.0 3.0 in
+  Test_util.check_close "uniformization rate" 3.0 (Generator.uniformization_rate g);
+  let p = Generator.uniformized ~rate:4.0 g in
+  Test_util.check_vec "stochastic rows" [| 1.0; 1.0 |] (Matrix.row_sums p);
+  Test_util.check_close "p01" 0.25 (Matrix.get p 0 1);
+  Test_util.check_close "p11" 0.25 (Matrix.get p 1 1);
+  Alcotest.(check bool) "sparse matches dense" true
+    (Matrix.approx_equal p (Sparse.to_dense (Generator.uniformized_sparse ~rate:4.0 g)));
+  Test_util.check_raises_invalid "rate too small" (fun () ->
+      ignore (Generator.uniformized ~rate:2.0 g))
+
+let embedded_dtmc () =
+  let g = Generator.of_rates ~dim:3 [ (0, 1, 1.0); (0, 2, 3.0); (1, 0, 2.0); (2, 1, 5.0) ] in
+  let p = Generator.embedded_dtmc g in
+  Test_util.check_close "jump probability" 0.75 (Matrix.get p 0 2);
+  Test_util.check_close "no self-loop" 0.0 (Matrix.get p 0 0);
+  Test_util.check_vec "rows stochastic" [| 1.0; 1.0; 1.0 |] (Matrix.row_sums p)
+
+let embedded_dtmc_absorbing () =
+  (* State 1 has no exits: the jump chain self-loops there. *)
+  let m = Matrix.of_arrays [| [| -1.0; 1.0 |]; [| 0.0; 0.0 |] |] in
+  let g = Generator.of_matrix m in
+  let p = Generator.embedded_dtmc g in
+  Test_util.check_close "absorbing self-loop" 1.0 (Matrix.get p 1 1)
+
+let scaling () =
+  let g = two_state 1.0 3.0 in
+  let g2 = Generator.scale 2.0 g in
+  Test_util.check_close "scaled rate" 2.0 (Generator.get g2 0 1);
+  Test_util.check_raises_invalid "nonpositive factor" (fun () ->
+      ignore (Generator.scale 0.0 g))
+
+let random_generator_gen =
+  QCheck2.Gen.(
+    int_range 2 8 >>= fun n ->
+    map
+      (fun entries ->
+        let rates =
+          List.filteri (fun _ (i, j, _) -> i <> j)
+            (List.map (fun (i, j, v) -> (i mod n, j mod n, v)) entries)
+        in
+        (* Ring guarantees at least one exit everywhere. *)
+        let ring = List.init n (fun i -> (i, (i + 1) mod n, 0.5)) in
+        Generator.of_rates ~dim:n (ring @ rates))
+      (list_size (int_range 0 20)
+         (map3 (fun i j v -> (i, j, v)) (int_range 0 7) (int_range 0 7)
+            (float_range 0.0 5.0))))
+
+let prop_rows_sum_zero =
+  Test_util.qtest "generator rows sum to zero" random_generator_gen (fun g ->
+      let sums = Matrix.row_sums (Generator.to_matrix g) in
+      Vec.norm_inf sums <= 1e-9)
+
+let prop_uniformized_stochastic =
+  Test_util.qtest "uniformized matrix is stochastic" random_generator_gen (fun g ->
+      let p = Generator.uniformized g in
+      let sums = Matrix.row_sums p in
+      let ok = ref (Vec.norm_inf (Vec.map (fun s -> s -. 1.0) sums) <= 1e-9) in
+      Matrix.fold (fun acc x -> acc && x >= -1e-12) !ok p)
+
+let suite =
+  [
+    t "of_rates diagonal" `Quick of_rates_diagonal;
+    t "of_rates duplicates" `Quick of_rates_duplicates_sum;
+    t "of_rates validation" `Quick of_rates_validation;
+    t "of_matrix validation" `Quick of_matrix_validation;
+    t "sparse backing" `Quick sparse_backing_for_large;
+    t "dense/sparse roundtrip" `Quick dense_sparse_roundtrip;
+    t "iteration" `Quick iteration_visits_positive_rates;
+    t "uniformization" `Quick uniformization;
+    t "embedded dtmc" `Quick embedded_dtmc;
+    t "embedded dtmc absorbing" `Quick embedded_dtmc_absorbing;
+    t "scaling" `Quick scaling;
+    prop_rows_sum_zero;
+    prop_uniformized_stochastic;
+  ]

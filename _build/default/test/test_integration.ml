@@ -1,0 +1,185 @@
+(* End-to-end pipelines: reduced-size versions of the paper's
+   experiments, plus the extra device presets. *)
+
+open Dpm_core
+open Dpm_sim
+
+let t = Alcotest.test_case
+
+let simulate ?(seed = 3L) ?(n = 20_000) sys controller =
+  Power_sim.run ~seed ~sys
+    ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+    ~controller ~stop:(Power_sim.Requests n) ()
+
+(* FIG4 pipeline: the simulated optimal frontier must weakly dominate
+   the simulated N-policy points (allowing simulation noise). *)
+let fig4_dominance () =
+  let sys = Paper_instance.system () in
+  let optimal =
+    List.map
+      (fun w ->
+        let sol = Optimize.solve ~weight:w sys in
+        let r = simulate sys (Controller.of_solution sys sol) in
+        (r.Power_sim.avg_power, r.Power_sim.avg_waiting_requests))
+      [ 0.1; 0.3; 0.5; 1.0; 2.0; 5.0 ]
+  in
+  List.iter
+    (fun n ->
+      let r = simulate sys (Controller.n_policy sys ~n) in
+      let np = r.Power_sim.avg_power and nl = r.Power_sim.avg_waiting_requests in
+      (* Some optimal point must be at least as good in both metrics,
+         within 3% simulation noise. *)
+      let dominated =
+        List.exists
+          (fun (p, l) -> p <= np *. 1.03 && l <= nl *. 1.03)
+          optimal
+      in
+      if not dominated then
+        Alcotest.failf "N=%d point (%.2f W, %.3f req) escapes the frontier" n np
+          nl)
+    [ 1; 3; 5 ]
+
+(* TAB1 pipeline: Little's law approximation error below 5% for the
+   paper's input rates (reduced request count). *)
+let table1_errors_small () =
+  List.iter
+    (fun rate ->
+      let sys = Paper_instance.system_at ~arrival_rate:rate in
+      match Optimize.constrained sys ~max_waiting_requests:1.0 with
+      | None -> Alcotest.failf "rate %g infeasible" rate
+      | Some sol ->
+          let r = simulate ~n:30_000 sys (Controller.of_solution sys sol) in
+          let approx = rate *. r.Power_sim.avg_waiting_time in
+          let actual = r.Power_sim.avg_waiting_requests in
+          let err = Float.abs ((approx -. actual) /. actual) *. 100.0 in
+          if err > 6.0 then
+            Alcotest.failf "rate %g: approximation error %.1f%%" rate err;
+          (* The constraint itself must hold in simulation. *)
+          if r.Power_sim.avg_waiting_time > 1.15 /. rate then
+            Alcotest.failf "rate %g: waiting time %.2f exceeds budget %.2f" rate
+              r.Power_sim.avg_waiting_time (1.0 /. rate))
+    [ 1.0 /. 8.0; 1.0 /. 6.0; 1.0 /. 4.0 ]
+
+(* FIG5 pipeline: ours gives the lowest power among policies that meet
+   the waiting-time budget. *)
+let fig5_ours_best_feasible () =
+  List.iter
+    (fun rate ->
+      let sys = Paper_instance.system_at ~arrival_rate:rate in
+      let period = 1.0 /. rate in
+      let ours =
+        match Optimize.constrained sys ~max_waiting_requests:1.0 with
+        | Some sol -> simulate sys (Controller.of_solution sys sol)
+        | None -> Alcotest.failf "rate %g infeasible" rate
+      in
+      Alcotest.(check bool) "ours meets the budget" true
+        (ours.Power_sim.avg_waiting_time <= 1.15 *. period);
+      List.iter
+        (fun ctl ->
+          let r = simulate sys ctl in
+          let feasible = r.Power_sim.avg_waiting_time <= period in
+          if feasible && r.Power_sim.avg_power < ours.Power_sim.avg_power *. 0.97
+          then
+            Alcotest.failf "rate %g: %s is feasible and cheaper (%.2f < %.2f W)"
+              rate r.Power_sim.controller r.Power_sim.avg_power
+              ours.Power_sim.avg_power)
+        [
+          Controller.greedy sys;
+          Controller.timeout sys ~delay:1.0;
+          Controller.timeout sys ~delay:period;
+          Controller.timeout sys ~delay:(0.5 *. period);
+        ])
+    [ 1.0 /. 8.0; 1.0 /. 5.0 ]
+
+(* The presets all compose, optimize and simulate. *)
+let presets_pipeline () =
+  List.iter
+    (fun (name, sp) ->
+      let rate = 0.3 *. Service_provider.service_rate sp (Service_provider.fastest_active sp) in
+      let sys = Sys_model.create ~sp ~queue_capacity:4 ~arrival_rate:rate () in
+      let sol = Optimize.solve ~weight:1.0 sys in
+      Alcotest.(check bool)
+        (name ^ " finite gain")
+        true
+        (Float.is_finite sol.Optimize.gain);
+      let r = simulate ~n:5_000 sys (Controller.of_solution sys sol) in
+      Test_util.check_relative ~rel:0.25
+        (name ^ " sim power tracks analytic")
+        sol.Optimize.metrics.Analytic.power r.Power_sim.avg_power)
+    (Presets.all ())
+
+(* Multi-active preset: the optimizer must use the slow speed under
+   light load when it pays off, and the model constraints hold. *)
+let dvs_cpu_multi_active () =
+  let sp = Presets.dvs_cpu () in
+  let sys = Sys_model.create ~sp ~queue_capacity:4 ~arrival_rate:5.0 () in
+  let sol = Optimize.solve ~weight:0.05 sys in
+  (match
+     Policies.check_valid sys (fun x -> sol.Optimize.actions.(Sys_model.index sys x))
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  (* With cheap half-speed service and a light delay weight, at least
+     one state should command the half-speed mode. *)
+  let half = Service_provider.mode_of_name sp "half" in
+  Alcotest.(check bool) "half speed used somewhere" true
+    (Array.exists (fun a -> a = half) sol.Optimize.actions)
+
+let cross_check_sim_analytic_all_presets () =
+  (* The model and the simulator must agree for an arbitrary valid
+     policy on an arbitrary preset (here: greedy on the disk). *)
+  let sp = Presets.disk () in
+  let sys = Sys_model.create ~sp ~queue_capacity:6 ~arrival_rate:1.0 () in
+  let a = Analytic.of_actions sys ~actions:(Policies.greedy sys) in
+  let r = simulate ~n:40_000 sys (Controller.of_policy sys (Policies.greedy sys)) in
+  Test_util.check_relative ~rel:0.05 "disk greedy power" a.Analytic.power
+    r.Power_sim.avg_power;
+  Test_util.check_relative ~rel:0.06 "disk greedy waiting"
+    a.Analytic.avg_waiting_requests r.Power_sim.avg_waiting_requests
+
+(* The boundary case the paper skips "for brevity": an arrival while
+   the SQ sits in the full transfer state q_{Q->Q-1}.  The model drops
+   it (no state can represent it); the physical simulator accepts it
+   (the queue has a free slot).  At Q = 1 with switch times comparable
+   to the inter-arrival time the effect is maximal and directional:
+   the simulator must see no more loss and no less waiting than the
+   model predicts. *)
+let transfer_boundary_artifact () =
+  let sp =
+    Service_provider.create
+      ~names:[| "on"; "off" |]
+      ~switch_time:[| [| 0.0; 0.8 |]; [| 0.85; 0.0 |] |]
+      ~service_rate:[| 2.6; 0.0 |]
+      ~power:[| 0.1; 0.0 |]
+      ~switch_energy:[| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |]
+  in
+  let sys = Sys_model.create ~sp ~queue_capacity:1 ~arrival_rate:0.34 () in
+  let sol = Optimize.solve ~weight:1.0 sys in
+  let r =
+    Power_sim.run ~seed:41L ~sys
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+      ~controller:(Controller.of_solution sys sol)
+      ~stop:(Power_sim.Requests 60_000) ()
+  in
+  let m = sol.Optimize.metrics in
+  Alcotest.(check bool)
+    (Printf.sprintf "sim loses at most the model's share (%.4f vs %.4f)"
+       r.Power_sim.loss_probability m.Analytic.loss_probability)
+    true
+    (r.Power_sim.loss_probability <= m.Analytic.loss_probability +. 0.01);
+  Alcotest.(check bool)
+    (Printf.sprintf "sim waits at least the model's share (%.4f vs %.4f)"
+       r.Power_sim.avg_waiting_requests m.Analytic.avg_waiting_requests)
+    true
+    (r.Power_sim.avg_waiting_requests >= m.Analytic.avg_waiting_requests -. 0.02)
+
+let suite =
+  [
+    t "fig4: optimal dominates N-policy" `Slow fig4_dominance;
+    t "transfer boundary artifact" `Quick transfer_boundary_artifact;
+    t "tab1: Little approximation" `Slow table1_errors_small;
+    t "fig5: ours best feasible" `Slow fig5_ours_best_feasible;
+    t "presets pipeline" `Slow presets_pipeline;
+    t "dvs cpu multi-active" `Quick dvs_cpu_multi_active;
+    t "disk sim vs analytic" `Slow cross_check_sim_analytic_all_presets;
+  ]

@@ -1,0 +1,114 @@
+open Dpm_ctmdp
+
+let t = Alcotest.test_case
+
+let speed_control ~holding ~fast_cost =
+  let lam = 1.0 in
+  Model.create ~num_states:3 (fun i ->
+      let arrivals = if i < 2 then [ (i + 1, lam) ] else [] in
+      let serve rate = if i > 0 then [ (i - 1, rate) ] else [] in
+      let hold = holding *. float_of_int i in
+      [
+        { Model.action = 0; rates = arrivals @ serve 1.5; cost = hold +. 1.0 };
+        { Model.action = 1; rates = arrivals @ serve 4.0; cost = hold +. fast_cost };
+      ])
+
+let matches_policy_iteration_small () =
+  List.iter
+    (fun (h, f) ->
+      let m = speed_control ~holding:h ~fast_cost:f in
+      let pi = Policy_iteration.solve m in
+      let lp = Lp_solver.solve m in
+      Test_util.check_close ~tol:1e-8
+        (Printf.sprintf "gain h=%g f=%g" h f)
+        pi.Policy_iteration.gain lp.Lp_solver.gain;
+      (* On this nondegenerate model the duals are the relative
+         values. *)
+      Test_util.check_vec ~tol:1e-7 "bias" pi.Policy_iteration.bias
+        lp.Lp_solver.bias)
+    [ (0.1, 3.0); (1.0, 3.0); (5.0, 3.0); (5.0, 1.2) ]
+
+let occupation_measure_is_distribution () =
+  let m = speed_control ~holding:2.0 ~fast_cost:3.0 in
+  let lp = Lp_solver.solve m in
+  let total =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( +. ) acc row)
+      0.0 lp.Lp_solver.occupation
+  in
+  Test_util.check_close ~tol:1e-9 "mass one" 1.0 total;
+  Array.iter
+    (Array.iter (fun x -> if x < -1e-9 then Alcotest.fail "negative measure"))
+    lp.Lp_solver.occupation;
+  (* The measure matches the stationary distribution of the extracted
+     policy. *)
+  let g = Policy.generator m lp.Lp_solver.policy in
+  let pi = Dpm_ctmc.Steady_state.solve g in
+  Array.iteri
+    (fun i row ->
+      Test_util.check_close ~tol:1e-7
+        (Printf.sprintf "state %d measure" i)
+        pi.(i)
+        (Array.fold_left ( +. ) 0.0 row))
+    lp.Lp_solver.occupation
+
+let paper_instance_agreement () =
+  (* The stiff (big-M) DPM model: the LP must still match policy
+     iteration, and its extracted policy must achieve the LP gain. *)
+  let sys = Dpm_core.Paper_instance.system () in
+  List.iter
+    (fun w ->
+      let m = Dpm_core.Sys_model.to_ctmdp sys ~weight:w in
+      let pi = Policy_iteration.solve m in
+      let lp = Lp_solver.solve m in
+      Test_util.check_relative ~rel:1e-7
+        (Printf.sprintf "gain at w=%g" w)
+        pi.Policy_iteration.gain lp.Lp_solver.gain;
+      let e = Policy_iteration.evaluate_robust m lp.Lp_solver.policy in
+      Test_util.check_relative ~rel:1e-7
+        (Printf.sprintf "extracted policy gain at w=%g" w)
+        pi.Policy_iteration.gain e.Policy_iteration.gain)
+    [ 0.1; 1.0; 5.0; 50.0 ]
+
+let prop_lp_equals_pi_on_random_models =
+  let random_mdp_gen =
+    QCheck2.Gen.(
+      int_range 2 4 >>= fun n ->
+      let choice_gen state =
+        map2
+          (fun cost extra ->
+            { Model.action = 0;
+              rates = [ ((state + 1) mod n, 0.4 +. Float.abs extra) ];
+              cost })
+          (float_range 0.0 10.0) (float_range 0.1 3.0)
+      in
+      let alt_gen state =
+        map2
+          (fun cost r ->
+            let second =
+              if (state + 2) mod n <> state then [ ((state + 2) mod n, r) ] else []
+            in
+            { Model.action = 1; rates = ((state + 1) mod n, 0.2) :: second; cost })
+          (float_range 0.0 10.0) (float_range 0.1 3.0)
+      in
+      map
+        (fun rows -> Model.create ~num_states:n (fun i -> List.nth rows i))
+        (flatten_l
+           (List.init n (fun i ->
+                map2 (fun a b -> [ a; b ]) (choice_gen i) (alt_gen i)))))
+  in
+  Test_util.qtest ~count:80 "LP gain equals PI gain on random CTMDPs"
+    random_mdp_gen
+    (fun m ->
+      let pi = Policy_iteration.solve m in
+      let lp = Lp_solver.solve m in
+      Float.abs (pi.Policy_iteration.gain -. lp.Lp_solver.gain)
+      <= 1e-6 *. (1.0 +. Float.abs pi.Policy_iteration.gain))
+
+let suite =
+  [
+    t "matches PI (small)" `Quick matches_policy_iteration_small;
+    t "occupation measure" `Quick occupation_measure_is_distribution;
+    t "paper instance (stiff)" `Quick paper_instance_agreement;
+    prop_lp_equals_pi_on_random_models;
+  ]

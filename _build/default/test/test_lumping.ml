@@ -1,0 +1,164 @@
+open Dpm_ctmc
+
+let t = Alcotest.test_case
+
+(* Two interchangeable middle states: 0 -> {1, 2} -> 3 -> 0 with
+   symmetric rates; {1, 2} lump. *)
+let symmetric_chain () =
+  Generator.of_rates ~dim:4
+    [
+      (0, 1, 1.0); (0, 2, 1.0);
+      (1, 3, 2.0); (2, 3, 2.0);
+      (3, 0, 0.5);
+    ]
+
+let symmetric_partition = [| 0; 1; 1; 2 |]
+
+let trivial_partition_is_lumpable () =
+  (* Every rate is internal to the single block, so the one-block
+     partition always lumps (to a single absorbing macro-state). *)
+  let g = symmetric_chain () in
+  Alcotest.(check bool) "all-in-one lumps" true
+    (Lumping.is_lumpable g [| 0; 0; 0; 0 |]);
+  Alcotest.(check int) "quotient is one state" 1
+    (Generator.dim (Lumping.quotient g [| 0; 0; 0; 0 |]))
+
+let lumpable_detected () =
+  let g = symmetric_chain () in
+  Alcotest.(check bool) "symmetric pair lumps" true
+    (Lumping.is_lumpable g symmetric_partition);
+  (* Breaking the symmetry breaks lumpability. *)
+  let g' =
+    Generator.of_rates ~dim:4
+      [ (0, 1, 1.0); (0, 2, 1.0); (1, 3, 2.0); (2, 3, 3.0); (3, 0, 0.5) ]
+  in
+  Alcotest.(check bool) "asymmetric pair does not lump" false
+    (Lumping.is_lumpable g' symmetric_partition)
+
+let quotient_preserves_steady_state () =
+  let g = symmetric_chain () in
+  let q = Lumping.quotient g symmetric_partition in
+  Alcotest.(check int) "3 blocks" 3 (Generator.dim q);
+  let pi_full = Steady_state.solve g in
+  let pi_quot = Steady_state.solve q in
+  (* Block probabilities = summed member probabilities. *)
+  Test_util.check_close ~tol:1e-10 "block 0" pi_full.(0) pi_quot.(0);
+  Test_util.check_close ~tol:1e-10 "block 1" (pi_full.(1) +. pi_full.(2)) pi_quot.(1);
+  Test_util.check_close ~tol:1e-10 "block 2" pi_full.(3) pi_quot.(2)
+
+let quotient_rejects_non_lumpable () =
+  let g =
+    Generator.of_rates ~dim:4
+      [ (0, 1, 1.0); (0, 2, 1.0); (1, 3, 2.0); (2, 3, 3.0); (3, 0, 0.5) ]
+  in
+  Test_util.check_raises_invalid "not lumpable" (fun () ->
+      ignore (Lumping.quotient g symmetric_partition))
+
+let partition_validation () =
+  let g = symmetric_chain () in
+  Test_util.check_raises_invalid "length" (fun () ->
+      ignore (Lumping.is_lumpable g [| 0; 1 |]));
+  Test_util.check_raises_invalid "non-contiguous ids" (fun () ->
+      ignore (Lumping.is_lumpable g [| 0; 2; 2; 3 |]))
+
+let coarsest_refinement_finds_symmetry () =
+  let g = symmetric_chain () in
+  (* Starting from {0,3} vs {1,2} (say, states grouped by power
+     class), the refinement must split 0 from 3 (their dynamics
+     differ) but keep the genuinely symmetric pair together. *)
+  let p = Lumping.coarsest_refinement g [| 0; 1; 1; 0 |] in
+  Alcotest.(check bool) "result is lumpable" true (Lumping.is_lumpable g p);
+  Alcotest.(check bool) "1 and 2 share a block" true (p.(1) = p.(2));
+  Alcotest.(check bool) "0 separate" true (p.(0) <> p.(1));
+  Alcotest.(check bool) "3 separate" true (p.(3) <> p.(1) && p.(3) <> p.(0))
+
+let refinement_respects_initial_blocks () =
+  let g = symmetric_chain () in
+  (* Forcing 1 and 2 apart initially must keep them apart. *)
+  let p = Lumping.coarsest_refinement g [| 0; 1; 2; 0 |] in
+  Alcotest.(check bool) "lumpable" true (Lumping.is_lumpable g p);
+  Alcotest.(check bool) "1 and 2 still apart" true (p.(1) <> p.(2))
+
+let dpm_duplicate_mode_lumps () =
+  (* Two indistinguishable sleep modes reached and left with equal
+     rates: refinement from the trivial partition must merge them. *)
+  let g =
+    Generator.of_rates ~dim:3
+      [
+        (0, 1, 0.5); (0, 2, 0.5);
+        (1, 0, 0.5); (2, 0, 0.5);
+      ]
+  in
+  let p = Lumping.coarsest_refinement g [| 0; 1; 1 |] in
+  Alcotest.(check bool) "identical sleeps lump" true (p.(1) = p.(2));
+  let q = Lumping.quotient g p in
+  Alcotest.(check int) "reduced to 2 states" 2 (Generator.dim q)
+
+let lift_expands () =
+  let lifted = Lumping.lift [| 0; 1; 1; 2 |] [| 0.5; 0.3; 0.2 |] in
+  Test_util.check_vec "lift" [| 0.5; 0.3; 0.3; 0.2 |] lifted
+
+let prop_quotient_steady_state_consistent =
+  (* Random chains with an artificially duplicated state: duplicate
+     and original must lump, and the quotient's stationary mass must
+     match the block sums. *)
+  Test_util.qtest ~count:60 "quotient preserves stationary block mass"
+    QCheck2.Gen.(
+      int_range 3 7 >>= fun n ->
+      list_repeat (n * 2) (float_range 0.1 3.0) >>= fun rs ->
+      return (n, Array.of_list rs))
+    (fun (n, rs) ->
+      (* Ring chain 0..n-1, then duplicate state 1 as state n (same
+         in/out structure). *)
+      let rates = ref [] in
+      for i = 0 to n - 1 do
+        rates := (i, (i + 1) mod n, rs.(i)) :: !rates
+      done;
+      (* add a second ring direction for richness *)
+      for i = 0 to n - 1 do
+        rates := (i, (i + n - 1) mod n, rs.(n + i)) :: !rates
+      done;
+      (* duplicate state 1: n behaves exactly like 1; split inflows
+         into 1 evenly between 1 and n. *)
+      let dup = n in
+      let adjusted =
+        List.concat_map
+          (fun (i, j, r) ->
+            if j = 1 then [ (i, 1, r /. 2.0); (i, dup, r /. 2.0) ]
+            else [ (i, j, r) ])
+          !rates
+      in
+      let dup_out =
+        List.filter_map
+          (fun (i, j, r) -> if i = 1 && j <> 1 then Some (dup, j, r) else None)
+          adjusted
+      in
+      let g = Dpm_ctmc.Generator.of_rates ~dim:(n + 1) (adjusted @ dup_out) in
+      let partition = Array.init (n + 1) (fun s -> if s = dup then 1 else s) in
+      Lumping.is_lumpable g partition
+      &&
+      let q = Lumping.quotient g partition in
+      let pi_full = Steady_state.solve g in
+      let pi_quot = Steady_state.solve q in
+      let ok = ref true in
+      for b = 0 to n - 1 do
+        let mass =
+          if b = 1 then pi_full.(1) +. pi_full.(dup) else pi_full.(b)
+        in
+        if Float.abs (mass -. pi_quot.(b)) > 1e-8 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    t "trivial partition" `Quick trivial_partition_is_lumpable;
+    t "lumpable detection" `Quick lumpable_detected;
+    t "quotient steady state" `Quick quotient_preserves_steady_state;
+    t "quotient rejects" `Quick quotient_rejects_non_lumpable;
+    t "partition validation" `Quick partition_validation;
+    t "coarsest refinement" `Quick coarsest_refinement_finds_symmetry;
+    t "refinement respects blocks" `Quick refinement_respects_initial_blocks;
+    t "duplicate sleep modes lump" `Quick dpm_duplicate_mode_lumps;
+    t "lift" `Quick lift_expands;
+    prop_quotient_steady_state_consistent;
+  ]

@@ -1,0 +1,115 @@
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+let m_abcd = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]
+
+let construction () =
+  let z = Matrix.create 2 3 in
+  Alcotest.(check int) "rows" 2 (Matrix.rows z);
+  Alcotest.(check int) "cols" 3 (Matrix.cols z);
+  Test_util.check_close "zero entry" 0.0 (Matrix.get z 1 2);
+  let i3 = Matrix.identity 3 in
+  Test_util.check_close "identity diag" 1.0 (Matrix.get i3 2 2);
+  Test_util.check_close "identity off" 0.0 (Matrix.get i3 0 2);
+  let d = Matrix.diag [| 5.0; 6.0 |] in
+  Test_util.check_close "diag" 6.0 (Matrix.get d 1 1);
+  Test_util.check_raises_invalid "ragged rows" (fun () ->
+      Matrix.of_arrays [| [| 1.0 |]; [| 1.0; 2.0 |] |]);
+  Test_util.check_raises_invalid "empty" (fun () -> Matrix.of_arrays [||])
+
+let get_set () =
+  let m = Matrix.copy m_abcd in
+  Matrix.set m 0 1 9.0;
+  Test_util.check_close "set/get" 9.0 (Matrix.get m 0 1);
+  Matrix.update m 0 1 (fun x -> x +. 1.0);
+  Test_util.check_close "update" 10.0 (Matrix.get m 0 1);
+  Test_util.check_raises_invalid "out of range" (fun () -> Matrix.get m 2 0);
+  Test_util.check_close "original untouched" 2.0 (Matrix.get m_abcd 0 1)
+
+let rows_cols_access () =
+  Test_util.check_vec "row" [| 3.0; 4.0 |] (Matrix.row m_abcd 1);
+  Test_util.check_vec "col" [| 2.0; 4.0 |] (Matrix.col m_abcd 1);
+  Test_util.check_vec "row_sums" [| 3.0; 7.0 |] (Matrix.row_sums m_abcd)
+
+let transpose_involution () =
+  let mt = Matrix.transpose m_abcd in
+  Test_util.check_close "transposed entry" 3.0 (Matrix.get mt 0 1);
+  Alcotest.(check bool) "double transpose" true
+    (Matrix.approx_equal m_abcd (Matrix.transpose mt))
+
+let products () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let ab = Matrix.mul a b in
+  Alcotest.(check bool) "mul" true
+    (Matrix.approx_equal ab
+       (Matrix.of_arrays [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |]));
+  Test_util.check_vec "mul_vec" [| 5.0; 11.0 |] (Matrix.mul_vec a [| 1.0; 2.0 |]);
+  Test_util.check_vec "vec_mul" [| 7.0; 10.0 |] (Matrix.vec_mul [| 1.0; 2.0 |] a);
+  Test_util.check_raises_invalid "mul shapes" (fun () ->
+      Matrix.mul a (Matrix.create 3 2))
+
+let arithmetic () =
+  Alcotest.(check bool) "add/sub roundtrip" true
+    (Matrix.approx_equal m_abcd (Matrix.sub (Matrix.add m_abcd m_abcd) m_abcd));
+  Test_util.check_close "scale" 8.0 (Matrix.get (Matrix.scale 2.0 m_abcd) 1 1);
+  Test_util.check_close "max_abs" 4.0 (Matrix.max_abs m_abcd);
+  Test_util.check_close "fold sum" 10.0 (Matrix.fold ( +. ) 0.0 m_abcd)
+
+let mapi_indexes () =
+  let m = Matrix.mapi (fun i j _ -> float_of_int ((10 * i) + j)) m_abcd in
+  Test_util.check_close "mapi" 11.0 (Matrix.get m 1 1)
+
+let square_gen =
+  QCheck2.Gen.(
+    int_range 1 6 >>= fun n ->
+    map
+      (fun l ->
+        let a = Array.of_list l in
+        Matrix.init n n (fun i j -> a.((i * n) + j)))
+      (list_repeat (n * n) (float_range (-10.0) 10.0)))
+
+let prop_mul_identity =
+  Test_util.qtest "A * I = A" square_gen (fun a ->
+      Matrix.approx_equal ~tol:1e-9 a (Matrix.mul a (Matrix.identity (Matrix.rows a))))
+
+let prop_transpose_product =
+  Test_util.qtest "(AB)^T = B^T A^T"
+    (QCheck2.Gen.pair square_gen square_gen)
+    (fun (a, b) ->
+      Matrix.rows a <> Matrix.rows b
+      || Matrix.approx_equal ~tol:1e-6
+           (Matrix.transpose (Matrix.mul a b))
+           (Matrix.mul (Matrix.transpose b) (Matrix.transpose a)))
+
+let prop_mul_vec_linear =
+  Test_util.qtest "M(u+v) = Mu + Mv" square_gen (fun m ->
+      let n = Matrix.rows m in
+      let u = Vec.init n (fun i -> float_of_int i +. 0.5) in
+      let v = Vec.init n (fun i -> 2.0 -. float_of_int i) in
+      Vec.approx_equal ~tol:1e-6
+        (Matrix.mul_vec m (Vec.add u v))
+        (Vec.add (Matrix.mul_vec m u) (Matrix.mul_vec m v)))
+
+let prop_vec_mul_is_transpose_mul =
+  Test_util.qtest "v M = (M^T v)" square_gen (fun m ->
+      let n = Matrix.rows m in
+      let v = Vec.init n (fun i -> float_of_int (i + 1)) in
+      Vec.approx_equal ~tol:1e-6 (Matrix.vec_mul v m)
+        (Matrix.mul_vec (Matrix.transpose m) v))
+
+let suite =
+  [
+    t "construction" `Quick construction;
+    t "get/set/update" `Quick get_set;
+    t "row/col access" `Quick rows_cols_access;
+    t "transpose" `Quick transpose_involution;
+    t "products" `Quick products;
+    t "arithmetic" `Quick arithmetic;
+    t "mapi" `Quick mapi_indexes;
+    prop_mul_identity;
+    prop_transpose_product;
+    prop_mul_vec_linear;
+    prop_vec_mul_is_transpose_mul;
+  ]

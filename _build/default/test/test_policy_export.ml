@@ -1,0 +1,72 @@
+open Dpm_core
+
+let t = Alcotest.test_case
+
+let sys () = Paper_instance.system ()
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let table_mentions_every_mode () =
+  let s = sys () in
+  let txt = Policy_export.table s (Policies.greedy s) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " present") true (contains txt name))
+    [ "active"; "waiting"; "sleeping"; "q0"; "q5" ];
+  (* Grid shape: header + 3 stable rows + 1 transfer row. *)
+  Alcotest.(check int) "rows" 5
+    (List.length (String.split_on_char '\n' (String.trim txt)))
+
+let csv_row_count () =
+  let s = sys () in
+  let csv = Policy_export.to_csv s (Policies.greedy s) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + |X| rows" (Sys_model.num_states s + 1)
+    (List.length lines)
+
+let dot_parses_superficially () =
+  let s = sys () in
+  let dot = Policy_export.to_dot s (Policies.greedy s) in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "paper label" true (contains dot "(active, q1>0)")
+
+let diff_and_agreement () =
+  let s = sys () in
+  let greedy = Policies.greedy s in
+  Alcotest.(check int) "self diff empty" 0
+    (List.length (Policy_export.diff s greedy greedy));
+  Test_util.check_close "self agreement" 1.0
+    (Policy_export.agreement s greedy greedy);
+  let n3 = Policies.n_policy s ~n:3 in
+  let d = Policy_export.diff s greedy n3 in
+  (* They differ exactly on the sleeping/waiting stable states with
+     1 <= queue < 3 (greedy wakes, N=3 does not). *)
+  Alcotest.(check int) "expected disagreements" 4 (List.length d);
+  List.iter
+    (fun (x, a, b) ->
+      (match x with
+      | Sys_model.Stable (s_mode, i) ->
+          Alcotest.(check bool) "inactive mode" false
+            (Service_provider.is_active (Sys_model.sp s) s_mode);
+          Alcotest.(check bool) "below threshold" true (i >= 1 && i < 3)
+      | Sys_model.Transfer _ -> Alcotest.fail "transfer states agree");
+      Alcotest.(check int) "greedy wakes" Paper_instance.active a;
+      Alcotest.(check bool) "n3 stays down" true (b <> Paper_instance.active))
+    d;
+  Test_util.check_close ~tol:1e-9 "agreement fraction" (19.0 /. 23.0)
+    (Policy_export.agreement s greedy n3)
+
+let suite =
+  [
+    t "table" `Quick table_mentions_every_mode;
+    t "csv" `Quick csv_row_count;
+    t "dot" `Quick dot_parses_superficially;
+    t "diff and agreement" `Quick diff_and_agreement;
+  ]

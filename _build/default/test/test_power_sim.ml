@@ -1,0 +1,175 @@
+open Dpm_core
+open Dpm_sim
+
+let t = Alcotest.test_case
+
+let sys () = Paper_instance.system ()
+
+let run ?(seed = 7L) ?(n = 50_000) ?(sys = sys ()) controller =
+  Power_sim.run ~seed ~sys
+    ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+    ~controller ~stop:(Power_sim.Requests n) ()
+
+let always_on_matches_mm1k () =
+  let s = sys () in
+  let r = run ~sys:s (Controller.always_on s) in
+  let lam = Sys_model.arrival_rate s and mu = Paper_instance.service_rate in
+  let rho = lam /. mu in
+  let z = (1.0 -. (rho ** 6.0)) /. (1.0 -. rho) in
+  let expected_l =
+    let acc = ref 0.0 in
+    for i = 0 to 5 do
+      acc := !acc +. (float_of_int i *. (rho ** float_of_int i) /. z)
+    done;
+    !acc
+  in
+  Test_util.check_relative ~rel:0.03 "M/M/1/K queue length" expected_l
+    r.Power_sim.avg_waiting_requests;
+  Test_util.check_relative ~rel:1e-6 "constant power" 40.0 r.Power_sim.avg_power;
+  Alcotest.(check int) "never switches" 0 r.Power_sim.switch_count
+
+let littles_law_in_simulation () =
+  let s = sys () in
+  let r = run ~sys:s (Controller.n_policy s ~n:2) in
+  (* L = lambda_effective * W with W the sojourn of completed
+     requests. *)
+  let lam_eff = float_of_int r.Power_sim.accepted /. r.Power_sim.duration in
+  Test_util.check_relative ~rel:0.03 "Little's law"
+    (lam_eff *. r.Power_sim.avg_waiting_time)
+    r.Power_sim.avg_waiting_requests
+
+let accounting_identities () =
+  let s = sys () in
+  let r = run ~sys:s (Controller.greedy s) in
+  Alcotest.(check int) "generated = accepted + lost" r.Power_sim.generated
+    (r.Power_sim.accepted + r.Power_sim.lost);
+  Alcotest.(check bool) "completed <= accepted" true
+    (r.Power_sim.completed <= r.Power_sim.accepted);
+  Alcotest.(check bool) "most accepted complete" true
+    (r.Power_sim.accepted - r.Power_sim.completed
+    <= Sys_model.queue_capacity s + 1);
+  Test_util.check_close ~tol:1e-9 "residency fractions" 1.0
+    (Array.fold_left ( +. ) 0.0 r.Power_sim.mode_residency)
+
+let deterministic_given_seed () =
+  let s = sys () in
+  let r1 = run ~seed:11L ~n:5_000 ~sys:s (Controller.greedy s) in
+  let r2 = run ~seed:11L ~n:5_000 ~sys:s (Controller.greedy s) in
+  Alcotest.(check bool) "identical runs" true (r1 = r2);
+  let r3 = run ~seed:12L ~n:5_000 ~sys:s (Controller.greedy s) in
+  Alcotest.(check bool) "seed matters" true (r1 <> r3)
+
+let sim_agrees_with_analytic_for_policies () =
+  let s = sys () in
+  List.iter
+    (fun (name, actions) ->
+      let analytic = Analytic.of_actions s ~actions in
+      let r = run ~sys:s (Controller.of_policy s actions) in
+      Test_util.check_relative ~rel:0.05 (name ^ " power")
+        analytic.Analytic.power r.Power_sim.avg_power;
+      Test_util.check_relative ~rel:0.06 (name ^ " waiting")
+        analytic.Analytic.avg_waiting_requests r.Power_sim.avg_waiting_requests)
+    [
+      ("greedy", Policies.greedy s);
+      ("n=2", Policies.n_policy s ~n:2);
+      ("n=4", Policies.n_policy s ~n:4);
+      ("optimal w=1", fun x ->
+        (Optimize.solve ~weight:1.0 s).Optimize.actions.(Sys_model.index s x));
+    ]
+
+let heuristic_controllers_match_their_policy_counterparts () =
+  (* The direct n-policy controller and the Markov-policy version of
+     the same rule must produce statistically identical behavior. *)
+  let s = sys () in
+  let direct = run ~sys:s (Controller.n_policy s ~n:3) in
+  let via_policy = run ~sys:s (Controller.of_policy s (Policies.n_policy s ~n:3)) in
+  Test_util.check_relative ~rel:0.03 "power agrees" direct.Power_sim.avg_power
+    via_policy.Power_sim.avg_power;
+  Test_util.check_relative ~rel:0.05 "waiting agrees"
+    direct.Power_sim.avg_waiting_requests via_policy.Power_sim.avg_waiting_requests
+
+let timeout_interpolates_greedy_and_always_on () =
+  let s = sys () in
+  let greedy = run ~sys:s (Controller.greedy s) in
+  let t0 = run ~sys:s (Controller.timeout s ~delay:0.0) in
+  let t2 = run ~sys:s (Controller.timeout s ~delay:2.0) in
+  let t20 = run ~sys:s (Controller.timeout s ~delay:20.0) in
+  let on = run ~sys:s (Controller.always_on s) in
+  (* Zero timeout = greedy (up to the race with arrivals). *)
+  Test_util.check_relative ~rel:0.05 "timeout(0) is greedy"
+    greedy.Power_sim.avg_power t0.Power_sim.avg_power;
+  Alcotest.(check bool) "longer timeout more power" true
+    (t0.Power_sim.avg_power < t2.Power_sim.avg_power
+    && t2.Power_sim.avg_power < t20.Power_sim.avg_power
+    && t20.Power_sim.avg_power < on.Power_sim.avg_power +. 1e-6)
+
+let stop_by_time () =
+  let s = sys () in
+  let r =
+    Power_sim.run ~sys:s
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate s))
+      ~controller:(Controller.greedy s) ~stop:(Power_sim.Sim_time 1000.0) ()
+  in
+  Test_util.check_close ~tol:1e-6 "clock stops at horizon" 1000.0
+    r.Power_sim.duration;
+  Test_util.check_relative ~rel:0.3 "roughly lambda * T arrivals"
+    (1000.0 /. 6.0)
+    (float_of_int r.Power_sim.generated)
+
+let trace_workload_drains () =
+  let s = sys () in
+  let r =
+    Power_sim.run ~sys:s
+      ~workload:(Workload.trace [ 1.0; 2.0; 3.0 ])
+      ~controller:(Controller.always_on s) ~stop:(Power_sim.Requests 100) ()
+  in
+  Alcotest.(check int) "all trace arrivals" 3 r.Power_sim.generated;
+  Alcotest.(check int) "all complete" 3 r.Power_sim.completed
+
+let lost_requests_under_pressure () =
+  (* Arrival rate far above service rate: the queue must overflow. *)
+  let s = Paper_instance.system_at ~arrival_rate:2.0 in
+  let r = run ~sys:s ~n:20_000 (Controller.always_on s) in
+  Alcotest.(check bool) "significant loss" true (r.Power_sim.loss_probability > 0.4)
+
+let validation () =
+  let s = sys () in
+  Test_util.check_raises_invalid "bad stop" (fun () ->
+      ignore
+        (Power_sim.run ~sys:s
+           ~workload:(Workload.poisson ~rate:1.0)
+           ~controller:(Controller.greedy s) ~stop:(Power_sim.Requests 0) ()));
+  Test_util.check_raises_invalid "bad initial mode" (fun () ->
+      ignore
+        (Power_sim.run ~initial_mode:9 ~sys:s
+           ~workload:(Workload.poisson ~rate:1.0)
+           ~controller:(Controller.greedy s) ~stop:(Power_sim.Requests 1) ()))
+
+let replicate_gives_independent_runs () =
+  let s = sys () in
+  let rs =
+    Power_sim.replicate ~seeds:[ 1L; 2L; 3L ] ~sys:s
+      ~workload:(fun () -> Workload.poisson ~rate:(Sys_model.arrival_rate s))
+      ~controller:(fun () -> Controller.greedy s)
+      ~stop:(Power_sim.Requests 2_000) ()
+  in
+  Alcotest.(check int) "three runs" 3 (List.length rs);
+  match rs with
+  | [ a; b; _ ] -> Alcotest.(check bool) "distinct" true (a <> b)
+  | _ -> Alcotest.fail "unexpected"
+
+let suite =
+  [
+    t "always-on matches M/M/1/K" `Slow always_on_matches_mm1k;
+    t "Little's law" `Slow littles_law_in_simulation;
+    t "accounting identities" `Slow accounting_identities;
+    t "deterministic" `Quick deterministic_given_seed;
+    t "sim vs analytic" `Slow sim_agrees_with_analytic_for_policies;
+    t "controller vs policy heuristics" `Slow heuristic_controllers_match_their_policy_counterparts;
+    t "timeout interpolates" `Slow timeout_interpolates_greedy_and_always_on;
+    t "stop by time" `Quick stop_by_time;
+    t "trace workload" `Quick trace_workload_drains;
+    t "overload loses requests" `Slow lost_requests_under_pressure;
+    t "validation" `Quick validation;
+    t "replicate" `Quick replicate_gives_independent_runs;
+  ]

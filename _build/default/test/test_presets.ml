@@ -1,0 +1,85 @@
+open Dpm_core
+
+let t = Alcotest.test_case
+
+let all_presets_well_formed () =
+  List.iter
+    (fun (name, sp) ->
+      Alcotest.(check bool)
+        (name ^ " has at least 2 modes")
+        true
+        (Service_provider.num_modes sp >= 2);
+      Alcotest.(check bool)
+        (name ^ " has an active mode")
+        true
+        (Service_provider.active_modes sp <> []);
+      Alcotest.(check bool)
+        (name ^ " has an inactive mode")
+        true
+        (Service_provider.inactive_modes sp <> []);
+      (* Power ordering: every inactive mode draws less than the
+         fastest active mode (otherwise sleeping is pointless). *)
+      let p_active =
+        Service_provider.power sp (Service_provider.fastest_active sp)
+      in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s cheaper than active" name
+               (Service_provider.name sp s))
+            true
+            (Service_provider.power sp s < p_active))
+        (Service_provider.inactive_modes sp);
+      (* Deeper sleep (less power) should wake slower — the defining
+         trade-off of a power-mode ladder. *)
+      let inactive = Service_provider.inactive_modes sp in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if
+                a <> b
+                && Service_provider.power sp a < Service_provider.power sp b
+              then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s (deeper) wakes no faster than %s" name
+                     (Service_provider.name sp a) (Service_provider.name sp b))
+                  true
+                  (Service_provider.wakeup_time sp a
+                  >= Service_provider.wakeup_time sp b -. 1e-9))
+            inactive)
+        inactive)
+    (Presets.all ())
+
+let lookup () =
+  Alcotest.(check int) "four presets" 4 (List.length (Presets.all ()));
+  Alcotest.(check int) "paper preset is the paper instance" 3
+    (Service_provider.num_modes (Presets.find "paper"));
+  (match Presets.find "nonsense" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found")
+
+let paper_preset_matches_paper_instance () =
+  let a = Presets.paper () and b = Paper_instance.service_provider () in
+  for s = 0 to 2 do
+    Alcotest.(check string) "names" (Service_provider.name b s)
+      (Service_provider.name a s);
+    Test_util.check_close "powers" (Service_provider.power b s)
+      (Service_provider.power a s);
+    Test_util.check_close "rates" (Service_provider.service_rate b s)
+      (Service_provider.service_rate a s)
+  done
+
+let dvs_cpu_has_two_speeds () =
+  let sp = Presets.dvs_cpu () in
+  Alcotest.(check int) "two active modes" 2
+    (List.length (Service_provider.active_modes sp));
+  Alcotest.(check int) "fastest is full" 0 (Service_provider.fastest_active sp)
+
+let suite =
+  [
+    t "well-formed" `Quick all_presets_well_formed;
+    t "lookup" `Quick lookup;
+    t "paper preset" `Quick paper_preset_matches_paper_instance;
+    t "dvs cpu speeds" `Quick dvs_cpu_has_two_speeds;
+  ]

@@ -1,0 +1,102 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+let t = Alcotest.test_case
+
+let g2 = Generator.of_rates ~dim:2 [ (0, 1, 1.0); (1, 0, 3.0) ]
+
+let earning_rates_combine () =
+  (* r_i = r_ii + sum_j s_ij r_ij  (Section II). *)
+  let r =
+    Reward.create g2 ~rate_rewards:[| 10.0; 2.0 |]
+      ~transition_rewards:[ (0, 1, 5.0); (1, 0, 1.0) ]
+  in
+  Test_util.check_close "state 0" (10.0 +. (1.0 *. 5.0)) (Reward.earning_rate r 0);
+  Test_util.check_close "state 1" (2.0 +. (3.0 *. 1.0)) (Reward.earning_rate r 1);
+  Test_util.check_vec "vector" [| 15.0; 5.0 |] (Reward.earning_rates r)
+
+let validation () =
+  Test_util.check_raises_invalid "dimension" (fun () ->
+      ignore (Reward.create g2 ~rate_rewards:[| 1.0 |]));
+  Test_util.check_raises_invalid "self transition reward" (fun () ->
+      ignore
+        (Reward.create g2 ~rate_rewards:[| 0.0; 0.0 |]
+           ~transition_rewards:[ (0, 0, 1.0) ]))
+
+let long_run_average_is_stationary_mix () =
+  (* pi = (0.75, 0.25); average = 0.75*4 + 0.25*8 = 5. *)
+  let r = Reward.create g2 ~rate_rewards:[| 4.0; 8.0 |] in
+  Test_util.check_close ~tol:1e-10 "average" 5.0 (Reward.long_run_average r)
+
+let expected_total_grows_linearly_in_steady_state () =
+  (* Starting from the stationary distribution, v(t) = g * t exactly. *)
+  let r = Reward.create g2 ~rate_rewards:[| 4.0; 8.0 |] in
+  let pi = Steady_state.solve g2 in
+  let v = Reward.expected_total r ~t0:pi ~horizon:11.0 in
+  Test_util.check_close ~tol:1e-7 "linear growth" (5.0 *. 11.0) v
+
+let value_trajectory_monotone_for_positive_rewards () =
+  let r = Reward.create g2 ~rate_rewards:[| 1.0; 2.0 |] in
+  match Reward.value_trajectory r ~state:0 ~times:[ 1.0; 2.0; 4.0 ] with
+  | [ v1; v2; v4 ] ->
+      Alcotest.(check bool) "monotone" true (0.0 < v1 && v1 < v2 && v2 < v4);
+      (* Slope approaches the long-run average. *)
+      Test_util.check_relative ~rel:0.2 "eventual slope" (Reward.long_run_average r)
+        ((v4 -. v2) /. 2.0)
+  | _ -> Alcotest.fail "expected three values"
+
+let discounted_values_closed_form () =
+  (* v = (aI - G)^{-1} r; check against a direct 2x2 solve. *)
+  let a = 0.5 in
+  let r = Reward.create g2 ~rate_rewards:[| 4.0; 8.0 |] in
+  let m =
+    Matrix.of_arrays [| [| a +. 1.0; -1.0 |]; [| -3.0; a +. 3.0 |] |]
+  in
+  let expected = Lu.solve m [| 4.0; 8.0 |] in
+  Test_util.check_vec ~tol:1e-10 "discounted" expected
+    (Reward.discounted_values r ~discount:a)
+
+let discounted_approaches_average_over_a () =
+  (* a * v_dis(a) -> long-run average as a -> 0 (Abelian limit). *)
+  let r = Reward.create g2 ~rate_rewards:[| 4.0; 8.0 |] in
+  let v = Reward.discounted_values r ~discount:1e-6 in
+  Test_util.check_relative ~rel:1e-3 "Abelian limit" (Reward.long_run_average r)
+    (1e-6 *. v.(0))
+
+let dot_output_shape () =
+  let s = Dot.of_generator ~name:"toy" g2 in
+  Alcotest.(check bool) "digraph header" true
+    (String.length s > 10 && String.sub s 0 7 = "digraph");
+  (* two off-diagonal edges -> two arrows *)
+  let arrows = ref 0 in
+  String.iteri
+    (fun i c ->
+      if c = '>' && i > 0 && s.[i - 1] = '-' then incr arrows)
+    s;
+  Alcotest.(check int) "edges" 2 !arrows
+
+let dot_escaping () =
+  let s =
+    Dot.of_edges ~name:"quote\"test" ~nodes:[ (0, "a\"b") ] ~edges:[] ()
+  in
+  Alcotest.(check bool) "escaped quotes" true
+    (String.length s > 0
+    &&
+    (* the raw quote must not terminate the string early: look for a
+       backslash-quote pair *)
+    let found = ref false in
+    String.iteri (fun i c -> if c = '\\' && i + 1 < String.length s && s.[i + 1] = '"' then found := true) s;
+    !found)
+
+let suite =
+  [
+    t "earning rates" `Quick earning_rates_combine;
+    t "validation" `Quick validation;
+    t "long-run average" `Quick long_run_average_is_stationary_mix;
+    t "expected total from stationarity" `Quick expected_total_grows_linearly_in_steady_state;
+    t "value trajectory" `Quick value_trajectory_monotone_for_positive_rewards;
+    t "discounted closed form" `Quick discounted_values_closed_form;
+    t "Abelian limit" `Quick discounted_approaches_average_over_a;
+    t "dot output" `Quick dot_output_shape;
+    t "dot escaping" `Quick dot_escaping;
+  ]

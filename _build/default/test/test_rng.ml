@@ -1,0 +1,107 @@
+open Dpm_prob
+
+let t = Alcotest.test_case
+
+let deterministic_across_instances () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d equal" i)
+      (Rng.next_uint64 a) (Rng.next_uint64 b)
+  done
+
+let different_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_uint64 a = Rng.next_uint64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let copy_preserves_state () =
+  let a = Rng.create 99L in
+  ignore (Rng.next_uint64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_uint64 a)
+    (Rng.next_uint64 b)
+
+let split_is_independent () =
+  let a = Rng.create 5L in
+  let b = Rng.split a in
+  (* The split stream must differ from the parent's continuation. *)
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_uint64 a = Rng.next_uint64 b then incr matches
+  done;
+  Alcotest.(check int) "no collisions" 0 !matches
+
+let float_in_unit_interval () =
+  let r = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of [0,1): %g" x
+  done
+
+let float_positive_never_zero () =
+  let r = Rng.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Rng.float_positive r in
+    if x <= 0.0 || x > 1.0 then Alcotest.failf "float_positive out of (0,1]: %g" x
+  done
+
+let float_mean_near_half () =
+  let r = Rng.create 11L in
+  let acc = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float r
+  done;
+  Test_util.check_relative ~rel:0.02 "uniform mean" 0.5 (!acc /. float_of_int n)
+
+let int_bounds_and_uniformity () =
+  let r = Rng.create 13L in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Rng.int r 10 in
+    if k < 0 || k >= 10 then Alcotest.failf "int out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun k c ->
+      Test_util.check_relative ~rel:0.05
+        (Printf.sprintf "bucket %d near uniform" k)
+        (float_of_int n /. 10.0)
+        (float_of_int c))
+    counts;
+  Test_util.check_raises_invalid "nonpositive bound" (fun () ->
+      ignore (Rng.int r 0))
+
+let bool_balanced () =
+  let r = Rng.create 17L in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr trues
+  done;
+  Test_util.check_relative ~rel:0.03 "coin balance" 0.5
+    (float_of_int !trues /. float_of_int n)
+
+let zero_seed_works () =
+  let r = Rng.create 0L in
+  let x = Rng.next_uint64 r and y = Rng.next_uint64 r in
+  Alcotest.(check bool) "state evolves from zero seed" true (x <> y)
+
+let suite =
+  [
+    t "deterministic" `Quick deterministic_across_instances;
+    t "seeds differ" `Quick different_seeds_differ;
+    t "copy" `Quick copy_preserves_state;
+    t "split independence" `Quick split_is_independent;
+    t "float range" `Quick float_in_unit_interval;
+    t "float_positive range" `Quick float_positive_never_zero;
+    t "float mean" `Slow float_mean_near_half;
+    t "int uniformity" `Slow int_bounds_and_uniformity;
+    t "bool balance" `Slow bool_balanced;
+    t "zero seed" `Quick zero_seed_works;
+  ]

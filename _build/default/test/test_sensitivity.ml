@@ -1,0 +1,97 @@
+open Dpm_core
+
+let t = Alcotest.test_case
+
+let sys () = Paper_instance.system ()
+
+let regret_nonnegative_and_zero_on_diagonal () =
+  let s = sys () in
+  (* No mismatch: the design policy IS the optimal one. *)
+  Test_util.check_close ~tol:1e-9 "zero at design rate" 0.0
+    (Sensitivity.mismatch_regret s ~weight:1.0 ~design_rate:(1.0 /. 6.0)
+       ~true_rate:(1.0 /. 6.0));
+  List.iter
+    (fun true_rate ->
+      let r =
+        Sensitivity.mismatch_regret s ~weight:1.0 ~design_rate:(1.0 /. 6.0)
+          ~true_rate
+      in
+      if r < -1e-9 then
+        Alcotest.failf "negative regret %g at rate %g" r true_rate)
+    [ 1.0 /. 12.0; 1.0 /. 8.0; 1.0 /. 4.0; 1.0 /. 3.0 ]
+
+let large_mismatch_hurts () =
+  let s = sys () in
+  let small =
+    Sensitivity.mismatch_regret s ~weight:1.0 ~design_rate:(1.0 /. 6.0)
+      ~true_rate:(1.05 /. 6.0)
+  in
+  let large =
+    Sensitivity.mismatch_regret s ~weight:1.0 ~design_rate:(1.0 /. 6.0)
+      ~true_rate:(1.0 /. 2.5)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "2.4x rate error (%.4f) costs more than 5%% error (%.4f)"
+       large small)
+    true (large > small)
+
+let rate_sweep_shape () =
+  let s = sys () in
+  let sol = Optimize.solve ~weight:1.0 s in
+  let rates = Paper_instance.sweep_rates in
+  let points =
+    Sensitivity.rate_sweep s ~actions:sol.Optimize.actions ~weight:1.0 ~rates
+  in
+  Alcotest.(check int) "one point per rate" (List.length rates)
+    (List.length points);
+  List.iter
+    (fun p ->
+      if p.Sensitivity.regret < -1e-9 then Alcotest.fail "negative regret";
+      Alcotest.(check bool) "objective >= optimal" true
+        (p.Sensitivity.objective >= p.Sensitivity.optimal_objective -. 1e-9))
+    points;
+  (* At the design rate itself the regret vanishes. *)
+  let at_design =
+    List.find (fun p -> Float.abs (p.Sensitivity.rate -. (1.0 /. 6.0)) < 1e-9) points
+  in
+  Test_util.check_close ~tol:1e-9 "zero regret at design rate" 0.0
+    at_design.Sensitivity.regret
+
+let rate_sweep_validation () =
+  let s = sys () in
+  Test_util.check_raises_invalid "wrong table size" (fun () ->
+      ignore (Sensitivity.rate_sweep s ~actions:[| 0 |] ~weight:1.0 ~rates:[ 0.1 ]));
+  let sol = Optimize.solve ~weight:1.0 s in
+  Test_util.check_raises_invalid "bad rate" (fun () ->
+      ignore
+        (Sensitivity.rate_sweep s ~actions:sol.Optimize.actions ~weight:1.0
+           ~rates:[ -1.0 ]))
+
+let break_even_is_meaningful () =
+  let s = sys () in
+  let e =
+    Sensitivity.break_even_estimation_error s ~weight:1.0
+      ~design_rate:(1.0 /. 6.0) ~tolerance:0.05
+  in
+  (* A 0.05 W-equivalent tolerance should survive small estimation
+     errors (the paper's 5%-after-50-events remark) but not arbitrary
+     ones. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "break-even error %.3f in a sane band" e)
+    true
+    (e > 0.02 && e <= 8.0);
+  let tight =
+    Sensitivity.break_even_estimation_error s ~weight:1.0
+      ~design_rate:(1.0 /. 6.0) ~tolerance:0.005
+  in
+  Alcotest.(check bool) "tighter tolerance, smaller tolerated error" true
+    (tight <= e +. 1e-9)
+
+let suite =
+  [
+    t "regret sign/diagonal" `Quick regret_nonnegative_and_zero_on_diagonal;
+    t "large mismatch hurts" `Quick large_mismatch_hurts;
+    t "rate sweep" `Quick rate_sweep_shape;
+    t "validation" `Quick rate_sweep_validation;
+    t "break-even error" `Quick break_even_is_meaningful;
+  ]

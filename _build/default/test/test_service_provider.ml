@@ -1,0 +1,144 @@
+open Dpm_core
+
+let t = Alcotest.test_case
+
+let sp () = Paper_instance.service_provider ()
+
+let paper_instance_shape () =
+  let sp = sp () in
+  Alcotest.(check int) "modes" 3 (Service_provider.num_modes sp);
+  Alcotest.(check string) "name" "waiting" (Service_provider.name sp 1);
+  Alcotest.(check int) "resolve name" 2 (Service_provider.mode_of_name sp "sleeping");
+  Alcotest.(check bool) "active is active" true
+    (Service_provider.is_active sp Paper_instance.active);
+  Alcotest.(check bool) "sleeping is inactive" false
+    (Service_provider.is_active sp Paper_instance.sleeping);
+  Alcotest.(check (list int)) "active set" [ 0 ] (Service_provider.active_modes sp);
+  Alcotest.(check (list int)) "inactive set" [ 1; 2 ]
+    (Service_provider.inactive_modes sp)
+
+let paper_numbers () =
+  let sp = sp () in
+  Test_util.check_close "mu" (1.0 /. 1.5) (Service_provider.service_rate sp 0);
+  Test_util.check_close "active power" 40.0 (Service_provider.power sp 0);
+  Test_util.check_close "sleep power" 0.1 (Service_provider.power sp 2);
+  Test_util.check_close "switch time W->S" 0.1 (Service_provider.switch_time sp 1 2);
+  Test_util.check_close "switch rate S->A" (1.0 /. 1.1)
+    (Service_provider.switch_rate sp 2 0);
+  Test_util.check_close "energy S->A" 11.0 (Service_provider.switch_energy sp 2 0);
+  Test_util.check_close "energy S->W" 25.0 (Service_provider.switch_energy sp 2 1);
+  Test_util.check_close "self energy zero" 0.0 (Service_provider.switch_energy sp 1 1)
+
+let derived_quantities () =
+  let sp = sp () in
+  Test_util.check_close "wakeup of waiting" 0.5 (Service_provider.wakeup_time sp 1);
+  Test_util.check_close "wakeup of sleeping" 1.1 (Service_provider.wakeup_time sp 2);
+  Test_util.check_close "wakeup of active" 0.0 (Service_provider.wakeup_time sp 0);
+  Alcotest.(check int) "fastest active" 0 (Service_provider.fastest_active sp);
+  Alcotest.(check int) "deepest sleep" 2 (Service_provider.deepest_sleep sp)
+
+let generator_under_command_map () =
+  let sp = sp () in
+  (* Example 4.1's policy: A -> wait, W -> sleep, S -> wakeup. *)
+  let action_of = function 0 -> 1 | 1 -> 2 | _ -> 0 in
+  let g = Service_provider.generator sp ~action_of in
+  Test_util.check_close "A->W rate" 10.0 (Dpm_ctmc.Generator.get g 0 1);
+  Test_util.check_close "W->S rate" 10.0 (Dpm_ctmc.Generator.get g 1 2);
+  Test_util.check_close "S->A rate" (1.0 /. 1.1) (Dpm_ctmc.Generator.get g 2 0);
+  Test_util.check_close "no other edge" 0.0 (Dpm_ctmc.Generator.get g 0 2);
+  Alcotest.(check bool) "irreducible under this policy" true
+    (Dpm_ctmc.Structure.is_irreducible g)
+
+let dot_mentions_mode_names () =
+  let sp = sp () in
+  let s = Service_provider.to_dot sp ~action_of:(fun _ -> 0) in
+  List.iter
+    (fun name ->
+      let contains =
+        let rec scan i =
+          if i + String.length name > String.length s then false
+          else if String.sub s i (String.length name) = name then true
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (name ^ " appears") true contains)
+    [ "active"; "waiting"; "sleeping" ]
+
+let validation () =
+  let bad f = Test_util.check_raises_invalid "invalid sp" f in
+  let names = [| "a"; "b" |] in
+  let time = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let ene = [| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  (* one mode *)
+  bad (fun () ->
+      ignore
+        (Service_provider.create ~names:[| "x" |] ~switch_time:[| [| 0.0 |] |]
+           ~service_rate:[| 1.0 |] ~power:[| 1.0 |] ~switch_energy:[| [| 0.0 |] |]));
+  (* duplicate names *)
+  bad (fun () ->
+      ignore
+        (Service_provider.create ~names:[| "a"; "a" |] ~switch_time:time
+           ~service_rate:[| 1.0; 0.0 |] ~power:[| 1.0; 0.0 |] ~switch_energy:ene));
+  (* zero switch time *)
+  bad (fun () ->
+      ignore
+        (Service_provider.create ~names
+           ~switch_time:[| [| 0.0; 0.0 |]; [| 1.0; 0.0 |] |]
+           ~service_rate:[| 1.0; 0.0 |] ~power:[| 1.0; 0.0 |] ~switch_energy:ene));
+  (* all modes inactive *)
+  bad (fun () ->
+      ignore
+        (Service_provider.create ~names ~switch_time:time
+           ~service_rate:[| 0.0; 0.0 |] ~power:[| 1.0; 0.0 |] ~switch_energy:ene));
+  (* negative power *)
+  bad (fun () ->
+      ignore
+        (Service_provider.create ~names ~switch_time:time
+           ~service_rate:[| 1.0; 0.0 |] ~power:[| -1.0; 0.0 |] ~switch_energy:ene));
+  (* negative energy *)
+  bad (fun () ->
+      ignore
+        (Service_provider.create ~names ~switch_time:time
+           ~service_rate:[| 1.0; 0.0 |] ~power:[| 1.0; 0.0 |]
+           ~switch_energy:[| [| 0.0; -0.5 |]; [| 0.0; 0.0 |] |]))
+
+let immutability () =
+  let names = [| "a"; "b" |] in
+  let time = [| [| 0.0; 1.0 |]; [| 2.0; 0.0 |] |] in
+  let ene = [| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  let sp =
+    Service_provider.create ~names ~switch_time:time ~service_rate:[| 1.0; 0.0 |]
+      ~power:[| 1.0; 0.0 |] ~switch_energy:ene
+  in
+  time.(0).(1) <- 99.0;
+  names.(0) <- "mutated";
+  Test_util.check_close "switch time copied" 1.0 (Service_provider.switch_time sp 0 1);
+  Alcotest.(check string) "names copied" "a" (Service_provider.name sp 0)
+
+let multi_speed_provider () =
+  (* Two active speeds: fastest_active must pick the higher mu. *)
+  let sp =
+    Service_provider.create
+      ~names:[| "slow"; "fast"; "off" |]
+      ~switch_time:[| [| 0.0; 0.2; 0.3 |]; [| 0.2; 0.0; 0.3 |]; [| 1.0; 1.5; 0.0 |] |]
+      ~service_rate:[| 0.5; 2.0; 0.0 |]
+      ~power:[| 10.0; 30.0; 0.2 |]
+      ~switch_energy:[| [| 0.0; 1.0; 1.0 |]; [| 1.0; 0.0; 1.0 |]; [| 5.0; 8.0; 0.0 |] |]
+  in
+  Alcotest.(check int) "fastest" 1 (Service_provider.fastest_active sp);
+  Alcotest.(check (list int)) "two active" [ 0; 1 ] (Service_provider.active_modes sp);
+  Test_util.check_close "wakeup of off = min over active" 1.0
+    (Service_provider.wakeup_time sp 2)
+
+let suite =
+  [
+    t "paper instance shape" `Quick paper_instance_shape;
+    t "paper numbers (Eqn 4.1)" `Quick paper_numbers;
+    t "derived quantities" `Quick derived_quantities;
+    t "generator under command map" `Quick generator_under_command_map;
+    t "dot export" `Quick dot_mentions_mode_names;
+    t "validation" `Quick validation;
+    t "immutability" `Quick immutability;
+    t "multi-speed provider" `Quick multi_speed_provider;
+  ]

@@ -1,0 +1,124 @@
+open Dpm_prob
+
+let t = Alcotest.test_case
+
+let welford_known_values () =
+  let w = Stat.Welford.create () in
+  List.iter (Stat.Welford.add w) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stat.Welford.count w);
+  Test_util.check_close ~tol:1e-12 "mean" 5.0 (Stat.Welford.mean w);
+  (* Sample variance with Bessel correction: 32 / 7. *)
+  Test_util.check_close ~tol:1e-12 "variance" (32.0 /. 7.0) (Stat.Welford.variance w)
+
+let welford_empty_and_single () =
+  let w = Stat.Welford.create () in
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Stat.Welford.mean w));
+  Stat.Welford.add w 3.0;
+  Test_util.check_close "single mean" 3.0 (Stat.Welford.mean w);
+  Alcotest.(check bool) "single variance is nan" true
+    (Float.is_nan (Stat.Welford.variance w))
+
+let welford_merge_matches_sequential () =
+  let all = Stat.Welford.create () in
+  let a = Stat.Welford.create () and b = Stat.Welford.create () in
+  for i = 1 to 50 do
+    let x = Float.sin (float_of_int i) *. 10.0 in
+    Stat.Welford.add all x;
+    Stat.Welford.add (if i mod 2 = 0 then a else b) x
+  done;
+  let merged = Stat.Welford.merge a b in
+  Alcotest.(check int) "count" 50 (Stat.Welford.count merged);
+  Test_util.check_close ~tol:1e-10 "mean" (Stat.Welford.mean all)
+    (Stat.Welford.mean merged);
+  Test_util.check_close ~tol:1e-10 "variance" (Stat.Welford.variance all)
+    (Stat.Welford.variance merged)
+
+let confidence_interval_brackets_mean () =
+  let w = Stat.Welford.create () in
+  for i = 0 to 99 do
+    Stat.Welford.add w (float_of_int (i mod 10))
+  done;
+  let lo, hi = Stat.Welford.confidence95 w in
+  let m = Stat.Welford.mean w in
+  Alcotest.(check bool) "lo < mean < hi" true (lo < m && m < hi)
+
+let time_weighted_average () =
+  let tw = Stat.Time_weighted.create 10.0 in
+  Stat.Time_weighted.update tw ~at:2.0 20.0;
+  Stat.Time_weighted.update tw ~at:3.0 0.0;
+  (* integral = 10*2 + 20*1 + 0 = 40 over 4 time units. *)
+  Test_util.check_close "integral" 40.0 (Stat.Time_weighted.integral tw ~upto:4.0);
+  Test_util.check_close "average" 10.0 (Stat.Time_weighted.average tw ~upto:4.0);
+  Test_util.check_close "current" 0.0 (Stat.Time_weighted.current tw)
+
+let time_weighted_impulse () =
+  let tw = Stat.Time_weighted.create 0.0 in
+  Stat.Time_weighted.add_impulse tw 5.0;
+  Test_util.check_close "impulse only" 5.0 (Stat.Time_weighted.integral tw ~upto:10.0);
+  Test_util.check_close "impulse average" 0.5 (Stat.Time_weighted.average tw ~upto:10.0)
+
+let time_weighted_guards () =
+  let tw = Stat.Time_weighted.create ~at:5.0 1.0 in
+  Test_util.check_raises_invalid "backwards clock" (fun () ->
+      Stat.Time_weighted.update tw ~at:4.0 0.0);
+  Alcotest.(check bool) "no elapsed time is nan" true
+    (Float.is_nan (Stat.Time_weighted.average tw ~upto:5.0))
+
+let histogram_counting () =
+  let h = Stat.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Stat.Histogram.add h) [ -1.0; 0.0; 0.5; 5.5; 9.99; 10.0; 42.0 ];
+  Alcotest.(check int) "total" 7 (Stat.Histogram.count h);
+  Alcotest.(check int) "underflow" 1 (Stat.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Stat.Histogram.overflow h);
+  Alcotest.(check int) "bin 0" 2 (Stat.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 5" 1 (Stat.Histogram.bin_count h 5);
+  Alcotest.(check int) "bin 9" 1 (Stat.Histogram.bin_count h 9)
+
+let histogram_quantile () =
+  let h = Stat.Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for i = 0 to 999 do
+    Stat.Histogram.add h (float_of_int (i mod 100))
+  done;
+  let median = Stat.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median near 50" true (Float.abs (median -. 50.0) < 2.0);
+  Alcotest.(check bool) "empty quantile nan" true
+    (Float.is_nan
+       (Stat.Histogram.quantile (Stat.Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2) 0.5))
+
+let helpers () =
+  Test_util.check_close "mean of list" 2.0 (Stat.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check bool) "mean of empty" true (Float.is_nan (Stat.mean []));
+  Test_util.check_close "relative error" (-10.0)
+    (Stat.relative_error ~actual:10.0 ~approx:9.0)
+
+let prop_welford_mean_matches_naive =
+  Test_util.qtest "welford mean equals naive mean"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let w = Stat.Welford.create () in
+      List.iter (Stat.Welford.add w) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stat.Welford.mean w -. naive) <= 1e-9 *. (1.0 +. Float.abs naive))
+
+let prop_time_weighted_constant =
+  Test_util.qtest "constant signal averages to itself"
+    QCheck2.Gen.(pair (float_range (-5.0) 5.0) (float_range 0.1 100.0))
+    (fun (v, horizon) ->
+      let tw = Stat.Time_weighted.create v in
+      Float.abs (Stat.Time_weighted.average tw ~upto:horizon -. v) <= 1e-9)
+
+let suite =
+  [
+    t "welford known values" `Quick welford_known_values;
+    t "welford empty/single" `Quick welford_empty_and_single;
+    t "welford merge" `Quick welford_merge_matches_sequential;
+    t "confidence interval" `Quick confidence_interval_brackets_mean;
+    t "time-weighted average" `Quick time_weighted_average;
+    t "time-weighted impulse" `Quick time_weighted_impulse;
+    t "time-weighted guards" `Quick time_weighted_guards;
+    t "histogram counting" `Quick histogram_counting;
+    t "histogram quantile" `Quick histogram_quantile;
+    t "helpers" `Quick helpers;
+    prop_welford_mean_matches_naive;
+    prop_time_weighted_constant;
+  ]

@@ -1,0 +1,110 @@
+open Dpm_ctmc
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+let ring n =
+  Generator.of_rates ~dim:n (List.init n (fun i -> (i, (i + 1) mod n, 1.0)))
+
+let normalize_classes cs = List.sort compare (List.map (List.sort compare) cs)
+
+let irreducible_ring () =
+  Alcotest.(check bool) "ring irreducible" true (Structure.is_irreducible (ring 5));
+  Alcotest.(check int) "single class" 1
+    (List.length (Structure.communicating_classes (ring 5)))
+
+let two_classes () =
+  (* 0 <-> 1 feeding into the closed pair 2 <-> 3. *)
+  let g =
+    Generator.of_rates ~dim:4
+      [ (0, 1, 1.0); (1, 0, 1.0); (1, 2, 0.5); (2, 3, 1.0); (3, 2, 1.0) ]
+  in
+  Alcotest.(check bool) "not irreducible" false (Structure.is_irreducible g);
+  Alcotest.(check (list (list int)))
+    "classes" [ [ 0; 1 ]; [ 2; 3 ] ]
+    (normalize_classes (Structure.communicating_classes g));
+  Alcotest.(check (list (list int))) "closed classes" [ [ 2; 3 ] ]
+    (normalize_classes (Structure.recurrent_classes g));
+  Alcotest.(check (list int)) "transient" [ 0; 1 ] (Structure.transient_states g)
+
+let reachability () =
+  let g = Generator.of_rates ~dim:4 [ (0, 1, 1.0); (1, 2, 1.0); (3, 0, 1.0) ] in
+  let from0 = Structure.reachable_from g 0 in
+  Alcotest.(check (array bool)) "from 0" [| true; true; true; false |] from0;
+  let from3 = Structure.reachable_from g 3 in
+  Alcotest.(check (array bool)) "from 3" [| true; true; true; true |] from3
+
+let absorbing_states_are_their_own_class () =
+  let g = Generator.of_rates ~dim:3 [ (0, 1, 1.0); (0, 2, 1.0) ] in
+  Alcotest.(check (list (list int)))
+    "two absorbing classes" [ [ 1 ]; [ 2 ] ]
+    (normalize_classes (Structure.recurrent_classes g))
+
+let connected_graph () =
+  let adj rows cols ts = Sparse.of_triplets ~rows ~cols ts in
+  Alcotest.(check bool) "directed chain weakly connected" true
+    (Structure.is_connected_graph (adj 3 3 [ (0, 1, 1.0); (0, 2, 1.0) ]));
+  Alcotest.(check bool) "isolated node disconnects" false
+    (Structure.is_connected_graph (adj 3 3 [ (0, 1, 1.0) ]));
+  Alcotest.(check bool) "empty graph connected" true
+    (Structure.is_connected_graph (adj 0 0 []))
+
+let deep_chain_no_stack_overflow () =
+  (* The iterative Tarjan must survive a 50k-state path graph. *)
+  let n = 50_000 in
+  let rates = List.init (n - 1) (fun i -> (i, i + 1, 1.0)) in
+  let g = Generator.of_rates ~dim:n rates in
+  let classes = Structure.communicating_classes g in
+  Alcotest.(check int) "all singleton classes" n (List.length classes)
+
+let big_cycle_single_class () =
+  let n = 50_000 in
+  let g = ring n in
+  Alcotest.(check bool) "huge ring irreducible" true (Structure.is_irreducible g)
+
+let class_partition_gen =
+  QCheck2.Gen.(
+    int_range 2 9 >>= fun n ->
+    map
+      (fun entries ->
+        let rates =
+          List.filter (fun (i, j, _) -> i <> j)
+            (List.map (fun (i, j) -> (i mod n, j mod n, 1.0)) entries)
+        in
+        (n, Generator.of_rates ~dim:n rates))
+      (list_size (int_range 0 25) (pair (int_range 0 8) (int_range 0 8))))
+
+let prop_classes_partition =
+  Test_util.qtest "communicating classes partition the states"
+    class_partition_gen (fun (n, g) ->
+      let members =
+        List.sort compare (List.concat (Structure.communicating_classes g))
+      in
+      members = List.init n (fun i -> i))
+
+let prop_closed_classes_have_no_exits =
+  Test_util.qtest "closed classes have no leaving edges" class_partition_gen
+    (fun (_, g) ->
+      List.for_all
+        (fun members ->
+          List.for_all
+            (fun v ->
+              let ok = ref true in
+              Generator.iter_row g v (fun j _ ->
+                  if not (List.mem j members) then ok := false);
+              !ok)
+            members)
+        (Structure.recurrent_classes g))
+
+let suite =
+  [
+    t "irreducible ring" `Quick irreducible_ring;
+    t "two classes" `Quick two_classes;
+    t "reachability" `Quick reachability;
+    t "absorbing classes" `Quick absorbing_states_are_their_own_class;
+    t "connected graph" `Quick connected_graph;
+    t "deep chain (iterative tarjan)" `Slow deep_chain_no_stack_overflow;
+    t "huge ring" `Slow big_cycle_single_class;
+    prop_classes_partition;
+    prop_closed_classes_have_no_exits;
+  ]

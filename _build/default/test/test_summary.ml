@@ -1,0 +1,73 @@
+open Dpm_core
+open Dpm_sim
+
+let t = Alcotest.test_case
+
+let replications ?(n = 5) () =
+  let sys = Paper_instance.system () in
+  Power_sim.replicate
+    ~seeds:(List.init n (fun i -> Int64.of_int (100 + i)))
+    ~sys
+    ~workload:(fun () -> Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+    ~controller:(fun () -> Controller.greedy sys)
+    ~stop:(Power_sim.Requests 10_000) ()
+
+let summary_statistics () =
+  let rs = replications () in
+  let s = Summary.of_results rs in
+  Alcotest.(check int) "n" 5 s.Summary.power.Summary.n;
+  (* The mean of the summary equals the plain mean. *)
+  let manual =
+    List.fold_left (fun acc r -> acc +. r.Power_sim.avg_power) 0.0 rs /. 5.0
+  in
+  Test_util.check_close ~tol:1e-12 "mean" manual s.Summary.power.Summary.mean;
+  Alcotest.(check bool) "positive dispersion" true
+    (s.Summary.power.Summary.ci95_half_width > 0.0);
+  Test_util.check_relative ~rel:1e-9 "ci = 1.96 se"
+    (1.959964 *. s.Summary.power.Summary.std_error)
+    s.Summary.power.Summary.ci95_half_width
+
+let interval_contains_analytic_truth () =
+  (* The analytic power should fall inside (or very near) the CI of a
+     few replications — the statistically honest version of the
+     MODELCHECK experiment. *)
+  let sys = Paper_instance.system () in
+  let analytic = Analytic.of_actions sys ~actions:(Policies.greedy sys) in
+  let s = Summary.of_results (replications ~n:8 ()) in
+  let e = s.Summary.power in
+  (* Allow 2 half-widths: 8 replications of 10k requests leave some
+     bias from the boundary artifact. *)
+  Alcotest.(check bool)
+    (Format.asprintf "analytic %.3f within %a (x2)" analytic.Analytic.power
+       Summary.pp_estimate e)
+    true
+    (Float.abs (analytic.Analytic.power -. e.Summary.mean)
+    <= 2.0 *. e.Summary.ci95_half_width +. 0.2)
+
+let contains_predicate () =
+  let s = Summary.of_results (replications ()) in
+  Alcotest.(check bool) "mean is inside" true
+    (Summary.contains s.Summary.power s.Summary.power.Summary.mean);
+  Alcotest.(check bool) "far point is outside" false
+    (Summary.contains s.Summary.power (s.Summary.power.Summary.mean +. 100.0))
+
+let single_replication_degrades_gracefully () =
+  let s = Summary.of_results (replications ~n:1 ()) in
+  Alcotest.(check int) "n = 1" 1 s.Summary.power.Summary.n;
+  Alcotest.(check bool) "nan dispersion" true
+    (Float.is_nan s.Summary.power.Summary.ci95_half_width);
+  Alcotest.(check bool) "contains is false on nan" false
+    (Summary.contains s.Summary.power s.Summary.power.Summary.mean)
+
+let empty_rejected () =
+  Test_util.check_raises_invalid "no replications" (fun () ->
+      ignore (Summary.of_results []))
+
+let suite =
+  [
+    t "statistics" `Quick summary_statistics;
+    t "CI covers analytic truth" `Slow interval_contains_analytic_truth;
+    t "contains" `Quick contains_predicate;
+    t "single replication" `Quick single_replication_degrades_gracefully;
+    t "empty rejected" `Quick empty_rejected;
+  ]

@@ -1,0 +1,108 @@
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+let a2 = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]
+let b2 = Matrix.of_arrays [| [| 0.0; 5.0 |]; [| 6.0; 7.0 |] |]
+
+let product_definition () =
+  (* Definition 4.4 of the paper: C = [a11 B, a12 B; a21 B, a22 B]. *)
+  let c = Tensor.product a2 b2 in
+  Alcotest.(check int) "shape" 4 (Matrix.rows c);
+  Test_util.check_close "a11*b01" 5.0 (Matrix.get c 0 1);
+  Test_util.check_close "a12*b10" 12.0 (Matrix.get c 1 2);
+  Test_util.check_close "a21*b11" 21.0 (Matrix.get c 3 1);
+  Test_util.check_close "a22*b11" 28.0 (Matrix.get c 3 3)
+
+let sum_definition () =
+  (* A (+) B = A (x) I + I (x) B *)
+  let c = Tensor.sum a2 b2 in
+  let expected =
+    Matrix.add
+      (Tensor.product a2 (Matrix.identity 2))
+      (Tensor.product (Matrix.identity 2) b2)
+  in
+  Alcotest.(check bool) "matches definition" true (Matrix.approx_equal c expected);
+  Test_util.check_raises_invalid "sum wants square" (fun () ->
+      Tensor.sum (Matrix.create 2 3) b2)
+
+let indexing_roundtrip () =
+  let k = Tensor.pair_index ~inner_dim:7 3 5 in
+  Alcotest.(check (pair int int)) "split inverts pair" (3, 5)
+    (Tensor.split_index ~inner_dim:7 k)
+
+let sparse_matches_dense () =
+  let sa = Sparse.of_dense a2 and sb = Sparse.of_dense b2 in
+  Alcotest.(check bool) "sparse product" true
+    (Matrix.approx_equal (Tensor.product a2 b2)
+       (Sparse.to_dense (Tensor.sparse_product sa sb)));
+  Alcotest.(check bool) "sparse sum" true
+    (Matrix.approx_equal (Tensor.sum a2 b2)
+       (Sparse.to_dense (Tensor.sparse_sum sa sb)))
+
+let square_gen n =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        let a = Array.of_list l in
+        Matrix.init n n (fun i j -> a.((i * n) + j)))
+      (list_repeat (n * n) (float_range (-5.0) 5.0)))
+
+let pair_small =
+  QCheck2.Gen.(
+    int_range 1 3 >>= fun n1 ->
+    int_range 1 3 >>= fun n2 ->
+    pair (square_gen n1) (square_gen n2))
+
+let prop_mixed_product =
+  (* (A (x) B)(u (x) v) = (Au) (x) (Bv) for vectors. *)
+  Test_util.qtest "Kronecker mixed-product with vectors" pair_small
+    (fun (a, b) ->
+      let na = Matrix.rows a and nb = Matrix.rows b in
+      let u = Vec.init na (fun i -> float_of_int (i + 1)) in
+      let v = Vec.init nb (fun i -> 2.0 -. float_of_int i) in
+      let uv =
+        Vec.init (na * nb) (fun k ->
+            let i, j = Tensor.split_index ~inner_dim:nb k in
+            u.(i) *. v.(j))
+      in
+      let lhs = Matrix.mul_vec (Tensor.product a b) uv in
+      let au = Matrix.mul_vec a u and bv = Matrix.mul_vec b v in
+      let rhs =
+        Vec.init (na * nb) (fun k ->
+            let i, j = Tensor.split_index ~inner_dim:nb k in
+            au.(i) *. bv.(j))
+      in
+      Vec.approx_equal ~tol:1e-7 lhs rhs)
+
+let prop_sum_row_sums =
+  (* Row sums of A (+) B are the sums of the operands' row sums —
+     which is why a Kronecker sum of generators is a generator. *)
+  Test_util.qtest "Kronecker sum row sums add" pair_small (fun (a, b) ->
+      let ra = Matrix.row_sums a and rb = Matrix.row_sums b in
+      let rc = Matrix.row_sums (Tensor.sum a b) in
+      let nb = Matrix.rows b in
+      let ok = ref true in
+      Array.iteri
+        (fun k s ->
+          let i, j = Tensor.split_index ~inner_dim:nb k in
+          if Float.abs (s -. (ra.(i) +. rb.(j))) > 1e-8 then ok := false)
+        rc;
+      !ok)
+
+let prop_product_dims =
+  Test_util.qtest "product shape multiplies" pair_small (fun (a, b) ->
+      let c = Tensor.product a b in
+      Matrix.rows c = Matrix.rows a * Matrix.rows b
+      && Matrix.cols c = Matrix.cols a * Matrix.cols b)
+
+let suite =
+  [
+    t "product definition" `Quick product_definition;
+    t "sum definition" `Quick sum_definition;
+    t "pair indexing" `Quick indexing_roundtrip;
+    t "sparse matches dense" `Quick sparse_matches_dense;
+    prop_mixed_product;
+    prop_sum_row_sums;
+    prop_product_dims;
+  ]

@@ -1,0 +1,93 @@
+open Dpm_core
+open Dpm_sim
+
+let t = Alcotest.test_case
+
+let run_traced ?(capacity = 65_536) ?(n = 2_000) () =
+  let sys = Paper_instance.system () in
+  let trace = Trace.create ~capacity () in
+  let r =
+    Power_sim.run ~seed:31L ~sys ~observer:(Trace.observer trace)
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+      ~controller:(Controller.greedy sys)
+      ~stop:(Power_sim.Requests n) ()
+  in
+  (trace, r)
+
+let records_every_event () =
+  let trace, r = run_traced () in
+  (* Every arrival/loss/service/switch event lands one snapshot. *)
+  let expected =
+    r.Power_sim.generated + r.Power_sim.completed + r.Power_sim.switch_count
+  in
+  Alcotest.(check int) "snapshot count" expected (Trace.length trace);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped trace)
+
+let snapshots_chronological () =
+  let trace, _ = run_traced () in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Power_sim.snap_time <= b.Power_sim.snap_time && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "nondecreasing times" true (sorted (Trace.snapshots trace))
+
+let ring_buffer_eviction () =
+  let trace, r = run_traced ~capacity:100 () in
+  Alcotest.(check int) "keeps capacity" 100 (Trace.length trace);
+  let expected =
+    r.Power_sim.generated + r.Power_sim.completed + r.Power_sim.switch_count
+  in
+  Alcotest.(check int) "drops the rest" (expected - 100) (Trace.dropped trace);
+  (* The retained window is the *latest* events. *)
+  (match Trace.snapshots trace with
+  | first :: _ ->
+      Alcotest.(check bool) "window is recent" true
+        (first.Power_sim.snap_time > 0.0)
+  | [] -> Alcotest.fail "empty trace")
+
+let mode_intervals_cover_modes () =
+  let trace, _ = run_traced () in
+  let intervals = Trace.mode_intervals trace in
+  Alcotest.(check bool) "several runs" true (List.length intervals > 10);
+  List.iter
+    (fun (start, stop, mode) ->
+      if stop < start then Alcotest.fail "interval ends before it starts";
+      if mode < 0 || mode > 2 then Alcotest.failf "unknown mode %d" mode)
+    intervals;
+  (* Consecutive intervals have different modes. *)
+  let rec alternating = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) -> a <> b && alternating rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "runs are maximal" true (alternating intervals)
+
+let csv_shape () =
+  let trace, _ = run_traced ~n:50 () in
+  let csv = Trace.to_csv trace in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + rows" (Trace.length trace + 1) (List.length lines);
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check string) "header" "time,event,mode,queue,switching_to,in_transfer"
+        header
+  | [] -> Alcotest.fail "empty csv");
+  List.iteri
+    (fun i line ->
+      if i > 0 && List.length (String.split_on_char ',' line) <> 6 then
+        Alcotest.failf "row %d malformed: %s" i line)
+    lines
+
+let validation () =
+  Test_util.check_raises_invalid "capacity" (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let suite =
+  [
+    t "records every event" `Quick records_every_event;
+    t "chronological" `Quick snapshots_chronological;
+    t "ring eviction" `Quick ring_buffer_eviction;
+    t "mode intervals" `Quick mode_intervals_cover_modes;
+    t "csv shape" `Quick csv_shape;
+    t "validation" `Quick validation;
+  ]

@@ -1,0 +1,122 @@
+open Dpm_linalg
+open Dpm_ctmc
+
+let t = Alcotest.test_case
+
+(* Two-state chain has a closed-form transient solution:
+   p_0(t) = mu/(l+m) + (p0(0) - mu/(l+m)) e^{-(l+m)t}. *)
+let two_state_closed_form lam mu p0_start tt =
+  let total = lam +. mu in
+  let pi0 = mu /. total in
+  let p0 = pi0 +. ((p0_start -. pi0) *. exp (-.total *. tt)) in
+  [| p0; 1.0 -. p0 |]
+
+let g2 lam mu = Generator.of_rates ~dim:2 [ (0, 1, lam); (1, 0, mu) ]
+
+let transient_two_state () =
+  let lam = 0.7 and mu = 1.9 in
+  List.iter
+    (fun tt ->
+      let p = Transient.probabilities (g2 lam mu) ~p0:[| 1.0; 0.0 |] ~t:tt in
+      Test_util.check_vec ~tol:1e-8
+        (Printf.sprintf "t = %g" tt)
+        (two_state_closed_form lam mu 1.0 tt)
+        p)
+    [ 0.0; 0.01; 0.3; 1.0; 5.0; 50.0 ]
+
+let converges_to_steady_state () =
+  let g = g2 0.5 1.5 in
+  let p = Transient.probabilities g ~p0:[| 0.0; 1.0 |] ~t:200.0 in
+  Test_util.check_vec ~tol:1e-9 "long horizon = stationary"
+    (Steady_state.solve g) p
+
+let distribution_properties () =
+  let g =
+    Generator.of_rates ~dim:4
+      [ (0, 1, 1.0); (1, 2, 0.5); (2, 3, 2.0); (3, 0, 0.7); (1, 0, 0.2) ]
+  in
+  let p = Transient.probabilities g ~p0:[| 0.25; 0.25; 0.25; 0.25 |] ~t:3.7 in
+  Test_util.check_close ~tol:1e-9 "sums to one" 1.0 (Vec.sum p);
+  Array.iter
+    (fun x -> if x < 0.0 then Alcotest.failf "negative probability %g" x)
+    p
+
+let no_transitions_stay_put () =
+  let g = Generator.of_matrix (Matrix.create 2 2) in
+  let p = Transient.probabilities g ~p0:[| 0.3; 0.7 |] ~t:9.0 in
+  Test_util.check_vec ~tol:1e-12 "frozen chain" [| 0.3; 0.7 |] p
+
+let trajectory_matches_pointwise () =
+  let g = g2 1.0 1.0 in
+  let times = [ 0.5; 1.5; 3.0 ] in
+  let traj = Transient.probability_trajectory g ~p0:[| 1.0; 0.0 |] ~times in
+  List.iter2
+    (fun tt p ->
+      Test_util.check_vec ~tol:1e-10
+        (Printf.sprintf "trajectory t=%g" tt)
+        (Transient.probabilities g ~p0:[| 1.0; 0.0 |] ~t:tt)
+        p)
+    times traj
+
+let occupancy_sums_to_t () =
+  let g = g2 0.8 1.2 in
+  let occ = Transient.mean_state_occupancy g ~p0:[| 1.0; 0.0 |] ~t:7.0 in
+  Test_util.check_close ~tol:1e-9 "occupancy total" 7.0 (Vec.sum occ);
+  Array.iter (fun x -> if x < 0.0 then Alcotest.fail "negative occupancy") occ
+
+let occupancy_two_state_closed_form () =
+  (* Integrate the closed-form p_0(u) over [0, T]. *)
+  let lam = 0.7 and mu = 1.9 and horizon = 4.0 in
+  let total = lam +. mu in
+  let pi0 = mu /. total in
+  let integral_p0 =
+    (pi0 *. horizon) +. ((1.0 -. pi0) /. total *. (1.0 -. exp (-.total *. horizon)))
+  in
+  let occ = Transient.mean_state_occupancy (g2 lam mu) ~p0:[| 1.0; 0.0 |] ~t:horizon in
+  Test_util.check_close ~tol:1e-7 "occupancy state 0" integral_p0 occ.(0);
+  Test_util.check_close ~tol:1e-7 "occupancy state 1" (horizon -. integral_p0) occ.(1)
+
+let accumulated_rewards_linear () =
+  let g = g2 1.0 2.0 in
+  let r1 = Transient.accumulated_rewards g ~p0:[| 1.0; 0.0 |] ~rewards:[| 2.0; 0.0 |] ~t:5.0 in
+  let r2 = Transient.accumulated_rewards g ~p0:[| 1.0; 0.0 |] ~rewards:[| 0.0; 3.0 |] ~t:5.0 in
+  let r12 = Transient.accumulated_rewards g ~p0:[| 1.0; 0.0 |] ~rewards:[| 2.0; 3.0 |] ~t:5.0 in
+  Test_util.check_close ~tol:1e-8 "linearity in rewards" (r1 +. r2) r12
+
+let input_validation () =
+  let g = g2 1.0 1.0 in
+  Test_util.check_raises_invalid "negative time" (fun () ->
+      ignore (Transient.probabilities g ~p0:[| 1.0; 0.0 |] ~t:(-1.0)));
+  Test_util.check_raises_invalid "bad p0 dimension" (fun () ->
+      ignore (Transient.probabilities g ~p0:[| 1.0 |] ~t:1.0));
+  Test_util.check_raises_invalid "negative p0" (fun () ->
+      ignore (Transient.probabilities g ~p0:[| 2.0; -1.0 |] ~t:1.0))
+
+let prop_chapman_kolmogorov =
+  (* p(t+s) = evolve(evolve(p0, t), s). *)
+  Test_util.qtest ~count:50 "Chapman-Kolmogorov"
+    QCheck2.Gen.(pair (float_range 0.01 3.0) (float_range 0.01 3.0))
+    (fun (t1, t2) ->
+      let g =
+        Generator.of_rates ~dim:3
+          [ (0, 1, 1.0); (1, 2, 0.5); (2, 0, 0.9); (0, 2, 0.2) ]
+      in
+      let p0 = [| 1.0; 0.0; 0.0 |] in
+      let direct = Transient.probabilities g ~p0 ~t:(t1 +. t2) in
+      let mid = Transient.probabilities g ~p0 ~t:t1 in
+      let stepped = Transient.probabilities g ~p0:mid ~t:t2 in
+      Vec.approx_equal ~tol:1e-7 direct stepped)
+
+let suite =
+  [
+    t "two-state closed form" `Quick transient_two_state;
+    t "converges to steady state" `Quick converges_to_steady_state;
+    t "distribution properties" `Quick distribution_properties;
+    t "frozen chain" `Quick no_transitions_stay_put;
+    t "trajectory" `Quick trajectory_matches_pointwise;
+    t "occupancy sums to t" `Quick occupancy_sums_to_t;
+    t "occupancy closed form" `Quick occupancy_two_state_closed_form;
+    t "accumulated rewards linear" `Quick accumulated_rewards_linear;
+    t "input validation" `Quick input_validation;
+    prop_chapman_kolmogorov;
+  ]

@@ -1,0 +1,37 @@
+(* Shared helpers for the test suite. *)
+
+let check_float ?(tol = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+let check_close ?(tol = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.12g, got %.12g (tol %g)" msg expected actual
+      tol
+
+(* Relative comparison for statistical quantities. *)
+let check_relative ~rel msg expected actual =
+  if expected = 0.0 then check_close ~tol:rel msg expected actual
+  else if Float.abs ((actual -. expected) /. expected) > rel then
+    Alcotest.failf "%s: expected %.6g, got %.6g (relative tol %g)" msg expected
+      actual rel
+
+let check_vec ?(tol = 1e-9) msg expected actual =
+  if not (Dpm_linalg.Vec.approx_equal ~tol expected actual) then
+    Alcotest.failf "%s: vectors differ:@ %a@ vs@ %a" msg Dpm_linalg.Vec.pp
+      expected Dpm_linalg.Vec.pp actual
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let qtest ?(count = 200) ?print name gen prop =
+  (* A fixed generator seed keeps property tests reproducible run to
+     run; statistical properties (simulation vs model) would otherwise
+     flake on whichever random system a fresh seed dreams up. *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; String.length name |])
+    (QCheck2.Test.make ?print ~count ~name gen prop)
+
+(* A reproducible RNG for tests that need raw randomness. *)
+let rng () = Dpm_prob.Rng.create 20260705L

@@ -1,0 +1,111 @@
+open Dpm_linalg
+
+let t = Alcotest.test_case
+
+let basic_construction () =
+  Test_util.check_vec "create is zero" [| 0.0; 0.0; 0.0 |] (Vec.create 3);
+  Test_util.check_vec "make fills" [| 2.5; 2.5 |] (Vec.make 2 2.5);
+  Test_util.check_vec "init indexes" [| 0.0; 1.0; 2.0 |]
+    (Vec.init 3 float_of_int);
+  Alcotest.(check int) "dim" 4 (Vec.dim (Vec.create 4));
+  Test_util.check_vec "of_list" [| 1.0; 2.0 |] (Vec.of_list [ 1.0; 2.0 ]);
+  Alcotest.(check (list (float 0.0))) "to_list" [ 1.0; 2.0 ]
+    (Vec.to_list [| 1.0; 2.0 |])
+
+let copy_is_fresh () =
+  let v = [| 1.0; 2.0 |] in
+  let c = Vec.copy v in
+  c.(0) <- 9.0;
+  Test_util.check_vec "original untouched" [| 1.0; 2.0 |] v
+
+let arithmetic () =
+  let u = [| 1.0; 2.0; 3.0 |] and v = [| 4.0; 5.0; 6.0 |] in
+  Test_util.check_vec "add" [| 5.0; 7.0; 9.0 |] (Vec.add u v);
+  Test_util.check_vec "sub" [| -3.0; -3.0; -3.0 |] (Vec.sub u v);
+  Test_util.check_vec "scale" [| 2.0; 4.0; 6.0 |] (Vec.scale 2.0 u);
+  Test_util.check_close "dot" 32.0 (Vec.dot u v);
+  Test_util.check_close "sum" 6.0 (Vec.sum u)
+
+let axpy_inplace () =
+  let x = [| 1.0; 2.0 |] and y = [| 10.0; 20.0 |] in
+  Vec.axpy 3.0 x y;
+  Test_util.check_vec "y <- 3x + y" [| 13.0; 26.0 |] y;
+  Test_util.check_vec "x untouched" [| 1.0; 2.0 |] x
+
+let norms () =
+  let v = [| 3.0; -4.0 |] in
+  Test_util.check_close "norm2" 5.0 (Vec.norm2 v);
+  Test_util.check_close "norm1" 7.0 (Vec.norm1 v);
+  Test_util.check_close "norm_inf" 4.0 (Vec.norm_inf v);
+  Test_util.check_close "span" 7.0 (Vec.span v);
+  Test_util.check_close "span singleton" 0.0 (Vec.span [| 42.0 |]);
+  Test_util.check_close "span empty" 0.0 (Vec.span [||])
+
+let extrema () =
+  let v = [| 1.0; 5.0; 5.0; -2.0 |] in
+  Alcotest.(check int) "max_index first tie" 1 (Vec.max_index v);
+  Alcotest.(check int) "min_index" 3 (Vec.min_index v);
+  Test_util.check_raises_invalid "max_index empty" (fun () -> Vec.max_index [||])
+
+let normalization () =
+  Test_util.check_vec "normalize1" [| 0.25; 0.75 |] (Vec.normalize1 [| 1.0; 3.0 |]);
+  Test_util.check_raises_invalid "normalize1 zero sum" (fun () ->
+      Vec.normalize1 [| 1.0; -1.0 |])
+
+let dimension_mismatch () =
+  Test_util.check_raises_invalid "add" (fun () -> Vec.add [| 1.0 |] [| 1.0; 2.0 |]);
+  Test_util.check_raises_invalid "dot" (fun () -> Vec.dot [| 1.0 |] [| 1.0; 2.0 |]);
+  Test_util.check_raises_invalid "axpy" (fun () ->
+      Vec.axpy 1.0 [| 1.0 |] [| 1.0; 2.0 |])
+
+let approx_equal () =
+  Alcotest.(check bool) "within tol" true
+    (Vec.approx_equal ~tol:1e-6 [| 1.0 |] [| 1.0 +. 1e-7 |]);
+  Alcotest.(check bool) "outside tol" false
+    (Vec.approx_equal ~tol:1e-9 [| 1.0 |] [| 1.0 +. 1e-7 |]);
+  Alcotest.(check bool) "shape mismatch" false
+    (Vec.approx_equal [| 1.0 |] [| 1.0; 2.0 |])
+
+let small_float = QCheck2.Gen.float_range (-100.0) 100.0
+
+let vec_gen =
+  QCheck2.Gen.(map Array.of_list (list_size (int_range 1 12) small_float))
+
+let pair_gen =
+  QCheck2.Gen.(
+    vec_gen >>= fun u ->
+    map (fun l -> (u, Array.of_list l)) (list_repeat (Array.length u) small_float))
+
+let prop_dot_symmetric =
+  Test_util.qtest "dot is symmetric" pair_gen (fun (u, v) ->
+      Float.abs (Vec.dot u v -. Vec.dot v u) <= 1e-9 *. (1.0 +. Float.abs (Vec.dot u v)))
+
+let prop_triangle =
+  Test_util.qtest "norm2 triangle inequality" pair_gen (fun (u, v) ->
+      Vec.norm2 (Vec.add u v) <= Vec.norm2 u +. Vec.norm2 v +. 1e-9)
+
+let prop_scale_norm =
+  Test_util.qtest "norm1 is 1-homogeneous" vec_gen (fun v ->
+      Float.abs (Vec.norm1 (Vec.scale 3.0 v) -. (3.0 *. Vec.norm1 v)) <= 1e-9 *. (1.0 +. Vec.norm1 v))
+
+let prop_normalize_sums_to_one =
+  Test_util.qtest "normalize1 sums to 1 for positive vectors"
+    QCheck2.Gen.(map Array.of_list (list_size (int_range 1 12) (float_range 0.01 50.0)))
+    (fun v -> Float.abs (Vec.sum (Vec.normalize1 v) -. 1.0) <= 1e-12)
+
+let suite =
+  [
+    t "construction" `Quick basic_construction;
+    t "copy is fresh" `Quick copy_is_fresh;
+    t "arithmetic" `Quick arithmetic;
+    t "axpy in place" `Quick axpy_inplace;
+    t "norms" `Quick norms;
+    t "extrema" `Quick extrema;
+    t "normalization" `Quick normalization;
+    t "dimension mismatch" `Quick dimension_mismatch;
+    t "approx_equal" `Quick approx_equal;
+    prop_dot_symmetric;
+    prop_triangle;
+    prop_scale_norm;
+    prop_normalize_sums_to_one;
+  ]

@@ -63,6 +63,7 @@ let perf () =
     (fun (name, ols_result) ->
       match Analyze.OLS.estimates ols_result with
       | Some [ ns ] ->
+          Dpm_obs.Probe.set ("bench.perf." ^ name ^ ".ns_per_run") ns;
           let pretty =
             if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
             else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
@@ -93,9 +94,15 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ -> [ "all" ]
   in
+  (* Collect solver/simulator counters and per-section wall clock for
+     the whole run; the JSON dump makes perf trajectories comparable
+     across PRs. *)
+  let registry = Dpm_obs.Metrics.create () in
+  Dpm_obs.Probe.set_active (Some registry);
+  let timed name f = Dpm_obs.Span.with_ ("bench_" ^ name) f in
   let run name =
     match List.assoc_opt name sections with
-    | Some f -> f ()
+    | Some f -> timed name f
     | None ->
         Printf.eprintf "unknown section %S; known: %s all\n" name
           (String.concat " " (List.map fst sections));
@@ -103,5 +110,12 @@ let () =
   in
   List.iter
     (fun name ->
-      if name = "all" then List.iter (fun (_, f) -> f ()) sections else run name)
-    requested
+      if name = "all" then List.iter (fun (n, f) -> timed n f) sections
+      else run name)
+    requested;
+  Dpm_obs.Probe.set_active None;
+  let oc = open_out "bench_metrics.json" in
+  output_string oc (Dpm_obs.Report.to_json registry);
+  close_out oc;
+  Printf.printf "\nmetrics: wrote bench_metrics.json (%d series)\n"
+    (List.length (Dpm_obs.Metrics.samples registry))

@@ -38,6 +38,48 @@ let requests_arg =
   let doc = "Number of requests to simulate." in
   Arg.(value & opt int 50_000 & info [ "requests"; "n" ] ~docv:"N" ~doc)
 
+(* Global observability flag: when given, a Dpm_obs registry is active
+   for the whole command (solver iterations, LU factorizations,
+   simulator event throughput, spans) and is rendered after the
+   command's normal output. *)
+let metrics_arg =
+  let doc =
+    "Collect runtime metrics (solver iterations, LU factorizations, \
+     simulator event throughput, wall-clock spans) and print them after the \
+     command's output.  $(docv) is table, json, or prometheus; bare \
+     $(b,--metrics) means table."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "table") (some string) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let with_metrics format run =
+  match format with
+  | None -> run ()
+  | Some fmt ->
+      let render =
+        match fmt with
+        | "table" -> Dpm_obs.Report.to_table
+        | "json" -> Dpm_obs.Report.to_json
+        | "prometheus" | "prom" -> Dpm_obs.Report.to_prometheus
+        | other ->
+            prerr_endline
+              (Printf.sprintf
+                 "unknown metrics format %S (try: table, json, prometheus)"
+                 other);
+            exit 1
+      in
+      let registry = Dpm_obs.Metrics.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          Dpm_obs.Probe.set_active None;
+          print_newline ();
+          print_string (render registry))
+        (fun () ->
+          Dpm_obs.Probe.set_active (Some registry);
+          run ())
+
 let build_system device rate capacity =
   match Presets.find device with
   | sp -> Ok (Sys_model.create ~sp ~queue_capacity:capacity ~arrival_rate:rate ())
@@ -55,7 +97,8 @@ let or_die = function
 (* --- info ----------------------------------------------------------- *)
 
 let info_cmd =
-  let run device rate capacity =
+  let run metrics device rate capacity =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     Format.printf "device %s: lambda=%g, Q=%d, |X|=%d states@.%a@." device
       (Sys_model.arrival_rate sys) (Sys_model.queue_capacity sys)
@@ -63,7 +106,7 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Show a device preset and its composed state space.")
-    Term.(const run $ device_arg $ rate_arg $ capacity_arg)
+    Term.(const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg)
 
 (* --- solve ----------------------------------------------------------- *)
 
@@ -76,19 +119,23 @@ let print_solution sys (sol : Optimize.solution) =
     (Policy_export.table sys (Optimize.action_of sys sol))
 
 let solve_cmd =
-  let run device rate capacity weight =
+  let run metrics device rate capacity weight =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     print_solution sys (Optimize.solve ~weight sys)
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Optimize the power-management policy for a given delay weight.")
-    Term.(const run $ device_arg $ rate_arg $ capacity_arg $ weight_arg)
+    Term.(
+      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      $ weight_arg)
 
 (* --- sweep ----------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run device rate capacity =
+  let run metrics device rate capacity =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     Printf.printf "weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
     List.iter
@@ -102,7 +149,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Trace the Pareto power/delay curve over a weight ladder (CSV).")
-    Term.(const run $ device_arg $ rate_arg $ capacity_arg)
+    Term.(const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg)
 
 (* --- constrained ------------------------------------------------------ *)
 
@@ -117,7 +164,8 @@ let constrained_cmd =
     in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run device rate capacity bound exact =
+  let run metrics device rate capacity bound exact =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     if exact then begin
       match Optimize.constrained_exact sys ~max_waiting_requests:bound with
@@ -167,7 +215,8 @@ let constrained_cmd =
        ~doc:
          "Minimize power subject to a bound on the average queue length           (weight bisection, or the exact LP with --exact).")
     Term.(
-      const run $ device_arg $ rate_arg $ capacity_arg $ bound_arg $ exact_arg)
+      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      $ bound_arg $ exact_arg)
 
 (* --- simulate ---------------------------------------------------------- *)
 
@@ -253,7 +302,9 @@ let simulate_cmd =
     in
     Arg.(value & opt string "poisson" & info [ "workload" ] ~docv:"W" ~doc)
   in
-  let run device rate capacity spec workload_spec requests seed trace_file =
+  let run metrics device rate capacity spec workload_spec requests seed
+      trace_file =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     let controller = or_die (controller_of_spec sys spec) in
     let workload = or_die (workload_of_spec rate workload_spec) in
@@ -297,8 +348,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the event-driven simulator (Section V).")
     Term.(
-      const run $ device_arg $ rate_arg $ capacity_arg $ controller_arg
-      $ workload_arg $ requests_arg $ seed_arg $ trace_arg)
+      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      $ controller_arg $ workload_arg $ requests_arg $ seed_arg $ trace_arg)
 
 (* --- dot --------------------------------------------------------------- *)
 
@@ -307,7 +358,8 @@ let dot_cmd =
     let doc = "Which chain to render: sp, sq, or sys." in
     Arg.(value & pos 0 string "sp" & info [] ~docv:"WHAT" ~doc)
   in
-  let run device rate capacity weight what =
+  let run metrics device rate capacity weight what =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     let sp = Sys_model.sp sys in
     let sol = Optimize.solve ~weight sys in
@@ -349,7 +401,9 @@ let dot_cmd =
        ~doc:
          "Emit Graphviz DOT for the SP, SQ, or composed SYS chain \
           (regenerates the paper's Figures 1-2).")
-    Term.(const run $ device_arg $ rate_arg $ capacity_arg $ weight_arg $ what_arg)
+    Term.(
+      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      $ weight_arg $ what_arg)
 
 (* --- report ------------------------------------------------------------- *)
 
@@ -358,7 +412,8 @@ let report_cmd =
     let doc = "Delay bound (average waiting requests) for the constrained section." in
     Arg.(value & opt float 1.0 & info [ "max-waiting"; "b" ] ~docv:"L" ~doc)
   in
-  let run device rate capacity bound seed =
+  let run metrics device rate capacity bound seed =
+    with_metrics metrics @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     let sp = Sys_model.sp sys in
     Format.printf "# Power-management report: %s@.@." device;
@@ -421,7 +476,8 @@ let report_cmd =
        ~doc:
          "Produce a markdown power-management analysis for a device:           frontier, constrained optimum with simulation cross-check, and           heuristic baselines.")
     Term.(
-      const run $ device_arg $ rate_arg $ capacity_arg $ bound_arg $ seed_arg)
+      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      $ bound_arg $ seed_arg)
 
 (* --- entry point --------------------------------------------------------- *)
 

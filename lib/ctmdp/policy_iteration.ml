@@ -93,14 +93,22 @@ let improve m (eval : evaluation) ~incumbent =
   (Policy.of_choice_indices m selection, !changed)
 
 let solve ?ref_state ?(max_iter = 1000) ?init m =
+  Dpm_obs.Span.with_ "policy_iteration" @@ fun () ->
   let init = match init with Some p -> p | None -> Policy.uniform_first m in
   let rec loop iteration policy trace =
     if iteration > max_iter then
       failwith
         (Printf.sprintf "Policy_iteration.solve: no convergence after %d iterations"
            max_iter);
-    let evaluation = evaluate_robust ?ref_state m policy in
-    let next, changed = improve m evaluation ~incumbent:policy in
+    let evaluation =
+      Dpm_obs.Probe.time "policy_iteration.eval_time_seconds" (fun () ->
+          evaluate_robust ?ref_state m policy)
+    in
+    let next, changed =
+      Dpm_obs.Probe.time "policy_iteration.improve_time_seconds" (fun () ->
+          improve m evaluation ~incumbent:policy)
+    in
+    Dpm_obs.Probe.add "policy_iteration.changed_states" changed;
     let step =
       {
         iteration;
@@ -112,7 +120,10 @@ let solve ?ref_state ?(max_iter = 1000) ?init m =
     Logs.debug (fun k ->
         k "policy iteration %d: gain=%g changed=%d" iteration evaluation.gain
           changed);
-    if changed = 0 then
+    if changed = 0 then begin
+      Dpm_obs.Probe.incr "policy_iteration.solves";
+      Dpm_obs.Probe.add "policy_iteration.iterations" iteration;
+      Dpm_obs.Probe.set "policy_iteration.gain" evaluation.gain;
       ( {
           policy;
           gain = evaluation.gain;
@@ -121,6 +132,7 @@ let solve ?ref_state ?(max_iter = 1000) ?init m =
           trace = List.rev (step :: trace);
         }
         : result )
+    end
     else loop (iteration + 1) next (step :: trace)
   in
   loop 1 init []

@@ -10,6 +10,7 @@ type result = {
 }
 
 let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) m =
+  Dpm_obs.Span.with_ "value_iteration" @@ fun () ->
   let n = Model.num_states m in
   let u = Model.max_exit_rate m in
   (* Strictly above the max exit rate so every state keeps a self-loop
@@ -47,6 +48,9 @@ let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) m =
     incr iterations;
     if span < tol then converged := true
   done;
+  Dpm_obs.Probe.incr "value_iteration.solves";
+  Dpm_obs.Probe.add "value_iteration.iterations" !iterations;
+  Dpm_obs.Probe.set "value_iteration.gain_span" (!upper -. !lower);
   let greedy =
     Array.init n (fun i ->
         let best = ref 0 and best_value = ref (backup !v i 0) in

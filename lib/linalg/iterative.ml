@@ -5,6 +5,14 @@ type result = {
   converged : bool;
 }
 
+(* Log-spaced buckets covering the convergence range of interest; one
+   observation per sweep gives the residual trajectory shape. *)
+let residual_buckets =
+  [| 1e-14; 1e-12; 1e-10; 1e-8; 1e-6; 1e-4; 1e-2; 1.0 |]
+
+let observe_residual r = Dpm_obs.Probe.observe "iterative.residual" ~buckets:residual_buckets r
+let count_sweeps n = Dpm_obs.Probe.add "iterative.sweeps" n
+
 let default_init n = function
   | Some v ->
       if Vec.dim v <> n then invalid_arg "Iterative: init dimension mismatch";
@@ -19,9 +27,11 @@ let power_method ?(tol = 1e-12) ?(max_iter = 100_000) ?init p =
   while !change > tol && !iterations < max_iter do
     let next = Vec.normalize1 (Sparse.vec_mul !x p) in
     change := Vec.norm1 (Vec.sub next !x);
+    observe_residual !change;
     x := next;
     incr iterations
   done;
+  count_sweeps !iterations;
   {
     solution = !x;
     iterations = !iterations;
@@ -65,8 +75,10 @@ let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000) ?init q =
     done;
     p := Vec.normalize1 !p;
     change := Vec.norm1 (Vec.sub !p prev);
+    observe_residual !change;
     incr iterations
   done;
+  count_sweeps !iterations;
   let residual = Vec.norm_inf (Sparse.vec_mul !p q) in
   {
     solution = !p;
@@ -88,8 +100,10 @@ let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000) ?init a
   while !residual > tol && !iterations < max_iter do
     x := update a b diag !x;
     residual := Vec.norm_inf (Vec.sub (Sparse.mul_vec a !x) b);
+    observe_residual !residual;
     incr iterations
   done;
+  count_sweeps !iterations;
   {
     solution = !x;
     iterations = !iterations;

@@ -9,6 +9,7 @@ type t = {
 let decompose ?(pivot_tol = 1e-13) a =
   let n = Matrix.rows a in
   if Matrix.cols a <> n then invalid_arg "Lu.decompose: matrix not square";
+  Dpm_obs.Probe.incr "lu.factorizations";
   let lu = Matrix.copy a in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
@@ -32,7 +33,10 @@ let decompose ?(pivot_tol = 1e-13) a =
       sign := -. !sign
     end;
     let pivot = Matrix.get lu k k in
-    if Float.abs pivot < threshold then raise (Singular k);
+    if Float.abs pivot < threshold then begin
+      Dpm_obs.Probe.incr "lu.singular";
+      raise (Singular k)
+    end;
     for i = k + 1 to n - 1 do
       let factor = Matrix.get lu i k /. pivot in
       Matrix.set lu i k factor;
@@ -47,6 +51,7 @@ let decompose ?(pivot_tol = 1e-13) a =
 let solve_factored { lu; perm; _ } b =
   let n = Matrix.rows lu in
   if Vec.dim b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  Dpm_obs.Probe.incr "lu.solves";
   (* Forward substitution with the permuted right-hand side. *)
   let y = Vec.init n (fun i -> b.(perm.(i))) in
   for i = 0 to n - 1 do

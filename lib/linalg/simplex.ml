@@ -89,6 +89,7 @@ let run_phase ~columns ~cost ~allowed ~b ~basis ~tol ~max_pivots =
         in_basis.(j) <- true;
         basis.(!leave) <- j;
         incr pivots;
+        Dpm_obs.Probe.incr "simplex.pivots";
         step ()
       end
     end

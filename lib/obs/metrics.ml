@@ -1,0 +1,140 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+type timer = { mutable events : int; mutable seconds : float }
+
+type histogram = {
+  bounds : float array;
+  counts : int array; (* length = Array.length bounds + 1; last = overflow *)
+  mutable sum : float;
+  mutable observations : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Timer of timer
+  | Histogram of histogram
+
+type t = { tbl : (string, string * metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Timer _ -> "timer"
+  | Histogram _ -> "histogram"
+
+let register r name help make project =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  match Hashtbl.find_opt r.tbl name with
+  | Some (_, m) -> (
+      match project m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let m, v = make () in
+      Hashtbl.replace r.tbl name (help, m);
+      v
+
+let counter r ?(help = "") name =
+  register r name help
+    (fun () ->
+      let c = { count = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge r ?(help = "") name =
+  register r name help
+    (fun () ->
+      let g = { value = 0.0 } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let timer r ?(help = "") name =
+  register r name help
+    (fun () ->
+      let t = { events = 0; seconds = 0.0 } in
+      (Timer t, t))
+    (function Timer t -> Some t | _ -> None)
+
+let histogram r ?(help = "") ~buckets name =
+  register r name help
+    (fun () ->
+      let n = Array.length buckets in
+      if n = 0 then invalid_arg "Metrics.histogram: no buckets";
+      for i = 0 to n - 1 do
+        if not (Float.is_finite buckets.(i)) then
+          invalid_arg "Metrics.histogram: non-finite bucket bound";
+        if i > 0 && buckets.(i) <= buckets.(i - 1) then
+          invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+      done;
+      let h =
+        {
+          bounds = Array.copy buckets;
+          counts = Array.make (n + 1) 0;
+          sum = 0.0;
+          observations = 0;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let set g v = g.value <- v
+let set_max g v = if v > g.value then g.value <- v
+
+let record t seconds =
+  t.events <- t.events + 1;
+  t.seconds <- t.seconds +. seconds
+
+let observe h v =
+  h.sum <- h.sum +. v;
+  h.observations <- h.observations + 1;
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Timer_value of { events : int; seconds : float }
+  | Histogram_value of {
+      bounds : float array;
+      counts : int array;
+      sum : float;
+      observations : int;
+    }
+
+type sample = { name : string; help : string; value : value }
+
+let value_of = function
+  | Counter c -> Counter_value c.count
+  | Gauge g -> Gauge_value g.value
+  | Timer t -> Timer_value { events = t.events; seconds = t.seconds }
+  | Histogram h ->
+      Histogram_value
+        {
+          bounds = Array.copy h.bounds;
+          counts = Array.copy h.counts;
+          sum = h.sum;
+          observations = h.observations;
+        }
+
+let samples r =
+  Hashtbl.fold
+    (fun name (help, m) acc -> { name; help; value = value_of m } :: acc)
+    r.tbl []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let find r name =
+  Option.map (fun (_, m) -> value_of m) (Hashtbl.find_opt r.tbl name)
+
+let is_empty r = Hashtbl.length r.tbl = 0

@@ -1,0 +1,80 @@
+(** Metrics registry: counters, gauges, timers, and fixed-bucket
+    histograms.
+
+    A registry is a flat namespace of metrics keyed by dotted names
+    ([lu.factorizations], [sim.events.arrival], ...).  Registration is
+    idempotent: asking twice for the same name returns the same
+    metric, so instrumentation sites can re-register on every call
+    without coordination.  Registering a name as two different kinds
+    raises [Invalid_argument].
+
+    The registry itself is a plain hash table with mutable cells —
+    updating a metric through its handle is a single field mutation
+    and never allocates, which is what makes per-event instrumentation
+    of the simulator's hot loop affordable.  Rendering is done by
+    {!Report} from the {!samples} snapshot. *)
+
+type t
+(** A metrics registry. *)
+
+type counter
+(** Monotone integer count (events, factorizations, pivots). *)
+
+type gauge
+(** Instantaneous float value (last gain, heap high-water mark). *)
+
+type timer
+(** Accumulated wall-clock: number of recordings and total seconds. *)
+
+type histogram
+(** Fixed-bucket distribution: observation [v] lands in the first
+    bucket whose upper bound satisfies [v <= bound], or in the
+    implicit overflow bucket. *)
+
+val create : unit -> t
+(** A fresh, empty registry. *)
+
+val counter : t -> ?help:string -> string -> counter
+val gauge : t -> ?help:string -> string -> gauge
+val timer : t -> ?help:string -> string -> timer
+
+val histogram : t -> ?help:string -> buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing finite upper bounds; raises
+    [Invalid_argument] otherwise.  On re-registration the existing
+    histogram is returned and [buckets] is ignored. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** High-water mark: keeps the larger of the stored and given value. *)
+
+val record : timer -> float -> unit
+(** [record t seconds] adds one timed interval. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Timer_value of { events : int; seconds : float }
+  | Histogram_value of {
+      bounds : float array;
+      counts : int array;
+          (** per-bucket (not cumulative); [counts.(Array.length bounds)]
+              is the overflow bucket *)
+      sum : float;
+      observations : int;
+    }
+
+type sample = { name : string; help : string; value : value }
+
+val samples : t -> sample list
+(** All metrics, sorted by name.  Arrays in histogram values are
+    copies; the snapshot is immutable. *)
+
+val find : t -> string -> value option
+val is_empty : t -> bool

@@ -1,0 +1,44 @@
+let active : Metrics.t option ref = ref None
+
+let set_active r = active := r
+let current () = !active
+let enabled () = Option.is_some !active
+
+let with_active r f =
+  let prev = !active in
+  active := Some r;
+  Fun.protect ~finally:(fun () -> active := prev) f
+
+let now = Unix.gettimeofday
+
+let incr name =
+  match !active with None -> () | Some r -> Metrics.incr (Metrics.counter r name)
+
+let add name n =
+  match !active with None -> () | Some r -> Metrics.add (Metrics.counter r name) n
+
+let set name v =
+  match !active with None -> () | Some r -> Metrics.set (Metrics.gauge r name) v
+
+let set_max name v =
+  match !active with
+  | None -> ()
+  | Some r -> Metrics.set_max (Metrics.gauge r name) v
+
+let observe name ~buckets v =
+  match !active with
+  | None -> ()
+  | Some r -> Metrics.observe (Metrics.histogram r ~buckets name) v
+
+let record name seconds =
+  match !active with
+  | None -> ()
+  | Some r -> Metrics.record (Metrics.timer r name) seconds
+
+let time name f =
+  match !active with
+  | None -> f ()
+  | Some r ->
+      let tm = Metrics.timer r name in
+      let t0 = now () in
+      Fun.protect ~finally:(fun () -> Metrics.record tm (now () -. t0)) f

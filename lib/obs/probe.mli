@@ -1,0 +1,42 @@
+(** Process-wide instrumentation sink.
+
+    Library code (solvers, linear algebra, the simulator) is
+    instrumented against this module rather than against an explicit
+    registry, so callers that do not care about telemetry pay almost
+    nothing: when no registry is active every probe is a single
+    match on an immediate value — no allocation, no hash lookup, no
+    clock read.  When a registry {e is} active (CLI [--metrics], the
+    bench harness, tests) the probes resolve metrics by name in the
+    active registry.
+
+    Hot loops that fire many probes per event should resolve their
+    metric handles once via {!current} + {!Metrics.counter} and
+    update through the handles (see [Power_sim]). *)
+
+val set_active : Metrics.t option -> unit
+(** Install (or, with [None], remove) the process-wide registry. *)
+
+val current : unit -> Metrics.t option
+val enabled : unit -> bool
+
+val with_active : Metrics.t -> (unit -> 'a) -> 'a
+(** Run a thunk with the given registry active, restoring the
+    previous sink afterwards (also on exceptions). *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); exposed so instrumented
+    libraries need not link [unix] themselves. *)
+
+(** All of the following are silent no-ops when no registry is
+    active. *)
+
+val incr : string -> unit
+val add : string -> int -> unit
+val set : string -> float -> unit
+val set_max : string -> float -> unit
+val observe : string -> buckets:float array -> float -> unit
+val record : string -> float -> unit
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f], recording its wall-clock duration into
+    timer [name] (also on exceptions).  Disabled: exactly [f ()]. *)

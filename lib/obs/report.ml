@@ -1,0 +1,165 @@
+(* %.12g is enough digits that distinct interesting values stay
+   distinct, while common decimals (0.1, 2.5) print exactly. *)
+let float_str x = Printf.sprintf "%.12g" x
+
+let json_float x = if Float.is_finite x then float_str x else "null"
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* --- human-readable table ------------------------------------------ *)
+
+let table_cell (v : Metrics.value) =
+  match v with
+  | Metrics.Counter_value n -> string_of_int n
+  | Metrics.Gauge_value x -> float_str x
+  | Metrics.Timer_value { events; seconds } ->
+      Printf.sprintf "%s s / %d timing%s" (float_str seconds) events
+        (if events = 1 then "" else "s")
+  | Metrics.Histogram_value { bounds; counts; sum; observations } ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b
+        (Printf.sprintf "n=%d sum=%s |" observations (float_str sum));
+      Array.iteri
+        (fun i c ->
+          if c > 0 then
+            Buffer.add_string b
+              (Printf.sprintf " le %s: %d;"
+                 (if i < Array.length bounds then float_str bounds.(i)
+                  else "+inf")
+                 c))
+        counts;
+      Buffer.contents b
+
+let to_table r =
+  let samples = Metrics.samples r in
+  if samples = [] then "(no metrics recorded)\n"
+  else begin
+    let width =
+      List.fold_left
+        (fun w (s : Metrics.sample) -> max w (String.length s.name))
+        6 samples
+    in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b (Printf.sprintf "%-*s  %s\n" width "metric" "value");
+    List.iter
+      (fun (s : Metrics.sample) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-*s  %s\n" width s.name (table_cell s.value)))
+      samples;
+    Buffer.contents b
+  end
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let json_value (v : Metrics.value) =
+  match v with
+  | Metrics.Counter_value n -> string_of_int n
+  | Metrics.Gauge_value x -> json_float x
+  | Metrics.Timer_value { events; seconds } ->
+      Printf.sprintf "{\"events\": %d, \"seconds\": %s}" events
+        (json_float seconds)
+  | Metrics.Histogram_value { bounds; counts; sum; observations } ->
+      let bucket i =
+        let le =
+          if i < Array.length bounds then json_float bounds.(i)
+          else "\"+inf\""
+        in
+        Printf.sprintf "{\"le\": %s, \"count\": %d}" le counts.(i)
+      in
+      Printf.sprintf
+        "{\"observations\": %d, \"sum\": %s, \"buckets\": [%s]}" observations
+        (json_float sum)
+        (String.concat ", " (List.init (Array.length counts) bucket))
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  let samples = Metrics.samples r in
+  List.iteri
+    (fun i (s : Metrics.sample) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s: %s%s\n" (json_string s.name)
+           (json_value s.value)
+           (if i = List.length samples - 1 then "" else ",")))
+    samples;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* --- Prometheus text exposition ------------------------------------ *)
+
+let prom_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else float_str x
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let prom_name name = "dpm_" ^ sanitize name
+
+let to_prometheus r =
+  let b = Buffer.create 1024 in
+  let header name kind help =
+    if help <> "" then
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = prom_name s.name in
+      match s.value with
+      | Metrics.Counter_value n ->
+          header name "counter" s.help;
+          Buffer.add_string b (Printf.sprintf "%s %d\n" name n)
+      | Metrics.Gauge_value x ->
+          header name "gauge" s.help;
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (prom_float x))
+      | Metrics.Timer_value { events; seconds } ->
+          let name =
+            if Filename.check_suffix name "_seconds" then name
+            else name ^ "_seconds"
+          in
+          header name "summary" s.help;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" name (prom_float seconds));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" name events)
+      | Metrics.Histogram_value { bounds; counts; sum; observations } ->
+          header name "histogram" s.help;
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cumulative := !cumulative + c;
+              let le =
+                if i < Array.length bounds then prom_float bounds.(i)
+                else "+Inf"
+              in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le !cumulative))
+            counts;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n" name (prom_float sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count %d\n" name observations))
+    (Metrics.samples r);
+  Buffer.contents b

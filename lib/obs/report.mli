@@ -1,0 +1,20 @@
+(** Render a {!Metrics} registry.
+
+    Three formats, all deterministic (metrics sorted by name) so
+    renderings of the same registry are directly diffable across
+    runs:
+
+    - {!to_table}: aligned human-readable text for terminals;
+    - {!to_json}: a single JSON object keyed by metric name — the
+      machine interchange format ([bench_metrics.json],
+      [dpm_cli --metrics=json]).  Non-finite floats render as [null],
+      never as the invalid literals [nan]/[inf];
+    - {!to_prometheus}: Prometheus text exposition format (version
+      0.0.4).  Names are sanitized ([a-zA-Z0-9_]) and prefixed with
+      [dpm_]; timers render as summaries ([_seconds_sum]/
+      [_seconds_count]), histograms with cumulative [_bucket{le=...}]
+      series. *)
+
+val to_table : Metrics.t -> string
+val to_json : Metrics.t -> string
+val to_prometheus : Metrics.t -> string

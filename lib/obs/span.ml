@@ -1,0 +1,21 @@
+(* Innermost-first, so pushing a scope is a cons. *)
+let stack : string list ref = ref []
+
+let path () = List.rev !stack
+
+let with_ name f =
+  match Probe.current () with
+  | None -> f ()
+  | Some r ->
+      let saved = !stack in
+      let dotted =
+        String.concat "." (List.rev_append saved [ name ]) |> ( ^ ) "span."
+      in
+      let tm = Metrics.timer r dotted in
+      stack := name :: saved;
+      let t0 = Probe.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          stack := saved;
+          Metrics.record tm (Probe.now () -. t0))
+        f

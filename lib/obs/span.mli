@@ -1,0 +1,22 @@
+(** Hierarchical wall-clock spans.
+
+    A span is a named, nested timing scope: entering span ["evaluate"]
+    inside span ["policy_iteration"] accumulates into the timer
+    [span.policy_iteration.evaluate] of the active {!Probe} registry.
+    Each distinct path gets one {!Metrics.timer}, so repeated passes
+    through the same scope aggregate (count + total seconds) rather
+    than producing a trace.
+
+    Like all probes, spans are free when no registry is active: the
+    body runs directly, with no clock read and no allocation. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside span [name], nested under the
+    currently open spans.  The scope is closed (and the parent path
+    restored) even if [f] raises.  [name] should not contain dots —
+    they would be indistinguishable from nesting in the recorded
+    path. *)
+
+val path : unit -> string list
+(** Currently open spans, outermost first.  Empty when disabled or at
+    top level; useful in tests. *)

@@ -32,6 +32,20 @@ type snapshot = {
 
 type event = Arrival | Service_done | Switch_done of int | Timer_fired
 
+(* Metric handles resolved once per run from the active Dpm_obs
+   registry, so per-event accounting is a field mutation — no name
+   lookup, no allocation.  [None] (metrics disabled) reduces the whole
+   hot-loop instrumentation to one match on an immediate. *)
+type probes = {
+  ev_arrival : Dpm_obs.Metrics.counter;
+  ev_arrival_lost : Dpm_obs.Metrics.counter;
+  ev_service_done : Dpm_obs.Metrics.counter;
+  ev_switch_done : Dpm_obs.Metrics.counter;
+  ev_timer : Dpm_obs.Metrics.counter;
+  ev_total : Dpm_obs.Metrics.counter;
+  heap_depth_max : Dpm_obs.Metrics.gauge;
+}
+
 type sim = {
   sp : Service_provider.t;
   capacity : int;
@@ -63,6 +77,8 @@ type sim = {
   mutable switch_count : int;
   mutable switch_energy : float;
   mutable decisions : int;
+  mutable events_processed : int;
+  probes : probes option;
 }
 
 let observation s =
@@ -212,6 +228,22 @@ let handle_event s event =
       consult s Controller.Timer;
       "timer"
   in
+  s.events_processed <- s.events_processed + 1;
+  (match s.probes with
+  | None -> ()
+  | Some p ->
+      Dpm_obs.Metrics.incr p.ev_total;
+      (* +1: the event just handled was already popped off the heap. *)
+      Dpm_obs.Metrics.set_max p.heap_depth_max
+        (float_of_int (Event_heap.size s.events + 1));
+      Dpm_obs.Metrics.incr
+        (match event with
+        | Arrival ->
+            if String.equal label "arrival_lost" then p.ev_arrival_lost
+            else p.ev_arrival
+        | Service_done -> p.ev_service_done
+        | Switch_done _ -> p.ev_switch_done
+        | Timer_fired -> p.ev_timer));
   notify_observer s label
 
 let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
@@ -229,6 +261,23 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
   | Requests n when n <= 0 -> invalid_arg "Power_sim.run: request count must be positive"
   | Sim_time t when t <= 0.0 -> invalid_arg "Power_sim.run: horizon must be positive"
   | Requests _ | Sim_time _ -> ());
+  let probes =
+    match Dpm_obs.Probe.current () with
+    | None -> None
+    | Some r ->
+        let c = Dpm_obs.Metrics.counter r in
+        Some
+          {
+            ev_arrival = c "sim.events.arrival";
+            ev_arrival_lost = c "sim.events.arrival_lost";
+            ev_service_done = c "sim.events.service_done";
+            ev_switch_done = c "sim.events.switch_done";
+            ev_timer = c "sim.events.timer";
+            ev_total = c "sim.events.total";
+            heap_depth_max = Dpm_obs.Metrics.gauge r "sim.heap_depth_max";
+          }
+  in
+  let wall_start = if probes = None then 0.0 else Dpm_obs.Probe.now () in
   let root = Rng.create seed in
   let s =
     {
@@ -260,6 +309,8 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
       switch_count = 0;
       switch_energy = 0.0;
       decisions = 0;
+      events_processed = 0;
+      probes;
     }
   in
   consult s Controller.Init;
@@ -285,6 +336,18 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
   in
   loop ();
   settle_residency s;
+  if probes <> None then begin
+    let wall = Dpm_obs.Probe.now () -. wall_start in
+    Dpm_obs.Probe.incr "sim.runs";
+    Dpm_obs.Probe.add "sim.decisions" s.decisions;
+    Dpm_obs.Probe.record "sim.run_seconds" wall;
+    Dpm_obs.Probe.record
+      ("sim.controller." ^ s.ctl.Controller.name ^ ".run_seconds")
+      wall;
+    if wall > 0.0 then
+      Dpm_obs.Probe.set "sim.events_per_second"
+        (float_of_int s.events_processed /. wall)
+  end;
   let duration = s.now in
   let residency_total = Array.fold_left ( +. ) 0.0 s.residency in
   {

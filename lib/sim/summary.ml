@@ -18,12 +18,17 @@ type t = {
 let estimate_of values =
   let w = Stat.Welford.create () in
   List.iter (Stat.Welford.add w) values;
-  let se = Stat.Welford.std_error w in
+  let n = Stat.Welford.count w in
+  (* A single replication carries no dispersion information; report a
+     zero-width interval rather than Welford's NaN so serializers
+     (notably JSON, which has no NaN literal) always see finite
+     numbers. *)
+  let se = if n < 2 then 0.0 else Stat.Welford.std_error w in
   {
     mean = Stat.Welford.mean w;
     std_error = se;
     ci95_half_width = 1.959964 *. se;
-    n = Stat.Welford.count w;
+    n;
   }
 
 let of_results results =

@@ -23,7 +23,10 @@ type t = {
 val of_results : Power_sim.result list -> t
 (** [of_results rs] summarizes the replications.  Raises
     [Invalid_argument] on an empty list.  With a single replication
-    the dispersion fields are [nan]. *)
+    the dispersion fields ([std_error], [ci95_half_width]) are [0.]
+    — a zero-width interval, never [nan] — so exporting estimates to
+    formats without a NaN literal (JSON) is always safe; [contains]
+    then accepts only the exact mean. *)
 
 val contains : estimate -> float -> bool
 (** [contains e x] tests whether [x] lies inside the 95% interval —

@@ -1,0 +1,244 @@
+open Dpm_obs
+
+let t = Alcotest.test_case
+
+(* --- registry basics ------------------------------------------------ *)
+
+let counters_and_gauges () =
+  let r = Metrics.create () in
+  Alcotest.(check bool) "fresh registry is empty" true (Metrics.is_empty r);
+  let c = Metrics.counter r "events" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 5;
+  (* Re-registration returns the same underlying cell. *)
+  Metrics.incr (Metrics.counter r "events");
+  (match Metrics.find r "events" with
+  | Some (Metrics.Counter_value n) -> Alcotest.(check int) "count" 8 n
+  | _ -> Alcotest.fail "expected a counter");
+  let g = Metrics.gauge r "depth" in
+  Metrics.set g 3.0;
+  Metrics.set_max g 1.0;
+  (* lower: ignored *)
+  Metrics.set_max g 7.5;
+  (match Metrics.find r "depth" with
+  | Some (Metrics.Gauge_value x) -> Alcotest.(check (float 0.0)) "hwm" 7.5 x
+  | _ -> Alcotest.fail "expected a gauge");
+  Alcotest.(check bool) "missing name" true (Metrics.find r "nope" = None)
+
+let kind_mismatch_rejected () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter r "m");
+  Test_util.check_raises_invalid "counter as gauge" (fun () ->
+      ignore (Metrics.gauge r "m"))
+
+let histogram_bucket_boundaries () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[| 1.0; 2.0 |] "h" in
+  (* A value equal to a bound lands in that bound's bucket (le
+     semantics); above every bound lands in the overflow bucket. *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 99.0 ];
+  match Metrics.find r "h" with
+  | Some (Metrics.Histogram_value { bounds; counts; sum; observations }) ->
+      Alcotest.(check (array (float 0.0))) "bounds" [| 1.0; 2.0 |] bounds;
+      Alcotest.(check (array int)) "per-bucket counts" [| 2; 2; 1 |] counts;
+      Alcotest.(check int) "observations" 5 observations;
+      Test_util.check_close ~tol:1e-12 "sum" 104.0 sum
+  | _ -> Alcotest.fail "expected a histogram"
+
+let histogram_bad_buckets () =
+  let r = Metrics.create () in
+  Test_util.check_raises_invalid "non-increasing" (fun () ->
+      ignore (Metrics.histogram r ~buckets:[| 1.0; 1.0 |] "bad"));
+  Test_util.check_raises_invalid "empty" (fun () ->
+      ignore (Metrics.histogram r ~buckets:[||] "bad2"))
+
+let timers () =
+  let r = Metrics.create () in
+  let tm = Metrics.timer r "t" in
+  Metrics.record tm 0.25;
+  Metrics.record tm 0.5;
+  match Metrics.find r "t" with
+  | Some (Metrics.Timer_value { events; seconds }) ->
+      Alcotest.(check int) "events" 2 events;
+      Test_util.check_close ~tol:1e-12 "seconds" 0.75 seconds
+  | _ -> Alcotest.fail "expected a timer"
+
+(* --- probe / span --------------------------------------------------- *)
+
+let probe_routes_to_active_registry () =
+  let r = Metrics.create () in
+  Probe.with_active r (fun () ->
+      Probe.incr "c";
+      Probe.add "c" 2;
+      Probe.set "g" 4.0;
+      Probe.record "t" 0.125;
+      Alcotest.(check int) "time passes result through" 41
+        (Probe.time "t" (fun () -> 41)));
+  Alcotest.(check bool) "sink restored" false (Probe.enabled ());
+  (match Metrics.find r "c" with
+  | Some (Metrics.Counter_value n) -> Alcotest.(check int) "counter" 3 n
+  | _ -> Alcotest.fail "expected counter");
+  match Metrics.find r "t" with
+  | Some (Metrics.Timer_value { events; _ }) ->
+      Alcotest.(check int) "two timings" 2 events
+  | _ -> Alcotest.fail "expected timer"
+
+let span_nesting () =
+  let r = Metrics.create () in
+  Probe.with_active r (fun () ->
+      Span.with_ "solve" (fun () ->
+          Alcotest.(check (list string)) "inside outer" [ "solve" ] (Span.path ());
+          Span.with_ "evaluate" (fun () ->
+              Alcotest.(check (list string))
+                "nested path" [ "solve"; "evaluate" ] (Span.path ()));
+          (* Sibling span under the same parent, visited twice. *)
+          Span.with_ "improve" ignore;
+          Span.with_ "improve" ignore);
+      Alcotest.(check (list string)) "unwound" [] (Span.path ()));
+  let events name =
+    match Metrics.find r name with
+    | Some (Metrics.Timer_value { events; _ }) -> events
+    | _ -> Alcotest.fail ("no timer " ^ name)
+  in
+  Alcotest.(check int) "outer span" 1 (events "span.solve");
+  Alcotest.(check int) "nested span" 1 (events "span.solve.evaluate");
+  Alcotest.(check int) "sibling aggregates" 2 (events "span.solve.improve")
+
+let span_unwinds_on_exception () =
+  let r = Metrics.create () in
+  Probe.with_active r (fun () ->
+      (try Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check (list string)) "stack restored" [] (Span.path ()));
+  match Metrics.find r "span.boom" with
+  | Some (Metrics.Timer_value { events; _ }) ->
+      Alcotest.(check int) "recorded despite raise" 1 events
+  | _ -> Alcotest.fail "expected timer"
+
+let disabled_probes_are_free () =
+  Probe.set_active None;
+  (* The no-op sink must not allocate: this is what makes per-event
+     instrumentation of the simulator hot loop affordable when metrics
+     are off.  10k probe rounds with even one word allocated per round
+     would show up as >= 10k minor words. *)
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Probe.incr "c";
+    Probe.set "g" 1.0;
+    Probe.set_max "g" 2.0;
+    Probe.record "t" 0.5
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocated %.0f minor words" allocated)
+    true (allocated < 1_000.0)
+
+(* --- renderings ----------------------------------------------------- *)
+
+let golden_registry () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r ~help:"LU factorizations" "lu.factorizations") 3;
+  Metrics.set (Metrics.gauge r "sim.heap_depth_max") 2.5;
+  Metrics.record (Metrics.timer r "policy_iteration.eval_time_seconds") 0.125;
+  let h = Metrics.histogram r ~buckets:[| 0.1; 1.0 |] "iterative.residual" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  Metrics.observe h 2.0;
+  r
+
+let golden_json () =
+  let expected =
+    "{\n\
+    \  \"iterative.residual\": {\"observations\": 3, \"sum\": 2.55, \
+     \"buckets\": [{\"le\": 0.1, \"count\": 1}, {\"le\": 1, \"count\": 1}, \
+     {\"le\": \"+inf\", \"count\": 1}]},\n\
+    \  \"lu.factorizations\": 3,\n\
+    \  \"policy_iteration.eval_time_seconds\": {\"events\": 1, \"seconds\": \
+     0.125},\n\
+    \  \"sim.heap_depth_max\": 2.5\n\
+     }\n"
+  in
+  Alcotest.(check string) "stable JSON" expected (Report.to_json (golden_registry ()))
+
+let golden_prometheus () =
+  let expected =
+    "# TYPE dpm_iterative_residual histogram\n\
+     dpm_iterative_residual_bucket{le=\"0.1\"} 1\n\
+     dpm_iterative_residual_bucket{le=\"1\"} 2\n\
+     dpm_iterative_residual_bucket{le=\"+Inf\"} 3\n\
+     dpm_iterative_residual_sum 2.55\n\
+     dpm_iterative_residual_count 3\n\
+     # HELP dpm_lu_factorizations LU factorizations\n\
+     # TYPE dpm_lu_factorizations counter\n\
+     dpm_lu_factorizations 3\n\
+     # TYPE dpm_policy_iteration_eval_time_seconds summary\n\
+     dpm_policy_iteration_eval_time_seconds_sum 0.125\n\
+     dpm_policy_iteration_eval_time_seconds_count 1\n\
+     # TYPE dpm_sim_heap_depth_max gauge\n\
+     dpm_sim_heap_depth_max 2.5\n"
+  in
+  Alcotest.(check string) "stable Prometheus text" expected
+    (Report.to_prometheus (golden_registry ()))
+
+let json_never_emits_nan () =
+  let r = Metrics.create () in
+  Metrics.set (Metrics.gauge r "bad") Float.nan;
+  Metrics.set (Metrics.gauge r "worse") Float.infinity;
+  let doc = Report.to_json r in
+  Alcotest.(check string) "non-finite floats render as null"
+    "{\n  \"bad\": null,\n  \"worse\": null\n}\n" doc
+
+let table_mentions_every_metric () =
+  let table = Report.to_table (golden_registry ()) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true
+        (Test_util.contains_substring table name))
+    [
+      "lu.factorizations";
+      "sim.heap_depth_max";
+      "policy_iteration.eval_time_seconds";
+      "iterative.residual";
+    ]
+
+(* --- end-to-end: instrumented solver -------------------------------- *)
+
+let solver_populates_registry () =
+  let r = Metrics.create () in
+  Probe.with_active r (fun () ->
+      let sys = Dpm_core.Paper_instance.system () in
+      let model = Dpm_core.Sys_model.to_ctmdp sys ~weight:1.0 in
+      ignore (Dpm_ctmdp.Policy_iteration.solve model));
+  let counter name =
+    match Metrics.find r name with
+    | Some (Metrics.Counter_value n) -> n
+    | _ -> Alcotest.fail ("no counter " ^ name)
+  in
+  Alcotest.(check bool) "iterations recorded" true
+    (counter "policy_iteration.iterations" >= 1);
+  Alcotest.(check bool) "LU factorizations recorded" true
+    (counter "lu.factorizations" >= 1);
+  match Metrics.find r "policy_iteration.eval_time_seconds" with
+  | Some (Metrics.Timer_value { events; seconds }) ->
+      Alcotest.(check bool) "one evaluation per iteration" true
+        (events = counter "policy_iteration.iterations");
+      Alcotest.(check bool) "non-negative time" true (seconds >= 0.0)
+  | _ -> Alcotest.fail "no evaluation timer"
+
+let suite =
+  [
+    t "counters and gauges" `Quick counters_and_gauges;
+    t "kind mismatch rejected" `Quick kind_mismatch_rejected;
+    t "histogram bucket boundaries" `Quick histogram_bucket_boundaries;
+    t "histogram bad buckets" `Quick histogram_bad_buckets;
+    t "timers" `Quick timers;
+    t "probe routes to active registry" `Quick probe_routes_to_active_registry;
+    t "span nesting" `Quick span_nesting;
+    t "span unwinds on exception" `Quick span_unwinds_on_exception;
+    t "disabled probes are allocation-free" `Quick disabled_probes_are_free;
+    t "golden JSON" `Quick golden_json;
+    t "golden Prometheus" `Quick golden_prometheus;
+    t "JSON never emits nan" `Quick json_never_emits_nan;
+    t "table lists all metrics" `Quick table_mentions_every_metric;
+    t "instrumented solver populates registry" `Quick solver_populates_registry;
+  ]

@@ -54,10 +54,15 @@ let contains_predicate () =
 let single_replication_degrades_gracefully () =
   let s = Summary.of_results (replications ~n:1 ()) in
   Alcotest.(check int) "n = 1" 1 s.Summary.power.Summary.n;
-  Alcotest.(check bool) "nan dispersion" true
-    (Float.is_nan s.Summary.power.Summary.ci95_half_width);
-  Alcotest.(check bool) "contains is false on nan" false
-    (Summary.contains s.Summary.power s.Summary.power.Summary.mean)
+  (* Zero-width interval, never NaN: metric exports must stay valid
+     JSON even for one replication. *)
+  Alcotest.(check (float 0.0)) "zero std error" 0.0 s.Summary.power.Summary.std_error;
+  Alcotest.(check (float 0.0))
+    "zero half width" 0.0 s.Summary.power.Summary.ci95_half_width;
+  Alcotest.(check bool) "zero-width interval contains its mean" true
+    (Summary.contains s.Summary.power s.Summary.power.Summary.mean);
+  Alcotest.(check bool) "and nothing else" false
+    (Summary.contains s.Summary.power (s.Summary.power.Summary.mean +. 1e-6))
 
 let empty_rejected () =
   Test_util.check_raises_invalid "no replications" (fun () ->

@@ -20,6 +20,11 @@ let check_vec ?(tol = 1e-9) msg expected actual =
     Alcotest.failf "%s: vectors differ:@ %a@ vs@ %a" msg Dpm_linalg.Vec.pp
       expected Dpm_linalg.Vec.pp actual
 
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 let check_raises_invalid msg f =
   match f () with
   | exception Invalid_argument _ -> ()

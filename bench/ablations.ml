@@ -13,6 +13,13 @@ let time_it f =
   let v = f () in
   (v, Unix.gettimeofday () -. start)
 
+(* Grid rows are independent; compute them on the Dpm_par pool and
+   print in order.  At the default domain count (1) this is exactly
+   the old sequential loop, so the per-row timings stay exact;
+   opting in with --domains/DPM_DOMAINS trades per-row timing
+   fidelity (rows then share cores) for wall-clock throughput. *)
+let grid_rows f xs = Dpm_par.parallel_map_list f xs
+
 (* ------------------------------------------------------------------ *)
 (* Steady-state solver comparison on the closed-loop paper chain at
    growing queue capacities: GTH vs LU vs sparse Gauss-Seidel. *)
@@ -24,7 +31,7 @@ let solvers () =
      applicable; 'solve' isolates the closed class first)";
   Printf.printf "%6s %6s | %10s %10s %10s | %12s %12s\n" "Q" "|X|"
     "t_solve(ms)" "t_lu(ms)" "t_gs(ms)" "solve-lu" "gs residual";
-  List.iter
+  grid_rows
     (fun q ->
       let sys =
         Sys_model.create
@@ -35,11 +42,12 @@ let solvers () =
       let p_solve, t_solve = time_it (fun () -> Steady_state.solve g) in
       let p_lu, t_lu = time_it (fun () -> Steady_state.lu_solve g) in
       let r_gs, t_gs = time_it (fun () -> Steady_state.iterative ~tol:1e-12 g) in
-      Printf.printf "%6d %6d | %10.2f %10.2f %10.2f | %12.2e %12.2e\n" q
-        (Sys_model.num_states sys) (1e3 *. t_solve) (1e3 *. t_lu) (1e3 *. t_gs)
-        (Vec.norm_inf (Vec.sub p_solve p_lu))
-        r_gs.Iterative.residual)
+      (q, Sys_model.num_states sys, t_solve, t_lu, t_gs,
+       Vec.norm_inf (Vec.sub p_solve p_lu), r_gs.Iterative.residual))
     [ 5; 10; 20; 40; 80 ]
+  |> List.iter (fun (q, n, t_solve, t_lu, t_gs, diff, res) ->
+         Printf.printf "%6d %6d | %10.2f %10.2f %10.2f | %12.2e %12.2e\n" q n
+           (1e3 *. t_solve) (1e3 *. t_lu) (1e3 *. t_gs) diff res)
 
 (* ------------------------------------------------------------------ *)
 (* Tensor-formula builder vs the direct enumerative builder. *)
@@ -132,7 +140,7 @@ let queue_scaling () =
   header "ABL5  Optimization cost vs queue capacity";
   Printf.printf "%6s %6s | %10s %8s | %12s\n" "Q" "|X|" "t_solve(ms)" "iters"
     "gain";
-  List.iter
+  grid_rows
     (fun q ->
       let sys =
         Sys_model.create
@@ -140,9 +148,10 @@ let queue_scaling () =
           ~queue_capacity:q ~arrival_rate:(1.0 /. 6.0) ()
       in
       let sol, t = time_it (fun () -> Optimize.solve ~weight:1.0 sys) in
-      Printf.printf "%6d %6d | %10.1f %8d | %12.6f\n" q (Sys_model.num_states sys)
-        (1e3 *. t) sol.Optimize.iterations sol.Optimize.gain)
+      (q, Sys_model.num_states sys, t, sol.Optimize.iterations, sol.Optimize.gain))
     [ 5; 10; 20; 40; 80; 120 ]
+  |> List.iter (fun (q, n, t, iters, gain) ->
+         Printf.printf "%6d %6d | %10.1f %8d | %12.6f\n" q n (1e3 *. t) iters gain)
 
 (* ------------------------------------------------------------------ *)
 (* The paper, Section I: "A policy iteration algorithm is used to
@@ -156,7 +165,7 @@ let pi_vs_lp () =
     "ABL6  Policy iteration vs linear programming (the paper's efficiency claim)";
   Printf.printf "%6s %6s %8s | %10s %10s %8s | %12s\n" "Q" "|X|" "LP vars"
     "t_PI(ms)" "t_LP(ms)" "speedup" "gain diff";
-  List.iter
+  grid_rows
     (fun q ->
       let sys =
         Sys_model.create
@@ -166,13 +175,13 @@ let pi_vs_lp () =
       let m = Sys_model.to_ctmdp sys ~weight:1.0 in
       let pi, t_pi = time_it (fun () -> Dpm_ctmdp.Policy_iteration.solve m) in
       let lp, t_lp = time_it (fun () -> Dpm_ctmdp.Lp_solver.solve m) in
-      Printf.printf "%6d %6d %8d | %10.2f %10.2f %7.1fx | %12.2e\n" q
-        (Sys_model.num_states sys)
-        (Dpm_ctmdp.Model.total_choices m)
-        (1e3 *. t_pi) (1e3 *. t_lp) (t_lp /. t_pi)
-        (Float.abs
-           (pi.Dpm_ctmdp.Policy_iteration.gain -. lp.Dpm_ctmdp.Lp_solver.gain)))
+      (q, Sys_model.num_states sys, Dpm_ctmdp.Model.total_choices m, t_pi, t_lp,
+       Float.abs
+         (pi.Dpm_ctmdp.Policy_iteration.gain -. lp.Dpm_ctmdp.Lp_solver.gain)))
     [ 3; 5; 8; 12; 16; 20 ]
+  |> List.iter (fun (q, n, vars, t_pi, t_lp, diff) ->
+         Printf.printf "%6d %6d %8d | %10.2f %10.2f %7.1fx | %12.2e\n" q n vars
+           (1e3 *. t_pi) (1e3 *. t_lp) (t_lp /. t_pi) diff)
 
 let all () =
   solvers ();

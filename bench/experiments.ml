@@ -32,27 +32,45 @@ let fig4 () =
   let sys = Paper_instance.system () in
   Printf.printf "%-22s %12s %12s %14s\n" "policy" "power (W)"
     "waiting(req)" "wait time (s)";
+  (* Solve all weights on the pool, dedup identical policies in weight
+     order (deterministic at any domain count), then simulate the
+     distinct ones — again in parallel — and print in order. *)
+  let sols =
+    Dpm_par.parallel_map_list (fun w -> (w, Optimize.solve ~weight:w sys))
+      fig4_weights
+  in
   let seen = Hashtbl.create 16 in
-  List.iter
-    (fun w ->
-      let sol = Optimize.solve ~weight:w sys in
-      if not (Hashtbl.mem seen sol.Optimize.actions) then begin
-        Hashtbl.replace seen sol.Optimize.actions ();
-        let r = simulate sys (Controller.of_solution sys sol) in
-        Printf.printf "%-22s %12.3f %12.4f %14.3f\n"
-          (Printf.sprintf "optimal w=%g" w)
-          r.Power_sim.avg_power r.Power_sim.avg_waiting_requests
-          r.Power_sim.avg_waiting_time
-      end)
-    fig4_weights;
+  let distinct =
+    List.filter
+      (fun (_, sol) ->
+        if Hashtbl.mem seen sol.Optimize.actions then false
+        else begin
+          Hashtbl.replace seen sol.Optimize.actions ();
+          true
+        end)
+      sols
+  in
+  let opt_rows =
+    Dpm_par.parallel_map_list
+      (fun (w, sol) ->
+        (Printf.sprintf "optimal w=%g" w,
+         simulate sys (Controller.of_solution sys sol)))
+      distinct
+  in
+  let n_rows =
+    Dpm_par.parallel_map_list
+      (fun n ->
+        (Printf.sprintf "N-policy N=%d" n,
+         simulate sys (Controller.n_policy sys ~n)))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let print_row (name, r) =
+    Printf.printf "%-22s %12.3f %12.4f %14.3f\n" name r.Power_sim.avg_power
+      r.Power_sim.avg_waiting_requests r.Power_sim.avg_waiting_time
+  in
+  List.iter print_row opt_rows;
   Printf.printf "%s\n" (String.make 62 '.');
-  for n = 1 to 5 do
-    let r = simulate sys (Controller.n_policy sys ~n) in
-    Printf.printf "%-22s %12.3f %12.4f %14.3f\n"
-      (Printf.sprintf "N-policy N=%d" n)
-      r.Power_sim.avg_power r.Power_sim.avg_waiting_requests
-      r.Power_sim.avg_waiting_time
-  done
+  List.iter print_row n_rows
 
 (* ------------------------------------------------------------------ *)
 (* The paper's side claim under Figure 4: "the functional value and
@@ -76,7 +94,9 @@ let modelcheck () =
         ~controller:(fun () -> Controller.of_policy sys actions)
         ~stop:(Power_sim.Requests 20_000) ()
     in
-    let s = Summary.of_results rs in
+    (name, a, Summary.of_results rs)
+  in
+  let print_row (name, (a : Analytic.metrics), s) =
     let near e x =
       (* within the CI, or a hair outside (the boundary artifact) *)
       Float.abs (x -. e.Summary.mean)
@@ -92,14 +112,28 @@ let modelcheck () =
          "ok"
        else "OFF")
   in
-  List.iter
-    (fun w ->
-      let sol = Optimize.solve ~weight:w sys in
-      row (Printf.sprintf "optimal w=%g" w) (fun x ->
-          sol.Optimize.actions.(Sys_model.index sys x)))
-    [ 0.1; 0.5; 1.0; 5.0 ];
-  row "greedy" (Policies.greedy sys);
-  row "n-policy N=3" (Policies.n_policy sys ~n:3)
+  (* Each row is a solve plus a replicated simulation — independent
+     work items, fanned out on the pool and printed in order. *)
+  let rows =
+    Dpm_par.parallel_map_list
+      (fun job -> job ())
+      ([
+         (fun () -> row "greedy" (Policies.greedy sys));
+         (fun () -> row "n-policy N=3" (Policies.n_policy sys ~n:3));
+       ]
+      @ List.map
+          (fun w () ->
+            let sol = Optimize.solve ~weight:w sys in
+            row (Printf.sprintf "optimal w=%g" w) (fun x ->
+                sol.Optimize.actions.(Sys_model.index sys x)))
+          [ 0.1; 0.5; 1.0; 5.0 ])
+  in
+  (match rows with
+  | greedy :: npol :: opt_rows ->
+      List.iter print_row opt_rows;
+      print_row greedy;
+      print_row npol
+  | _ -> assert false)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: Little's-law approximation quality.  The performance
@@ -117,7 +151,9 @@ let table1 () =
   let rates = Paper_instance.sweep_rates in
   List.iter (fun r -> Printf.printf " %8s" (Printf.sprintf "1/%.0f" (1.0 /. r))) rates;
   Printf.printf "\n";
-  let rows = List.map (fun rate ->
+  (* One constrained optimization + simulation per input rate — the
+     grid runs on the pool, rows come back in rate order. *)
+  let rows = Dpm_par.parallel_map_list (fun rate ->
       let sys = Paper_instance.system_at ~arrival_rate:rate in
       match Optimize.constrained sys ~max_waiting_requests:1.0 with
       | None -> (rate, Float.nan, Float.nan, Float.nan, Float.nan)
@@ -151,34 +187,41 @@ let fig5 () =
      (paper Figure 5; timeouts n=1s, n=T, n=T/2)";
   Printf.printf "%-10s | %-10s | %10s %14s %9s\n" "rate" "policy" "power (W)"
     "wait time (s)" "loss %";
+  (* Each rate is an independent block (one constrained solve plus
+     five simulations); blocks run on the pool, printed in rate order. *)
+  let blocks =
+    Dpm_par.parallel_map_list
+      (fun rate ->
+        let sys = Paper_instance.system_at ~arrival_rate:rate in
+        let period = 1.0 /. rate in
+        let ours =
+          match Optimize.constrained sys ~max_waiting_requests:1.0 with
+          | Some sol -> Controller.of_solution sys sol
+          | None -> Controller.always_on sys
+        in
+        let entries =
+          [
+            ("ours", ours);
+            ("greedy", Controller.greedy sys);
+            ("t-out 1s", Controller.timeout sys ~delay:1.0);
+            ("t-out T", Controller.timeout sys ~delay:period);
+            ("t-out T/2", Controller.timeout sys ~delay:(0.5 *. period));
+          ]
+        in
+        (period, List.map (fun (name, ctl) -> (name, simulate sys ctl)) entries))
+      Paper_instance.sweep_rates
+  in
   List.iter
-    (fun rate ->
-      let sys = Paper_instance.system_at ~arrival_rate:rate in
-      let period = 1.0 /. rate in
-      let ours =
-        match Optimize.constrained sys ~max_waiting_requests:1.0 with
-        | Some sol -> Controller.of_solution sys sol
-        | None -> Controller.always_on sys
-      in
-      let entries =
-        [
-          ("ours", ours);
-          ("greedy", Controller.greedy sys);
-          ("t-out 1s", Controller.timeout sys ~delay:1.0);
-          ("t-out T", Controller.timeout sys ~delay:period);
-          ("t-out T/2", Controller.timeout sys ~delay:(0.5 *. period));
-        ]
-      in
+    (fun (period, rows) ->
       List.iter
-        (fun (name, ctl) ->
-          let r = simulate sys ctl in
+        (fun (name, r) ->
           Printf.printf "%-10s | %-10s | %10.3f %14.3f %9.2f\n"
             (Printf.sprintf "1/%.0f" period)
             name r.Power_sim.avg_power r.Power_sim.avg_waiting_time
             (100.0 *. r.Power_sim.loss_probability))
-        entries;
+        rows;
       Printf.printf "%s\n" (String.make 62 '.'))
-    Paper_instance.sweep_rates
+    blocks
 
 (* ------------------------------------------------------------------ *)
 (* Section V claim: for a 2-mode server the N-policy achieves the
@@ -207,7 +250,7 @@ let npolicy2 () =
     "analytic objective comparison, objective = power + w * waiting:\n";
   Printf.printf "%-10s %14s %16s %12s\n" "w" "best N-policy" "CTMDP optimal"
     "gap (%)";
-  List.iter
+  Dpm_par.parallel_map_list
     (fun w ->
       let objective m = m.Analytic.power +. (w *. m.Analytic.avg_waiting_requests) in
       let best_n =
@@ -218,14 +261,16 @@ let npolicy2 () =
           infinity [ 1; 2; 3; 4; 5 ]
       in
       let opt = Optimize.solve ~weight:w sys in
-      Printf.printf "%-10g %14.4f %16.4f %+11.3f%%\n" w best_n opt.Optimize.gain
-        ((best_n -. opt.Optimize.gain) /. opt.Optimize.gain *. 100.0))
-    [ 0.2; 0.5; 1.0; 2.0; 5.0; 10.0 ];
+      (w, best_n, opt.Optimize.gain))
+    [ 0.2; 0.5; 1.0; 2.0; 5.0; 10.0 ]
+  |> List.iter (fun (w, best_n, gain) ->
+         Printf.printf "%-10g %14.4f %16.4f %+11.3f%%\n" w best_n gain
+           ((best_n -. gain) /. gain *. 100.0));
   Printf.printf
     "\n3-mode server (paper instance): weights where the optimum strictly\n\
      beats every N-policy (uses the 'waiting' mode as a shallow sleep):\n";
   let sys3 = Paper_instance.system () in
-  List.iter
+  Dpm_par.parallel_map_list
     (fun w ->
       let objective m = m.Analytic.power +. (w *. m.Analytic.avg_waiting_requests) in
       let best_n =
@@ -236,10 +281,12 @@ let npolicy2 () =
           infinity [ 1; 2; 3; 4; 5 ]
       in
       let opt = Optimize.solve ~weight:w sys3 in
-      Printf.printf "  w=%-8g best-N=%10.4f optimal=%10.4f improvement=%.3f%%\n" w
-        best_n opt.Optimize.gain
-        ((best_n -. opt.Optimize.gain) /. best_n *. 100.0))
+      (w, best_n, opt.Optimize.gain))
     [ 0.2; 0.5; 1.0; 2.0 ]
+  |> List.iter (fun (w, best_n, gain) ->
+         Printf.printf "  w=%-8g best-N=%10.4f optimal=%10.4f improvement=%.3f%%\n"
+           w best_n gain
+           ((best_n -. gain) /. best_n *. 100.0))
 
 let all () =
   fig4 ();

@@ -1,12 +1,15 @@
 (* Benchmark harness.
 
-   Usage:  dune exec bench/main.exe [sections...]
+   Usage:  dune exec bench/main.exe [--domains N] [sections...]
 
-   Sections: fig4 modelcheck tab1 fig5 npolicy2 ablations extensions perf
-   all
+   Sections: fig4 modelcheck tab1 fig5 npolicy2 ablations extensions
+   scaling perf all
    (default: all).  The experiment sections regenerate the paper's
-   tables/figures (see EXPERIMENTS.md); the perf section runs one
-   Bechamel micro-benchmark per experiment's computational kernel. *)
+   tables/figures (see EXPERIMENTS.md); the scaling section measures
+   Dpm_par speedup at several domain counts; the perf section runs one
+   Bechamel micro-benchmark per experiment's computational kernel.
+   [--domains N] (or DPM_DOMAINS) runs the experiment grids on an
+   N-domain pool — results are identical, only wall clock changes. *)
 
 open Bechamel
 open Dpm_core
@@ -85,14 +88,31 @@ let sections =
     ("npolicy2", Experiments.npolicy2);
     ("ablations", Ablations.all);
     ("extensions", Extensions.all);
+    ("scaling", Scaling.all);
     ("perf", perf);
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: args -> args | [] -> []
+  in
+  let rec parse_domains acc = function
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 ->
+            Dpm_par.set_default_domains d;
+            parse_domains acc rest
+        | _ ->
+            Printf.eprintf "--domains expects a positive integer, got %S\n" v;
+            exit 1)
+    | "--domains" :: [] ->
+        Printf.eprintf "--domains expects a value\n";
+        exit 1
+    | x :: rest -> parse_domains (x :: acc) rest
+    | [] -> List.rev acc
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> [ "all" ]
+    match parse_domains [] args with [] -> [ "all" ] | names -> names
   in
   (* Collect solver/simulator counters and per-section wall clock for
      the whole run; the JSON dump makes perf trajectories comparable

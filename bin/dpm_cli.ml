@@ -38,6 +38,25 @@ let requests_arg =
   let doc = "Number of requests to simulate." in
   Arg.(value & opt int 50_000 & info [ "requests"; "n" ] ~docv:"N" ~doc)
 
+(* Global parallelism knob: sizes the Dpm_par domain pool used by
+   replicated simulation and the weight/rate sweep grids.  Results are
+   bit-identical at any value; only wall clock changes. *)
+let domains_arg =
+  let doc =
+    "Number of OCaml domains (worker threads) for parallel sections: \
+     simulation replications and optimization sweeps.  Defaults to \
+     $(b,DPM_DOMAINS) or 1 (sequential).  The output is identical \
+     whatever the value; only wall-clock time changes."
+  in
+  Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"D" ~doc)
+
+let apply_domains = function
+  | None -> ()
+  | Some d when d >= 1 -> Dpm_par.set_default_domains d
+  | Some d ->
+      prerr_endline (Printf.sprintf "--domains must be >= 1, got %d" d);
+      exit 1
+
 (* Global observability flag: when given, a Dpm_obs registry is active
    for the whole command (solver iterations, LU factorizations,
    simulator event throughput, spans) and is rendered after the
@@ -80,6 +99,16 @@ let with_metrics format run =
           Dpm_obs.Probe.set_active (Some registry);
           run ())
 
+(* Every command takes the (metrics, domains) pair through one term so
+   the observability registry and the domain pool are set up the same
+   way everywhere. *)
+let with_runtime (metrics, domains) run =
+  apply_domains domains;
+  with_metrics metrics run
+
+let runtime_args =
+  Term.(const (fun metrics domains -> (metrics, domains)) $ metrics_arg $ domains_arg)
+
 let build_system device rate capacity =
   match Presets.find device with
   | sp -> Ok (Sys_model.create ~sp ~queue_capacity:capacity ~arrival_rate:rate ())
@@ -97,8 +126,8 @@ let or_die = function
 (* --- info ----------------------------------------------------------- *)
 
 let info_cmd =
-  let run metrics device rate capacity =
-    with_metrics metrics @@ fun () ->
+  let run runtime device rate capacity =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     Format.printf "device %s: lambda=%g, Q=%d, |X|=%d states@.%a@." device
       (Sys_model.arrival_rate sys) (Sys_model.queue_capacity sys)
@@ -106,7 +135,7 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Show a device preset and its composed state space.")
-    Term.(const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg)
+    Term.(const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg)
 
 (* --- solve ----------------------------------------------------------- *)
 
@@ -119,8 +148,8 @@ let print_solution sys (sol : Optimize.solution) =
     (Policy_export.table sys (Optimize.action_of sys sol))
 
 let solve_cmd =
-  let run metrics device rate capacity weight =
-    with_metrics metrics @@ fun () ->
+  let run runtime device rate capacity weight =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     print_solution sys (Optimize.solve ~weight sys)
   in
@@ -128,14 +157,14 @@ let solve_cmd =
     (Cmd.info "solve"
        ~doc:"Optimize the power-management policy for a given delay weight.")
     Term.(
-      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ weight_arg)
 
 (* --- sweep ----------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run metrics device rate capacity =
-    with_metrics metrics @@ fun () ->
+  let run runtime device rate capacity =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     Printf.printf "weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
     List.iter
@@ -149,7 +178,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Trace the Pareto power/delay curve over a weight ladder (CSV).")
-    Term.(const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg)
+    Term.(const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg)
 
 (* --- constrained ------------------------------------------------------ *)
 
@@ -164,8 +193,8 @@ let constrained_cmd =
     in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run metrics device rate capacity bound exact =
-    with_metrics metrics @@ fun () ->
+  let run runtime device rate capacity bound exact =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     if exact then begin
       match Optimize.constrained_exact sys ~max_waiting_requests:bound with
@@ -215,7 +244,7 @@ let constrained_cmd =
        ~doc:
          "Minimize power subject to a bound on the average queue length           (weight bisection, or the exact LP with --exact).")
     Term.(
-      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ bound_arg $ exact_arg)
 
 (* --- simulate ---------------------------------------------------------- *)
@@ -302,54 +331,95 @@ let simulate_cmd =
     in
     Arg.(value & opt string "poisson" & info [ "workload" ] ~docv:"W" ~doc)
   in
-  let run metrics device rate capacity spec workload_spec requests seed
-      trace_file =
-    with_metrics metrics @@ fun () ->
+  let replications_arg =
+    let doc =
+      "Run this many independent replications (seeds derived from --seed by \
+       the splitmix64 stream, run on the --domains pool) and print \
+       per-replication lines plus a mean +/- 95% CI summary.  \
+       Incompatible with --trace."
+    in
+    Arg.(value & opt int 1 & info [ "replications" ] ~docv:"R" ~doc)
+  in
+  let run runtime device rate capacity spec workload_spec requests seed
+      replications trace_file =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
-    let controller = or_die (controller_of_spec sys spec) in
-    let workload = or_die (workload_of_spec rate workload_spec) in
-    let trace = Dpm_sim.Trace.create () in
-    let observer =
-      match trace_file with
-      | Some _ -> Some (Dpm_sim.Trace.observer trace)
-      | None -> None
-    in
-    let r =
-      Dpm_sim.Power_sim.run ~seed:(Int64.of_int seed) ?observer ~sys ~workload
-        ~controller
-        ~stop:(Dpm_sim.Power_sim.Requests requests)
-        ()
-    in
-    (match trace_file with
-    | Some file ->
-        let oc = open_out file in
-        output_string oc (Dpm_sim.Trace.to_csv trace);
-        close_out oc;
-        Format.printf "trace: %d events written to %s (%d dropped)@."
-          (Dpm_sim.Trace.length trace) file
-          (Dpm_sim.Trace.dropped trace)
-    | None -> ());
-    Format.printf "%a@." Dpm_sim.Power_sim.pp r;
-    Format.printf
-      "duration %.1f s, generated %d, accepted %d, completed %d, switch \
-       energy %.2f J@."
-      r.Dpm_sim.Power_sim.duration r.Dpm_sim.Power_sim.generated
-      r.Dpm_sim.Power_sim.accepted r.Dpm_sim.Power_sim.completed
-      r.Dpm_sim.Power_sim.switch_energy;
-    Format.printf "mode residency:";
-    Array.iteri
-      (fun s f ->
-        Format.printf " %s=%.1f%%"
-          (Service_provider.name (Sys_model.sp sys) s)
-          (100.0 *. f))
-      r.Dpm_sim.Power_sim.mode_residency;
-    Format.printf "@."
+    if replications < 1 then begin
+      prerr_endline "--replications must be >= 1";
+      exit 1
+    end;
+    if replications > 1 then begin
+      if trace_file <> None then begin
+        prerr_endline "--trace only applies to a single run (replications=1)";
+        exit 1
+      end;
+      let rs =
+        Dpm_sim.Power_sim.replicate ~seed:(Int64.of_int seed) ~n:replications
+          ~sys
+          ~workload:(fun () -> or_die (workload_of_spec rate workload_spec))
+          ~controller:(fun () -> or_die (controller_of_spec sys spec))
+          ~stop:(Dpm_sim.Power_sim.Requests requests)
+          ()
+      in
+      List.iteri
+        (fun k r -> Format.printf "rep %2d: %a@." (k + 1) Dpm_sim.Power_sim.pp r)
+        rs;
+      let s = Dpm_sim.Summary.of_results rs in
+      Format.printf
+        "summary (%d replications): power %a W, waiting %a req, wait time %a \
+         s, loss %a@."
+        replications Dpm_sim.Summary.pp_estimate s.Dpm_sim.Summary.power
+        Dpm_sim.Summary.pp_estimate s.Dpm_sim.Summary.waiting_requests
+        Dpm_sim.Summary.pp_estimate s.Dpm_sim.Summary.waiting_time
+        Dpm_sim.Summary.pp_estimate s.Dpm_sim.Summary.loss_probability
+    end
+    else begin
+      let controller = or_die (controller_of_spec sys spec) in
+      let workload = or_die (workload_of_spec rate workload_spec) in
+      let trace = Dpm_sim.Trace.create () in
+      let observer =
+        match trace_file with
+        | Some _ -> Some (Dpm_sim.Trace.observer trace)
+        | None -> None
+      in
+      let r =
+        Dpm_sim.Power_sim.run ~seed:(Int64.of_int seed) ?observer ~sys ~workload
+          ~controller
+          ~stop:(Dpm_sim.Power_sim.Requests requests)
+          ()
+      in
+      (match trace_file with
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Dpm_sim.Trace.to_csv trace);
+          close_out oc;
+          Format.printf "trace: %d events written to %s (%d dropped)@."
+            (Dpm_sim.Trace.length trace) file
+            (Dpm_sim.Trace.dropped trace)
+      | None -> ());
+      Format.printf "%a@." Dpm_sim.Power_sim.pp r;
+      Format.printf
+        "duration %.1f s, generated %d, accepted %d, completed %d, switch \
+         energy %.2f J@."
+        r.Dpm_sim.Power_sim.duration r.Dpm_sim.Power_sim.generated
+        r.Dpm_sim.Power_sim.accepted r.Dpm_sim.Power_sim.completed
+        r.Dpm_sim.Power_sim.switch_energy;
+      Format.printf "mode residency:";
+      Array.iteri
+        (fun s f ->
+          Format.printf " %s=%.1f%%"
+            (Service_provider.name (Sys_model.sp sys) s)
+            (100.0 *. f))
+        r.Dpm_sim.Power_sim.mode_residency;
+      Format.printf "@."
+    end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the event-driven simulator (Section V).")
     Term.(
-      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
-      $ controller_arg $ workload_arg $ requests_arg $ seed_arg $ trace_arg)
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
+      $ controller_arg $ workload_arg $ requests_arg $ seed_arg
+      $ replications_arg $ trace_arg)
 
 (* --- dot --------------------------------------------------------------- *)
 
@@ -358,8 +428,8 @@ let dot_cmd =
     let doc = "Which chain to render: sp, sq, or sys." in
     Arg.(value & pos 0 string "sp" & info [] ~docv:"WHAT" ~doc)
   in
-  let run metrics device rate capacity weight what =
-    with_metrics metrics @@ fun () ->
+  let run runtime device rate capacity weight what =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     let sp = Sys_model.sp sys in
     let sol = Optimize.solve ~weight sys in
@@ -402,7 +472,7 @@ let dot_cmd =
          "Emit Graphviz DOT for the SP, SQ, or composed SYS chain \
           (regenerates the paper's Figures 1-2).")
     Term.(
-      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ weight_arg $ what_arg)
 
 (* --- report ------------------------------------------------------------- *)
@@ -412,8 +482,8 @@ let report_cmd =
     let doc = "Delay bound (average waiting requests) for the constrained section." in
     Arg.(value & opt float 1.0 & info [ "max-waiting"; "b" ] ~docv:"L" ~doc)
   in
-  let run metrics device rate capacity bound seed =
-    with_metrics metrics @@ fun () ->
+  let run runtime device rate capacity bound seed =
+    with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     let sp = Sys_model.sp sys in
     Format.printf "# Power-management report: %s@.@." device;
@@ -476,7 +546,7 @@ let report_cmd =
        ~doc:
          "Produce a markdown power-management analysis for a device:           frontier, constrained optimum with simulation cross-check, and           heuristic baselines.")
     Term.(
-      const run $ metrics_arg $ device_arg $ rate_arg $ capacity_arg
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ bound_arg $ seed_arg)
 
 (* --- entry point --------------------------------------------------------- *)

@@ -40,7 +40,10 @@ let solve ?(weight = 0.0) sys =
 
 let action_of sys solution x = solution.actions.(Sys_model.index sys x)
 
-let sweep sys ~weights = List.map (fun weight -> solve ~weight sys) weights
+let sweep ?domains sys ~weights =
+  (* One independent policy-iteration solve per weight; the pool keeps
+     the returned list in [weights] order at any domain count. *)
+  Dpm_par.parallel_map_list ?domains (fun weight -> solve ~weight sys) weights
 
 let default_weights =
   let lo = 0.1 and hi = 500.0 and n = 20 in

@@ -26,9 +26,12 @@ val solve : ?weight:float -> Sys_model.t -> solution
 val action_of : Sys_model.t -> solution -> Sys_model.state -> int
 (** Read a solution as a policy function. *)
 
-val sweep : Sys_model.t -> weights:float list -> solution list
+val sweep : ?domains:int -> Sys_model.t -> weights:float list -> solution list
 (** [sweep sys ~weights] solves for each weight (in the given order).
-    Figure 4 uses a geometric ladder of weights. *)
+    Figure 4 uses a geometric ladder of weights.  Weights are solved
+    on the {!Dpm_par} pool ([domains] defaults to
+    {!Dpm_par.default_domains}); the result order and every solution
+    are identical whatever the domain count. *)
 
 val default_weights : float list
 (** A 20-point geometric ladder from 0.1 to 500 — a reasonable

@@ -17,7 +17,7 @@ let point_at sys ~actions ~weight rate =
   let optimal_objective = objective_of ~weight optimal.Optimize.metrics in
   { rate; metrics; objective; optimal_objective; regret = objective -. optimal_objective }
 
-let rate_sweep sys ~actions ~weight ~rates =
+let rate_sweep ?domains sys ~actions ~weight ~rates =
   if Array.length actions <> Sys_model.num_states sys then
     invalid_arg "Sensitivity.rate_sweep: action table size mismatch";
   List.iter
@@ -25,25 +25,28 @@ let rate_sweep sys ~actions ~weight ~rates =
       if r <= 0.0 || not (Float.is_finite r) then
         invalid_arg "Sensitivity.rate_sweep: rates must be positive")
     rates;
-  List.map (point_at sys ~actions ~weight) rates
+  (* Each grid point re-solves the CTMDP from scratch — embarrassingly
+     parallel, and [parallel_map_list] keeps the output in rate order. *)
+  Dpm_par.parallel_map_list ?domains (point_at sys ~actions ~weight) rates
 
 let mismatch_regret sys ~weight ~design_rate ~true_rate =
   let design_sys = Sys_model.with_arrival_rate sys design_rate in
   let sol = Optimize.solve ~weight design_sys in
   (point_at sys ~actions:sol.Optimize.actions ~weight true_rate).regret
 
-let break_even_estimation_error sys ~weight ~design_rate ~tolerance =
+let break_even_estimation_error ?domains sys ~weight ~design_rate ~tolerance =
   if tolerance <= 0.0 then
     invalid_arg "Sensitivity.break_even_estimation_error: tolerance must be positive";
   let regret_at rel_err =
-    (* Test both under- and over-estimation; take the worse. *)
-    let lo = mismatch_regret sys ~weight ~design_rate
-        ~true_rate:(design_rate /. (1.0 +. rel_err))
-    in
-    let hi = mismatch_regret sys ~weight ~design_rate
-        ~true_rate:(design_rate *. (1.0 +. rel_err))
-    in
-    Float.max lo hi
+    (* Test both under- and over-estimation (a pair of independent
+       solves, run on the pool); take the worse. *)
+    match
+      Dpm_par.parallel_map_list ?domains
+        (fun true_rate -> mismatch_regret sys ~weight ~design_rate ~true_rate)
+        [ design_rate /. (1.0 +. rel_err); design_rate *. (1.0 +. rel_err) ]
+    with
+    | [ lo; hi ] -> Float.max lo hi
+    | _ -> assert false
   in
   (* Geometric search for a bracketing error, then bisection. *)
   let cap = 8.0 in

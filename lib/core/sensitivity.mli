@@ -19,6 +19,7 @@ type point = {
 }
 
 val rate_sweep :
+  ?domains:int ->
   Sys_model.t ->
   actions:int array ->
   weight:float ->
@@ -28,8 +29,11 @@ val rate_sweep :
     policy [actions] (tabulated over [sys]'s state indexing, e.g. an
     {!Optimize.solution}'s) at each true rate.  The policy table is
     carried over by state (the state space does not depend on the
-    rate).  Raises [Invalid_argument] on a wrong-sized action table
-    or nonpositive rates. *)
+    rate).  Grid points are solved on the {!Dpm_par} pool ([domains]
+    defaults to {!Dpm_par.default_domains}); results come back in
+    [rates] order regardless of the domain count.  Raises
+    [Invalid_argument] on a wrong-sized action table or nonpositive
+    rates. *)
 
 val mismatch_regret :
   Sys_model.t -> weight:float -> design_rate:float -> true_rate:float -> float
@@ -39,7 +43,12 @@ val mismatch_regret :
     tolerance) when the rates coincide; always [>= -epsilon]. *)
 
 val break_even_estimation_error :
-  Sys_model.t -> weight:float -> design_rate:float -> tolerance:float -> float
+  ?domains:int ->
+  Sys_model.t ->
+  weight:float ->
+  design_rate:float ->
+  tolerance:float ->
+  float
 (** [break_even_estimation_error sys ~weight ~design_rate ~tolerance]
     searches (geometrically, factor 2 per step, then bisection) for
     the relative rate-estimation error at which the mismatch regret

@@ -1,5 +1,4 @@
 open Dpm_linalg
-open Dpm_ctmc
 
 type evaluation = { gain : float; bias : Vec.t }
 
@@ -18,32 +17,60 @@ type result = {
   trace : step list;
 }
 
-let evaluate_gen ~ref_state ~restart_rate m p =
+let check_ref_state m ref_state =
+  if ref_state < 0 || ref_state >= Model.num_states m then
+    invalid_arg "Policy_iteration.evaluate: bad reference state"
+
+let exit_rate_of (c : Model.choice) =
+  List.fold_left (fun acc (_, r) -> acc +. r) 0.0 c.Model.rates
+
+(* Unknowns x: x.(j) = v_j for j <> ref_state, x.(ref_state) = gain.
+   Equation for state i:  sum_j G_ij v_j - gain = -c_i,
+   with v_{ref} = 0 substituted (so rates into the reference state
+   drop out and its column carries the gain unknown instead).
+
+   Both assemblies read the policy's transition structure straight
+   off [Model.choice] — O(n + nnz), no intermediate [Generator] and
+   no O(n^2) dense scan. *)
+
+let dense_system ~ref_state m p =
   let n = Model.num_states m in
-  if ref_state < 0 || ref_state >= n then
-    invalid_arg "Policy_iteration.evaluate: bad reference state";
-  let g = Policy.generator m p in
-  let c = Policy.cost_vector m p in
-  (* Unknowns x: x.(j) = v_j for j <> ref_state, x.(ref_state) = gain.
-     Equation for state i:  sum_j G_ij v_j - gain = -c_i,
-     with v_{ref} = 0 substituted.  A positive [restart_rate] adds an
-     epsilon-rate transition from every state to [ref_state], which
-     makes any chain unichain — the perturbation used when a
-     multichain policy turns up mid-iteration. *)
-  let a =
-    Matrix.init n n (fun i j ->
-        if j = ref_state then -1.0
-        else begin
-          let base = Generator.get g i j in
-          if restart_rate = 0.0 || i = ref_state then base
-          else if j = i then base -. restart_rate
-          else base
-        end)
+  let a = Matrix.create n n in
+  let b = Vec.create n in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    b.(i) <- -.c.Model.cost;
+    if i <> ref_state then Matrix.set a i i (-.(exit_rate_of c));
+    List.iter
+      (fun (j, r) ->
+        if j <> ref_state then Matrix.update a i j (fun x -> x +. r))
+      c.Model.rates;
+    Matrix.set a i ref_state (-1.0)
+  done;
+  (a, b)
+
+(* A positive [restart_rate] adds an epsilon-rate transition from
+   every state to [ref_state], which makes any chain unichain — the
+   perturbation used when a multichain policy turns up mid-iteration.
+   It only moves the non-reference diagonal entries, so the retry
+   patches the already-assembled matrix in place (the right-hand side
+   is untouched) instead of rebuilding the system. *)
+let apply_restart a ~ref_state ~restart_rate =
+  for i = 0 to Matrix.rows a - 1 do
+    if i <> ref_state then Matrix.update a i i (fun x -> x -. restart_rate)
+  done
+
+let evaluation_of ~ref_state x =
+  let bias =
+    Vec.init (Vec.dim x) (fun j -> if j = ref_state then 0.0 else x.(j))
   in
-  let b = Vec.map (fun ci -> -.ci) c in
-  let x = Lu.solve a b in
-  let bias = Vec.init n (fun j -> if j = ref_state then 0.0 else x.(j)) in
   { gain = x.(ref_state); bias }
+
+let evaluate_gen ~ref_state ~restart_rate m p =
+  check_ref_state m ref_state;
+  let a, b = dense_system ~ref_state m p in
+  if restart_rate > 0.0 then apply_restart a ~ref_state ~restart_rate;
+  evaluation_of ~ref_state (Lu.solve a b)
 
 let evaluate ?(ref_state = 0) m p = evaluate_gen ~ref_state ~restart_rate:0.0 m p
 
@@ -51,16 +78,216 @@ let evaluate ?(ref_state = 0) m p = evaluate_gen ~ref_state ~restart_rate:0.0 m 
    self-sufficient "orbits" — e.g. two active server speeds whose
    states never command each other) make the exact evaluation
    singular.  Retrying with a tiny restart rate toward the reference
-   state restores unichain structure at an O(eps) bias error. *)
+   state restores unichain structure at an O(eps) bias error.  The
+   system is assembled once: the successful factorization is consumed
+   through [Lu.solve_factored], and the singular retry reuses the
+   matrix (diagonal patched in place) and the same right-hand side. *)
 let evaluate_robust ?(ref_state = 0) m p =
-  match evaluate_gen ~ref_state ~restart_rate:0.0 m p with
-  | e -> e
+  check_ref_state m ref_state;
+  let a, b = dense_system ~ref_state m p in
+  match Lu.decompose a with
+  | lu -> evaluation_of ~ref_state (Lu.solve_factored lu b)
   | exception Lu.Singular _ ->
       let eps = 1e-9 *. Float.max 1.0 (Model.max_exit_rate m) in
       Logs.debug (fun k ->
           k "policy evaluation singular (multichain policy); retrying with \
              restart rate %g" eps);
-      evaluate_gen ~ref_state ~restart_rate:eps m p
+      Dpm_obs.Probe.incr "policy_iteration.robust_retries";
+      apply_restart a ~ref_state ~restart_rate:eps;
+      evaluation_of ~ref_state (Lu.solve a b)
+
+(* --- sparse evaluation --------------------------------------------- *)
+
+(* The policy's generator as CSR, straight from the choice rates. *)
+let sparse_generator m p =
+  let n = Model.num_states m in
+  let ts = ref [] in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    let exit = exit_rate_of c in
+    if exit > 0.0 then ts := (i, i, -.exit) :: !ts;
+    List.iter
+      (fun (j, r) -> if r > 0.0 then ts := (i, j, r) :: !ts)
+      c.Model.rates
+  done;
+  Sparse.of_triplets ~rows:n ~cols:n !ts
+
+(* The bias equations with the gain folded into column [ref_state]
+   (same system as [dense_system], CSR) — used to cross-check any
+   candidate solution cheaply via one sparse mat-vec. *)
+let sparse_system ~ref_state m p =
+  let n = Model.num_states m in
+  let ts = ref [] in
+  let b = Vec.create n in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    b.(i) <- -.c.Model.cost;
+    let exit = exit_rate_of c in
+    if i <> ref_state && exit > 0.0 then ts := (i, i, -.exit) :: !ts;
+    List.iter
+      (fun (j, r) ->
+        if j <> ref_state && r > 0.0 then ts := (i, j, r) :: !ts)
+      c.Model.rates;
+    ts := (i, ref_state, -1.0) :: !ts
+  done;
+  (Sparse.of_triplets ~rows:n ~cols:n !ts, b)
+
+(* The bias system with the gain already known: row [ref_state] is
+   pinned to [v_ref = 0] and column [ref_state] is dropped from every
+   other row, which restores weak diagonal dominance — exactly the
+   M-matrix structure Gauss-Seidel sweeps are reliable on.
+
+   Rows are normalized by their exit rate (diagonal -1).  This leaves
+   the solution and the Gauss-Seidel iterates untouched (each update
+   solves its row for x_i) but turns the sweep's absolute residual
+   test into a per-row relative one — essential because the big-M
+   self-switch rates (1e6) put the raw residual's floating-point
+   floor far above any absolute tolerance worth having. *)
+let pinned_bias_system ~ref_state ~gain m p =
+  let n = Model.num_states m in
+  let ts = ref [ (ref_state, ref_state, 1.0) ] in
+  let b = Vec.create n in
+  for i = 0 to n - 1 do
+    if i <> ref_state then begin
+      let c = Model.choice m i (Policy.choice_index p i) in
+      let exit = exit_rate_of c in
+      if exit > 0.0 then begin
+        b.(i) <- (gain -. c.Model.cost) /. exit;
+        ts := (i, i, -1.0) :: !ts;
+        List.iter
+          (fun (j, r) ->
+            if j <> ref_state && r > 0.0 then ts := (i, j, r /. exit) :: !ts)
+          c.Model.rates
+      end
+      (* exit = 0: absorbing state — leave the zero diagonal; the
+         sweep rejects it and the caller falls back to dense. *)
+    end
+  done;
+  (Sparse.of_triplets ~rows:n ~cols:n !ts, b)
+
+exception Sparse_failed of string
+
+(* Every state must reach [ref_state] under the policy's chain, else
+   the pinned bias system is singular (the policy is multichain) and
+   the sweeps below stagnate at a nonzero residual forever.  The dense
+   path owns the restart-perturbation machinery for that case, so
+   detect it structurally — one reverse DFS, O(n + nnz), negligible
+   next to a single sweep — and fall back before wasting any. *)
+let check_reaches_ref ~ref_state m p =
+  let n = Model.num_states m in
+  let rev = Array.make n [] in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    List.iter
+      (fun (j, r) -> if r > 0.0 && j <> i then rev.(j) <- i :: rev.(j))
+      c.Model.rates
+  done;
+  let seen = Array.make n false in
+  let stack = Stack.create () in
+  seen.(ref_state) <- true;
+  Stack.push ref_state stack;
+  let count = ref 0 in
+  while not (Stack.is_empty stack) do
+    let j = Stack.pop stack in
+    incr count;
+    List.iter
+      (fun i ->
+        if not seen.(i) then begin
+          seen.(i) <- true;
+          Stack.push i stack
+        end)
+      rev.(j)
+  done;
+  if !count < n then
+    raise
+      (Sparse_failed
+         (Printf.sprintf
+            "multichain policy: %d of %d states cannot reach the reference \
+             state"
+            (n - !count) n))
+
+let evaluate_sparse_exn ~ref_state ~tol ~max_iter m p =
+  let n = Model.num_states m in
+  check_reaches_ref ~ref_state m p;
+  (* Stage 1: stationary distribution of the policy chain -> gain. *)
+  let g = sparse_generator m p in
+  let pi = Iterative.gauss_seidel_steady ~tol ~max_iter g in
+  if not pi.Iterative.converged then
+    raise (Sparse_failed "stationary sweep did not converge");
+  let gain = ref 0.0 in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    gain := !gain +. (pi.Iterative.solution.(i) *. c.Model.cost)
+  done;
+  let gain = !gain in
+  (* Stage 2: bias from the pinned system (gain known, v_ref = 0).
+     The sweep's own convergence flag is advisory: its absolute
+     residual test can stall at the floating-point noise floor even
+     when the iterate is fully converged, so acceptance is decided by
+     the exact-system verification below, not here. *)
+  let a, b = pinned_bias_system ~ref_state ~gain m p in
+  (* The sweep's stopping test is an absolute residual, so scale the
+     tolerance with the system's magnitude — the bias itself can reach
+     1e4 on deep queues, putting the attainable floor near eps*|bias|;
+     an unscaled 1e-12 would spin to max_iter on converged iterates. *)
+  let tol = tol *. Float.max 1.0 (Vec.norm_inf b) in
+  let sol = Iterative.gauss_seidel ~tol ~max_iter a b in
+  (* Verify against the exact relative-value equations: one sparse
+     mat-vec.  This also catches multichain policies, where the
+     stationary sweep converges to the wrong chain's gain. *)
+  let ag, bg = sparse_system ~ref_state m p in
+  let x =
+    Vec.init n (fun j ->
+        if j = ref_state then gain else sol.Iterative.solution.(j))
+  in
+  let residual = Vec.norm_inf (Vec.sub (Sparse.mul_vec ag x) bg) in
+  let accept = 1e-7 *. Float.max 1.0 (Vec.norm_inf bg) in
+  if residual > accept then
+    raise
+      (Sparse_failed
+         (Printf.sprintf "verification residual %g above %g" residual accept));
+  evaluation_of ~ref_state x
+
+let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
+  check_ref_state m ref_state;
+  let max_iter =
+    match max_iter with
+    | Some k -> k
+    | None -> max 10_000 (50 * Model.num_states m)
+  in
+  match evaluate_sparse_exn ~ref_state ~tol ~max_iter m p with
+  | e ->
+      Dpm_obs.Probe.incr "policy_iteration.sparse_evals";
+      Dpm_obs.Probe.set "policy_iteration.eval_path" 1.0;
+      e
+  | exception (Sparse_failed reason | Invalid_argument reason) ->
+      (* Zero diagonals (absorbing states), non-convergence, or a
+         verification miss: fall back to the exact dense LU path. *)
+      Logs.debug (fun k ->
+          k "sparse policy evaluation fell back to dense LU: %s" reason);
+      Dpm_obs.Probe.incr "policy_iteration.sparse_fallbacks";
+      Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
+      evaluate_robust ~ref_state m p
+
+type eval_path = Dense | Sparse | Auto
+
+(* Dense LU is O(n^3) but rock solid; the sparse sweeps win once the
+   composed state space outgrows the paper's instances.  The crossover
+   on the queue-capacity ablation sits around a few hundred states. *)
+let sparse_auto_threshold = 192
+
+let evaluate_auto ?ref_state ~path m p =
+  let use_sparse =
+    match path with
+    | Dense -> false
+    | Sparse -> true
+    | Auto -> Model.num_states m >= sparse_auto_threshold
+  in
+  if use_sparse then evaluate_sparse ?ref_state m p
+  else begin
+    Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
+    evaluate_robust ?ref_state m p
+  end
 
 let test_quantity i (c : Model.choice) bias =
   (* c_i^a + sum_j s^a_ij v_j, with the diagonal folded in:
@@ -92,7 +319,7 @@ let improve m (eval : evaluation) ~incumbent =
   in
   (Policy.of_choice_indices m selection, !changed)
 
-let solve ?ref_state ?(max_iter = 1000) ?init m =
+let solve ?ref_state ?(max_iter = 1000) ?init ?(eval = Auto) m =
   Dpm_obs.Span.with_ "policy_iteration" @@ fun () ->
   let init = match init with Some p -> p | None -> Policy.uniform_first m in
   let rec loop iteration policy trace =
@@ -102,7 +329,7 @@ let solve ?ref_state ?(max_iter = 1000) ?init m =
            max_iter);
     let evaluation =
       Dpm_obs.Probe.time "policy_iteration.eval_time_seconds" (fun () ->
-          evaluate_robust ?ref_state m policy)
+          evaluate_auto ?ref_state ~path:eval m policy)
     in
     let next, changed =
       Dpm_obs.Probe.time "policy_iteration.improve_time_seconds" (fun () ->

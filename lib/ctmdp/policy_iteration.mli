@@ -49,7 +49,38 @@ val evaluate_robust : ?ref_state:int -> Model.t -> Policy.t -> evaluation
     toward the reference state, which restores unichain structure at
     an O(1e-9)-relative bias error.  {!solve} uses this internally so
     multichain policies encountered mid-iteration do not abort the
-    optimization. *)
+    optimization.  The system is assembled once, directly from
+    [Model.choice]; the retry reuses the assembled matrix (diagonal
+    patched in place) and right-hand side rather than rebuilding. *)
+
+val evaluate_sparse :
+  ?ref_state:int -> ?tol:float -> ?max_iter:int -> Model.t -> Policy.t -> evaluation
+(** Sparse counterpart of {!evaluate_robust}: assembles the policy's
+    generator as a {!Dpm_linalg.Sparse.t} straight from the
+    [Model.choice] rate lists (no O(n{^2}) dense scan) and solves the
+    relative-value equations with Gauss-Seidel sweeps — the stationary
+    distribution first (gain = pi . c), then the bias from the system
+    with [v_ref] pinned to 0 (rows normalized by their exit rate so
+    the sweep's residual test is per-row relative).  The candidate
+    solution is verified against the exact bias equations with one
+    sparse mat-vec; on a multichain policy (detected up front by a
+    reverse reachability pass — the pinned system would be singular),
+    a zero diagonal, stationary non-convergence, or a verification
+    miss the call falls back to the dense-LU {!evaluate_robust} path,
+    so the result is always within solver tolerance of the dense
+    answer.  [tol] (default 1e-12, internally scaled to the system's
+    magnitude) and [max_iter] (default [max 10_000 (50 n)]) tune the
+    sweeps.  Probe counters: [policy_iteration.sparse_evals],
+    [policy_iteration.sparse_fallbacks], gauge
+    [policy_iteration.eval_path] (1 sparse, 0 dense). *)
+
+type eval_path =
+  | Dense  (** always dense LU ({!evaluate_robust}) *)
+  | Sparse  (** always {!evaluate_sparse} (with its dense fallback) *)
+  | Auto
+      (** dense below ~200 states (LU wins on the paper's instances),
+          sparse above (the composed state space of large queue
+          capacities is >95% zeros) *)
 
 val improve : Model.t -> evaluation -> incumbent:Policy.t -> Policy.t * int
 (** [improve m eval ~incumbent] returns the greedy policy with
@@ -57,11 +88,20 @@ val improve : Model.t -> evaluation -> incumbent:Policy.t -> Policy.t * int
     changed.  Ties (within an absolute tolerance of 1e-9) keep the
     incumbent's choice, which guarantees termination. *)
 
-val solve : ?ref_state:int -> ?max_iter:int -> ?init:Policy.t -> Model.t -> result
+val solve :
+  ?ref_state:int ->
+  ?max_iter:int ->
+  ?init:Policy.t ->
+  ?eval:eval_path ->
+  Model.t ->
+  result
 (** [solve m] runs policy iteration from [init] (default: each
     state's first choice) until the policy is stable.  [max_iter]
     defaults to 1000; exceeding it raises [Failure] (it indicates a
-    modeling bug — PI must terminate on finite models). *)
+    modeling bug — PI must terminate on finite models).  [eval]
+    (default {!Auto}) selects the evaluation backend per the
+    {!eval_path} docs; every backend agrees to solver tolerance, so
+    the returned policy and gain do not depend on the choice. *)
 
 val brute_force : Model.t -> Policy.t * float
 (** [brute_force m] evaluates every stationary policy and returns a

@@ -15,9 +15,20 @@ type metric =
   | Timer of timer
   | Histogram of histogram
 
-type t = { tbl : (string, string * metric) Hashtbl.t }
+(* The hash table is the only structure shared across domains that is
+   not safe to mutate concurrently, so registration and snapshots take
+   [lock].  Updates through metric handles stay lock-free: they are
+   single-word field mutations, memory-safe under the OCaml 5 memory
+   model (concurrent updates to the *same* metric may lose increments,
+   which is an accepted trade for a zero-cost hot path — the parallel
+   layer gives each domain its own timers where exactness matters). *)
+type t = { tbl : (string, string * metric) Hashtbl.t; lock : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
+
+let locked r f =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -27,6 +38,7 @@ let kind_name = function
 
 let register r name help make project =
   if name = "" then invalid_arg "Metrics: empty metric name";
+  locked r @@ fun () ->
   match Hashtbl.find_opt r.tbl name with
   | Some (_, m) -> (
       match project m with
@@ -129,12 +141,14 @@ let value_of = function
         }
 
 let samples r =
-  Hashtbl.fold
-    (fun name (help, m) acc -> { name; help; value = value_of m } :: acc)
-    r.tbl []
+  locked r (fun () ->
+      Hashtbl.fold
+        (fun name (help, m) acc -> { name; help; value = value_of m } :: acc)
+        r.tbl [])
   |> List.sort (fun a b -> compare a.name b.name)
 
 let find r name =
-  Option.map (fun (_, m) -> value_of m) (Hashtbl.find_opt r.tbl name)
+  locked r (fun () ->
+      Option.map (fun (_, m) -> value_of m) (Hashtbl.find_opt r.tbl name))
 
-let is_empty r = Hashtbl.length r.tbl = 0
+let is_empty r = locked r (fun () -> Hashtbl.length r.tbl = 0)

@@ -8,11 +8,19 @@
     without coordination.  Registering a name as two different kinds
     raises [Invalid_argument].
 
-    The registry itself is a plain hash table with mutable cells —
-    updating a metric through its handle is a single field mutation
-    and never allocates, which is what makes per-event instrumentation
-    of the simulator's hot loop affordable.  Rendering is done by
-    {!Report} from the {!samples} snapshot. *)
+    The registry itself is a hash table with mutable cells — updating
+    a metric through its handle is a single field mutation and never
+    allocates, which is what makes per-event instrumentation of the
+    simulator's hot loop affordable.  Rendering is done by {!Report}
+    from the {!samples} snapshot.
+
+    Domain safety: registration and snapshots are serialized by a
+    mutex, so instrumented code may run on {!Dpm_par} pool workers.
+    Handle updates remain lock-free single-word mutations — always
+    memory-safe, but concurrent updates of the {e same} metric from
+    several domains may drop increments; use per-domain metric names
+    (as the pool's [par.domain.<k>.*] timers do) where exact counts
+    matter under parallelism. *)
 
 type t
 (** A metrics registry. *)

@@ -1,42 +1,52 @@
-let active : Metrics.t option ref = ref None
+(* The active registry is read from every domain that runs
+   instrumented library code (the Dpm_par pool workers included), so
+   the sink is an [Atomic.t] rather than a plain ref: installs are
+   rare, reads are a single atomic load. *)
+let active : Metrics.t option Atomic.t = Atomic.make None
 
-let set_active r = active := r
-let current () = !active
-let enabled () = Option.is_some !active
+let set_active r = Atomic.set active r
+let current () = Atomic.get active
+let enabled () = Option.is_some (Atomic.get active)
 
 let with_active r f =
-  let prev = !active in
-  active := Some r;
-  Fun.protect ~finally:(fun () -> active := prev) f
+  let prev = Atomic.get active in
+  Atomic.set active (Some r);
+  Fun.protect ~finally:(fun () -> Atomic.set active prev) f
 
 let now = Unix.gettimeofday
 
 let incr name =
-  match !active with None -> () | Some r -> Metrics.incr (Metrics.counter r name)
+  match Atomic.get active with
+  | None -> ()
+  | Some r -> Metrics.incr (Metrics.counter r name)
 
 let add name n =
-  match !active with None -> () | Some r -> Metrics.add (Metrics.counter r name) n
+  match Atomic.get active with
+  | None -> ()
+  | Some r -> Metrics.add (Metrics.counter r name) n
 
 let set name v =
-  match !active with None -> () | Some r -> Metrics.set (Metrics.gauge r name) v
+  match Atomic.get active with
+  | None -> ()
+  | Some r -> Metrics.set (Metrics.gauge r name) v
 
 let set_max name v =
-  match !active with
+  match Atomic.get active with
   | None -> ()
   | Some r -> Metrics.set_max (Metrics.gauge r name) v
 
 let observe name ~buckets v =
-  match !active with
+  match Atomic.get active with
   | None -> ()
   | Some r -> Metrics.observe (Metrics.histogram r ~buckets name) v
 
 let record name seconds =
-  match !active with
+  match Atomic.get active with
   | None -> ()
   | Some r -> Metrics.record (Metrics.timer r name) seconds
 
 let time name f =
-  match !active with
+  match Atomic.get active with
   | None -> f ()
   | Some r ->
       let tm = Metrics.timer r name in

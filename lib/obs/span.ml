@@ -1,12 +1,17 @@
-(* Innermost-first, so pushing a scope is a cons. *)
-let stack : string list ref = ref []
+(* Innermost-first, so pushing a scope is a cons.  The stack is
+   domain-local: spans opened by parallel workers (Dpm_par) nest
+   within that worker's own scope chain instead of racing on one
+   global stack. *)
+let stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let path () = List.rev !stack
+let path () = List.rev !(Domain.DLS.get stack)
 
 let with_ name f =
   match Probe.current () with
   | None -> f ()
   | Some r ->
+      let stack = Domain.DLS.get stack in
       let saved = !stack in
       let dotted =
         String.concat "." (List.rev_append saved [ name ]) |> ( ^ ) "span."

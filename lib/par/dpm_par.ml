@@ -1,0 +1,244 @@
+(* A fixed-size domain pool with an index-stealing scheduler.
+
+   Design notes:
+
+   - Workers are plain [Domain.t]s blocked on one mutex-protected job
+     queue; a "job" is an exception-proof thunk.  The pool is grown
+     lazily and joined at exit, so programs that never opt into
+     parallelism never spawn a domain.
+
+   - A parallel call does not enqueue one job per item.  It enqueues
+     [helpers] copies of a {e lane}: a loop pulling chunk indices from
+     one [Atomic.t] counter.  The calling domain runs the same lane,
+     so it always makes progress even if every worker is busy with
+     other calls — which is also why nested calls cannot deadlock
+     (they are additionally demoted to sequential execution to avoid
+     oversubscription, see [in_worker]).
+
+   - Determinism: item [i]'s result is written to slot [i]; the
+     scheduling order is irrelevant.  Reduction chunking depends only
+     on [n], never on the domain count. *)
+
+(* --- defaults ------------------------------------------------------ *)
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let env_domains () =
+  match Sys.getenv_opt "DPM_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let forced_default : int option Atomic.t = Atomic.make None
+
+let default_domains () =
+  match Atomic.get forced_default with
+  | Some n -> n
+  | None -> ( match env_domains () with Some n -> n | None -> 1)
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Dpm_par.set_default_domains: need at least 1";
+  Atomic.set forced_default (Some n)
+
+(* --- the shared pool ----------------------------------------------- *)
+
+type pool = {
+  lock : Mutex.t;
+  cond : Condition.t;  (* "a job arrived" / "shutting down" *)
+  jobs : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let pool =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    jobs = Queue.create ();
+    workers = [];
+    closed = false;
+  }
+
+(* Worker domains set this so nested parallel calls degrade to
+   sequential execution instead of queueing jobs they would then have
+   to wait on while holding a lane. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let timed_lane wid lane =
+  if not (Dpm_obs.Probe.enabled ()) then lane ()
+  else begin
+    let t0 = Dpm_obs.Probe.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        Dpm_obs.Probe.record
+          (Printf.sprintf "par.domain.%d.busy_seconds" wid)
+          (Dpm_obs.Probe.now () -. t0))
+      lane
+  end
+
+let worker_main wid () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.jobs && not pool.closed do
+      Condition.wait pool.cond pool.lock
+    done;
+    let job = Queue.take_opt pool.jobs in
+    Mutex.unlock pool.lock;
+    match job with
+    | None -> () (* closed and drained *)
+    | Some job ->
+        (try timed_lane wid job with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let pool_size () =
+  Mutex.lock pool.lock;
+  let n = List.length pool.workers in
+  Mutex.unlock pool.lock;
+  n
+
+let ensure_pool d =
+  if d < 1 then invalid_arg "Dpm_par.ensure_pool: need at least 1";
+  Mutex.lock pool.lock;
+  pool.closed <- false;
+  let have = List.length pool.workers in
+  for wid = have + 1 to d - 1 do
+    pool.workers <- Domain.spawn (worker_main wid) :: pool.workers
+  done;
+  let n = List.length pool.workers in
+  Mutex.unlock pool.lock;
+  Dpm_obs.Probe.set "par.pool_size" (float_of_int n)
+
+let shutdown () =
+  Mutex.lock pool.lock;
+  let workers = pool.workers in
+  pool.workers <- [];
+  pool.closed <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join workers
+
+let () = at_exit shutdown
+
+let submit_jobs jobs =
+  Mutex.lock pool.lock;
+  List.iter (fun j -> Queue.add j pool.jobs) jobs;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.lock
+
+(* --- the scheduler ------------------------------------------------- *)
+
+let resolve = function
+  | Some d ->
+      if d < 1 then invalid_arg "Dpm_par: domains must be >= 1";
+      d
+  | None -> default_domains ()
+
+(* Run [body 0 .. body (n-1)] at parallelism [d], capturing the
+   exception of the lowest failing index.  [body] runs exactly once
+   per index on some domain. *)
+let run_indices ~domains ~chunk n body =
+  let d = resolve domains in
+  let seq () = for i = 0 to n - 1 do body i done in
+  if n <= 0 then ()
+  else if d = 1 || n = 1 || Domain.DLS.get in_worker then seq ()
+  else begin
+    let chunk = max 1 chunk in
+    let nchunks = (n + chunk - 1) / chunk in
+    let helpers = min (d - 1) (nchunks - 1) in
+    if helpers <= 0 then seq ()
+    else begin
+      ensure_pool d;
+      Dpm_obs.Probe.incr "par.parallel_calls";
+      Dpm_obs.Probe.add "par.jobs" helpers;
+      let next = Atomic.make 0 in
+      let err_lock = Mutex.create () in
+      let first_error = ref None in
+      let record_error i exn bt =
+        Mutex.lock err_lock;
+        (match !first_error with
+        | Some (j, _, _) when j <= i -> ()
+        | Some _ | None -> first_error := Some (i, exn, bt));
+        Mutex.unlock err_lock
+      in
+      let lane () =
+        let rec go () =
+          let c = Atomic.fetch_and_add next 1 in
+          if c < nchunks then begin
+            let lo = c * chunk in
+            let hi = min n (lo + chunk) in
+            for i = lo to hi - 1 do
+              try body i
+              with exn -> record_error i exn (Printexc.get_raw_backtrace ())
+            done;
+            go ()
+          end
+        in
+        go ()
+      in
+      let latch_lock = Mutex.create () in
+      let latch_cond = Condition.create () in
+      let remaining = ref helpers in
+      let helper () =
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock latch_lock;
+            decr remaining;
+            if !remaining = 0 then Condition.signal latch_cond;
+            Mutex.unlock latch_lock)
+          lane
+      in
+      submit_jobs (List.init helpers (fun _ -> helper));
+      timed_lane 0 lane;
+      Mutex.lock latch_lock;
+      while !remaining > 0 do
+        Condition.wait latch_cond latch_lock
+      done;
+      Mutex.unlock latch_lock;
+      match !first_error with
+      | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ()
+    end
+  end
+
+(* --- combinators ---------------------------------------------------- *)
+
+let parallel_map ?domains f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run_indices ~domains ~chunk:1 n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map_list ?domains f xs =
+  Array.to_list (parallel_map ?domains f (Array.of_list xs))
+
+let parallel_for ?domains ?(chunk = 1) n body =
+  run_indices ~domains ~chunk n body
+
+let parallel_reduce ?domains ?chunk ~n ~map ~combine ~init () =
+  if n <= 0 then init
+  else begin
+    (* Chunk layout is a function of [n] only — see the interface's
+       determinism contract. *)
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> max 1 (n / 64)
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let partial = Array.make nchunks init in
+    run_indices ~domains ~chunk:1 nchunks (fun c ->
+        let lo = c * chunk in
+        let hi = min n (lo + chunk) in
+        let acc = ref init in
+        for i = lo to hi - 1 do
+          acc := combine !acc (map i)
+        done;
+        partial.(c) <- !acc);
+    Array.fold_left combine init partial
+  end

@@ -1,0 +1,109 @@
+(** Multicore execution: a fixed-size OCaml 5 domain pool.
+
+    The evaluation workloads of this repository are embarrassingly
+    parallel — independent simulation replications, policy solves over
+    rate/weight grids — and this module is the one place that turns
+    that independence into wall-clock speedup.  It is deliberately
+    dependency-free (no domainslib): a fixed set of worker domains
+    blocks on a job queue, and each parallel call distributes indices
+    through an atomic counter, with the calling domain always working
+    alongside the pool.
+
+    {2 Determinism}
+
+    Every combinator here is {e order-deterministic}: results land at
+    the index of their input regardless of which domain computed them
+    or in which order, so for pure per-item functions the output is
+    bit-identical to the sequential ([domains = 1]) run.
+    {!parallel_reduce} fixes its chunk layout from the input size
+    alone (never from the domain count), so even non-associative
+    float reductions give the same answer at every pool size.
+
+    {2 Sizing}
+
+    The parallelism degree resolves, in order: the [?domains] argument
+    of a call, {!set_default_domains}, the [DPM_DOMAINS] environment
+    variable, and finally [1] (purely sequential — the fallback that
+    keeps every existing entry point byte-for-byte unchanged until a
+    caller opts in).  Pool workers are spawned lazily on the first
+    parallel call and reused; nested parallel calls from inside a
+    worker degrade to sequential execution rather than oversubscribe.
+
+    {2 Instrumentation}
+
+    When a {!Dpm_obs} registry is active, each worker accounts its
+    busy time to [par.domain.<k>.busy_seconds] (the caller's lane is
+    domain 0), and the pool maintains [par.pool_size], [par.jobs] and
+    [par.parallel_calls].  Tasks may themselves probe metrics: the
+    registry is domain-safe. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism
+    the runtime suggests. *)
+
+val default_domains : unit -> int
+(** The parallelism used when a call omits [?domains]:
+    {!set_default_domains} if called, else the [DPM_DOMAINS]
+    environment variable (a positive integer; anything else is
+    ignored), else [1]. *)
+
+val set_default_domains : int -> unit
+(** Override the default parallelism for the process (the CLI's
+    [--domains] flag lands here).  Raises [Invalid_argument] for
+    values below 1.  Shrinking below the current pool size does not
+    kill spawned workers; they simply go unused. *)
+
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs] computed on the pool.
+    [f] must be safe to call from several domains at once (pure
+    functions and functions touching only their own state qualify;
+    everything in this repository's solver/simulator stack does).  If
+    any application raises, the whole call raises the exception of
+    the {e lowest-indexed} failing element — deterministic regardless
+    of scheduling — after all other elements finished. *)
+
+val parallel_map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} over lists, preserving order. *)
+
+val parallel_for : ?domains:int -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f 0 .. f (n-1)] on the pool.  [chunk]
+    (default 1) batches consecutive indices per queue pull to cut
+    atomic-counter traffic for fine-grained bodies.  Exceptions
+    propagate as in {!parallel_map}. *)
+
+val parallel_reduce :
+  ?domains:int ->
+  ?chunk:int ->
+  n:int ->
+  map:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  unit ->
+  'a
+(** Deterministic chunked map-reduce over [0 .. n-1]:
+    the index space is cut into fixed chunks (size [chunk], default
+    [max 1 (n / 64)] — a function of [n] only), each chunk is folded
+    left-to-right with [combine] starting from [init], and the chunk
+    results are folded left-to-right in chunk order, again from
+    [init].  Because the chunk layout ignores the domain count, the
+    result is identical at every pool size even when [combine] is not
+    associative (floating-point sums). *)
+
+(** {1 Pool management}
+
+    Normally implicit — the shared pool is created lazily and torn
+    down at exit.  Exposed for tests and for embedders that want
+    explicit control. *)
+
+val pool_size : unit -> int
+(** Workers currently spawned (0 until the first parallel call that
+    needs any). *)
+
+val ensure_pool : int -> unit
+(** [ensure_pool d] grows the shared pool so calls at parallelism [d]
+    have [d - 1] workers available.  Raises [Invalid_argument] for
+    [d < 1]. *)
+
+val shutdown : unit -> unit
+(** Join all pool workers (idempotent; also registered [at_exit]).
+    Subsequent parallel calls restart the pool. *)

@@ -9,6 +9,11 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let seed_stream ~base n =
+  if n < 0 then invalid_arg "Rng.seed_stream: negative count";
+  let state = ref base in
+  List.init n (fun _ -> splitmix64 state)
+
 let create seed =
   let state = ref seed in
   let s0 = splitmix64 state in

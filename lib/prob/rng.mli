@@ -17,6 +17,14 @@ val create : int64 -> t
 (** [create seed] builds a generator from a 64-bit seed via
     splitmix64 state expansion.  Any seed (including 0) is valid. *)
 
+val seed_stream : base:int64 -> int -> int64 list
+(** [seed_stream ~base n] is a list of [n] well-mixed 64-bit seeds
+    derived from [base] by the splitmix64 stream — the standard way
+    to give each of [n] parallel replications its own statistically
+    independent seed from one base seed.  Deterministic: the [i]-th
+    element depends only on [base] and [i].  Raises
+    [Invalid_argument] on a negative [n]. *)
+
 val copy : t -> t
 (** [copy r] is an independent generator with the same state. *)
 

@@ -373,8 +373,29 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
        else s.residency);
   }
 
-let replicate ?(seeds = [ 1L; 2L; 3L; 4L; 5L ]) ~sys ~workload ~controller ~stop () =
-  List.map
+let replicate ?seeds ?(seed = 1L) ?n ?domains ~sys ~workload ~controller ~stop
+    () =
+  let seeds =
+    match (seeds, n) with
+    | Some [], _ -> invalid_arg "Power_sim.replicate: empty seed list"
+    | Some seeds, Some n when List.length seeds <> n ->
+        invalid_arg
+          (Printf.sprintf
+             "Power_sim.replicate: ~n:%d contradicts the %d explicit seeds" n
+             (List.length seeds))
+    | Some seeds, _ -> seeds
+    | None, n ->
+        let n = Option.value n ~default:5 in
+        if n <= 0 then
+          invalid_arg "Power_sim.replicate: need at least one replication";
+        Rng.seed_stream ~base:seed n
+  in
+  (* Each replication owns its RNG, workload, and controller, so runs
+     are independent of scheduling and the parallel result is
+     bit-identical to the sequential order.  The thunks are invoked
+     from pool domains: they must be safe to call concurrently (all
+     constructors in this repository are). *)
+  Dpm_par.parallel_map_list ?domains
     (fun seed ->
       run ~seed ~sys ~workload:(workload ()) ~controller:(controller ()) ~stop ())
     seeds

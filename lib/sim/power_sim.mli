@@ -96,6 +96,9 @@ val run :
 
 val replicate :
   ?seeds:int64 list ->
+  ?seed:int64 ->
+  ?n:int ->
+  ?domains:int ->
   sys:Dpm_core.Sys_model.t ->
   workload:(unit -> Workload.t) ->
   controller:(unit -> Controller.t) ->
@@ -103,8 +106,20 @@ val replicate :
   unit ->
   result list
 (** [replicate] runs independent replications (fresh workload and
-    controller per seed; default seeds 1..5) — used to put confidence
-    intervals on the experiment tables. *)
+    controller per run) — used to put confidence intervals on the
+    experiment tables.  By default it runs [n] (default 5)
+    replications whose seeds are derived from the base [seed]
+    (default 1) by the splitmix64 stream ({!Dpm_prob.Rng.seed_stream}),
+    so any replication count needs only one seed; pass [?seeds] to
+    pin the exact seed list (then [?seed] is ignored, and a
+    contradicting [?n] raises [Invalid_argument]).
+
+    [domains] sets the parallelism (default
+    {!Dpm_par.default_domains}, i.e. sequential unless [DPM_DOMAINS]
+    or the CLI's [--domains] opted in).  Results are returned in seed
+    order and are bit-identical whatever the domain count: every
+    replication derives all its randomness from its own seed.  The
+    [workload]/[controller] thunks may be called concurrently. *)
 
 val pp : Format.formatter -> result -> unit
 (** One-line summary. *)

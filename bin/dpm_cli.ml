@@ -2,6 +2,9 @@
    library.
 
      dpm_cli info        -- show a device preset
+     dpm_cli check       -- validate a model (all findings, not just
+                            the first); under DPM_FAULTS, a fault
+                            drill that must be caught
      dpm_cli solve       -- optimize a policy for a weight
      dpm_cli sweep       -- trace the power/delay trade-off as CSV
      dpm_cli constrained -- minimum power under a delay bound
@@ -123,6 +126,45 @@ let or_die = function
       prerr_endline msg;
       exit 1
 
+(* --- robustness hooks ------------------------------------------------ *)
+
+let no_validate_arg =
+  let doc =
+    "Skip the pre-solve model validation pass (the Section III \
+     action-validity constraints, generator invariants, unichain \
+     reachability)."
+  in
+  Arg.(value & flag & info [ "no-validate" ] ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget for the solve, in seconds.  The solver loops are \
+     aborted at the first iteration past the budget and the command exits \
+     with code 3."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let pp_diag d = Format.eprintf "%a@." Dpm_robust.Diagnostic.pp d
+
+(* Pre-solve validation: report every finding (warnings included) on
+   stderr; error-severity findings are fatal unless --no-validate. *)
+let validate_or_die sys ~no_validate =
+  if not no_validate then begin
+    let diags = Dpm_robust.Validate.system sys in
+    List.iter pp_diag diags;
+    if Dpm_robust.Diagnostic.errors diags <> [] then begin
+      prerr_endline "model validation failed (use --no-validate to bypass)";
+      exit 1
+    end
+  end
+
+let die_on_deadline = function
+  | Dpm_robust.Error.Deadline_signal { budget_s; elapsed_s } ->
+      Format.eprintf "solve aborted: %a@." Dpm_robust.Error.pp
+        (Dpm_robust.Error.Deadline_exceeded { budget_s; elapsed_s });
+      exit 3
+  | exn -> raise exn
+
 (* --- info ----------------------------------------------------------- *)
 
 let info_cmd =
@@ -137,6 +179,85 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Show a device preset and its composed state space.")
     Term.(const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg)
 
+(* --- check ----------------------------------------------------------- *)
+
+(* Fault kinds that corrupt the model's choice table — the ones a
+   validation drill must catch (Zero_row/Nan_entry/Duplicate_row hit
+   matrices, Stall hits guards; they leave the choice table intact). *)
+let model_level_fault = function
+  | Dpm_robust.Fault.Nan_rate | Negative_rate | Nan_cost | Empty_choice
+  | Bad_target | Duplicate_action ->
+      true
+  | Zero_row | Nan_entry | Duplicate_row | Stall -> false
+
+let check_cmd =
+  let run runtime device rate capacity weight =
+    with_runtime runtime @@ fun () ->
+    let sys = or_die (build_system device rate capacity) in
+    let n = Sys_model.num_states sys in
+    match Dpm_robust.Fault.of_env () with
+    | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    | Some plan ->
+        (* Fault drill: corrupt the raw (pre-validation) choice table
+           and demand that the validation pass rejects it.  A drill
+           that lets a model-level fault through exits nonzero. *)
+        let kinds =
+          String.concat ","
+            (List.map Dpm_robust.Fault.kind_to_string
+               plan.Dpm_robust.Fault.kinds)
+        in
+        let raw = Dpm_robust.Validate.system_choices sys ~weight in
+        let corrupted =
+          Dpm_robust.Fault.corrupt_choices plan ~num_states:n raw
+        in
+        (match Dpm_robust.Validate.model_r ~num_states:n corrupted with
+        | Error e ->
+            Format.printf "fault drill [%s]: rejected as expected@.%a@." kinds
+              Dpm_robust.Error.pp e
+        | Ok _ ->
+            if List.exists model_level_fault plan.Dpm_robust.Fault.kinds then begin
+              Format.eprintf
+                "fault drill [%s]: corrupted model escaped validation@." kinds;
+              exit 1
+            end
+            else
+              Format.printf
+                "fault drill [%s]: no model-level faults in plan; model valid@."
+                kinds)
+    | None -> (
+        let diags = Dpm_robust.Validate.system sys in
+        List.iter (fun d -> Format.printf "%a@." Dpm_robust.Diagnostic.pp d) diags;
+        match Dpm_robust.Diagnostic.errors diags with
+        | [] ->
+            Format.printf
+              "ok: %s (lambda=%g, Q=%d, |X|=%d): Section III action \
+               constraints, generator invariants and unichain reachability \
+               all hold (%d warning%s)@."
+              device rate capacity n
+              (List.length diags)
+              (if List.length diags = 1 then "" else "s")
+        | errs ->
+            Format.eprintf "check failed: %d error finding%s@."
+              (List.length errs)
+              (if List.length errs = 1 then "" else "s");
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a device model: the paper's Section III action-validity \
+          constraints, generator invariants (finite nonnegative rates, \
+          in-range targets), and unichain reachability.  All violations are \
+          reported, not just the first.  With $(b,DPM_FAULTS) set (e.g. \
+          $(b,nan-rate,empty-choice)), runs a fault drill instead: the \
+          model is deliberately corrupted and the command fails unless \
+          validation catches it.")
+    Term.(
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
+      $ weight_arg)
+
 (* --- solve ----------------------------------------------------------- *)
 
 let print_solution sys (sol : Optimize.solution) =
@@ -148,24 +269,48 @@ let print_solution sys (sol : Optimize.solution) =
     (Policy_export.table sys (Optimize.action_of sys sol))
 
 let solve_cmd =
-  let run runtime device rate capacity weight =
+  let run runtime device rate capacity weight no_validate deadline =
     with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
-    print_solution sys (Optimize.solve ~weight sys)
+    validate_or_die sys ~no_validate;
+    let guard = Dpm_robust.Guard.of_deadline deadline in
+    match Optimize.solve ~weight ~guard sys with
+    | sol -> print_solution sys sol
+    | exception exn -> die_on_deadline exn
   in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Optimize the power-management policy for a given delay weight.")
     Term.(
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
-      $ weight_arg)
+      $ weight_arg $ no_validate_arg $ deadline_arg)
 
 (* --- sweep ----------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run runtime device rate capacity =
+  let run runtime device rate capacity no_validate =
     with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
+    validate_or_die sys ~no_validate;
+    (* Per-point failure containment: a failed grid point is reported
+       on stderr and dropped from the CSV; the rest of the frontier
+       still prints.  Only a fully failed sweep is fatal. *)
+    let results = Optimize.sweep_r sys ~weights:Optimize.default_weights in
+    let ok =
+      List.filter_map
+        (fun (w, r) ->
+          match r with
+          | Ok sol -> Some sol
+          | Error exn ->
+              Format.eprintf "# weight %g failed: %s@." w
+                (Printexc.to_string exn);
+              None)
+        results
+    in
+    if ok = [] then begin
+      prerr_endline "sweep: every grid point failed";
+      exit 1
+    end;
     Printf.printf "weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
     List.iter
       (fun (sol : Optimize.solution) ->
@@ -173,12 +318,14 @@ let sweep_cmd =
         Printf.printf "%g,%.6f,%.6f,%.6f,%.8f\n" sol.Optimize.weight
           m.Analytic.power m.Analytic.avg_waiting_requests
           m.Analytic.avg_waiting_time m.Analytic.loss_probability)
-      (Optimize.pareto (Optimize.sweep sys ~weights:Optimize.default_weights))
+      (Optimize.pareto ok)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Trace the Pareto power/delay curve over a weight ladder (CSV).")
-    Term.(const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg)
+    Term.(
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
+      $ no_validate_arg)
 
 (* --- constrained ------------------------------------------------------ *)
 
@@ -193,9 +340,10 @@ let constrained_cmd =
     in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run runtime device rate capacity bound exact =
+  let run runtime device rate capacity bound exact no_validate =
     with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
+    validate_or_die sys ~no_validate;
     if exact then begin
       match Optimize.constrained_exact sys ~max_waiting_requests:bound with
       | None ->
@@ -245,7 +393,7 @@ let constrained_cmd =
          "Minimize power subject to a bound on the average queue length           (weight bisection, or the exact LP with --exact).")
     Term.(
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
-      $ bound_arg $ exact_arg)
+      $ bound_arg $ exact_arg $ no_validate_arg)
 
 (* --- simulate ---------------------------------------------------------- *)
 
@@ -560,6 +708,7 @@ let () =
           (Cmd.info "dpm_cli" ~version:"1.0.0" ~doc)
           [
             info_cmd;
+            check_cmd;
             solve_cmd;
             sweep_cmd;
             constrained_cmd;

@@ -6,10 +6,10 @@ type solution = {
   metrics : Analytic.metrics;
 }
 
-let solve ?(weight = 0.0) sys =
+let solve ?(weight = 0.0) ?guard sys =
   let model = Sys_model.to_ctmdp sys ~weight in
   let solve_from init =
-    let result = Dpm_ctmdp.Policy_iteration.solve ?init model in
+    let result = Dpm_ctmdp.Policy_iteration.solve ?init ?guard model in
     let actions =
       Dpm_ctmdp.Policy.actions model result.Dpm_ctmdp.Policy_iteration.policy
     in
@@ -40,10 +40,20 @@ let solve ?(weight = 0.0) sys =
 
 let action_of sys solution x = solution.actions.(Sys_model.index sys x)
 
-let sweep ?domains sys ~weights =
+let sweep_r ?domains ?guard sys ~weights =
   (* One independent policy-iteration solve per weight; the pool keeps
-     the returned list in [weights] order at any domain count. *)
-  Dpm_par.parallel_map_list ?domains (fun weight -> solve ~weight sys) weights
+     the returned list in [weights] order at any domain count.  Each
+     grid point is fenced: a poisoned weight yields an [Error] slot
+     while every other point still solves. *)
+  List.combine weights
+    (Dpm_par.parallel_map_result_list ?domains
+       (fun weight -> solve ~weight ?guard sys)
+       weights)
+
+let sweep ?domains sys ~weights =
+  List.map
+    (fun (_, r) -> match r with Ok s -> s | Error exn -> raise exn)
+    (sweep_r ?domains sys ~weights)
 
 let default_weights =
   let lo = 0.1 and hi = 500.0 and n = 20 in

@@ -17,21 +17,38 @@ type solution = {
   metrics : Analytic.metrics;  (** analytic metrics of the policy *)
 }
 
-val solve : ?weight:float -> Sys_model.t -> solution
+val solve : ?weight:float -> ?guard:(unit -> unit) -> Sys_model.t -> solution
 (** [solve sys ~weight] minimizes
     [C_pow + weight * C_sq] (default weight 0, pure power).  The
     reported [gain] is the weighted objective; [metrics] carries the
-    separated power and delay terms. *)
+    separated power and delay terms.  [guard] (default no-op) is
+    threaded into the policy-iteration loop and may raise to abort —
+    the [Dpm_robust] deadline hook. *)
 
 val action_of : Sys_model.t -> solution -> Sys_model.state -> int
 (** Read a solution as a policy function. *)
 
-val sweep : ?domains:int -> Sys_model.t -> weights:float list -> solution list
-(** [sweep sys ~weights] solves for each weight (in the given order).
-    Figure 4 uses a geometric ladder of weights.  Weights are solved
+val sweep_r :
+  ?domains:int ->
+  ?guard:(unit -> unit) ->
+  Sys_model.t ->
+  weights:float list ->
+  (float * (solution, exn) result) list
+(** [sweep_r sys ~weights] solves for each weight (in the given
+    order), with per-point failure containment: a grid point whose
+    solve raises yields [(w, Error exn)] while every other point
+    still returns [(w, Ok solution)] — there is no global abort, and
+    each failure increments the [par.item_failures] {!Dpm_obs}
+    counter (via {!Dpm_par.parallel_map_result}).  Weights are solved
     on the {!Dpm_par} pool ([domains] defaults to
     {!Dpm_par.default_domains}); the result order and every solution
     are identical whatever the domain count. *)
+
+val sweep : ?domains:int -> Sys_model.t -> weights:float list -> solution list
+(** [sweep sys ~weights] is {!sweep_r} with failures re-raised: the
+    exception of the {e earliest} failing weight propagates (after
+    all other points finished).  Figure 4 uses a geometric ladder of
+    weights. *)
 
 val default_weights : float list
 (** A 20-point geometric ladder from 0.1 to 500 — a reasonable

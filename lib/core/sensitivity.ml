@@ -17,17 +17,30 @@ let point_at sys ~actions ~weight rate =
   let optimal_objective = objective_of ~weight optimal.Optimize.metrics in
   { rate; metrics; objective; optimal_objective; regret = objective -. optimal_objective }
 
-let rate_sweep ?domains sys ~actions ~weight ~rates =
+let check_sweep_args sys ~actions ~rates =
   if Array.length actions <> Sys_model.num_states sys then
     invalid_arg "Sensitivity.rate_sweep: action table size mismatch";
   List.iter
     (fun r ->
       if r <= 0.0 || not (Float.is_finite r) then
         invalid_arg "Sensitivity.rate_sweep: rates must be positive")
-    rates;
+    rates
+
+let rate_sweep_r ?domains sys ~actions ~weight ~rates =
+  check_sweep_args sys ~actions ~rates;
   (* Each grid point re-solves the CTMDP from scratch — embarrassingly
-     parallel, and [parallel_map_list] keeps the output in rate order. *)
-  Dpm_par.parallel_map_list ?domains (point_at sys ~actions ~weight) rates
+     parallel, order-deterministic, and fenced per point: one poisoned
+     rate becomes an [Error] slot, the rest of the grid survives. *)
+  List.combine rates
+    (Dpm_par.parallel_map_result_list ?domains
+       (point_at sys ~actions ~weight)
+       rates)
+
+let rate_sweep ?domains sys ~actions ~weight ~rates =
+  check_sweep_args sys ~actions ~rates;
+  List.map
+    (fun (_, r) -> match r with Ok p -> p | Error exn -> raise exn)
+    (rate_sweep_r ?domains sys ~actions ~weight ~rates)
 
 let mismatch_regret sys ~weight ~design_rate ~true_rate =
   let design_sys = Sys_model.with_arrival_rate sys design_rate in

@@ -18,6 +18,27 @@ type point = {
   regret : float;  (** [objective - optimal_objective], [>= 0] *)
 }
 
+val rate_sweep_r :
+  ?domains:int ->
+  Sys_model.t ->
+  actions:int array ->
+  weight:float ->
+  rates:float list ->
+  (float * (point, exn) result) list
+(** [rate_sweep_r sys ~actions ~weight ~rates] evaluates the fixed
+    policy [actions] (tabulated over [sys]'s state indexing, e.g. an
+    {!Optimize.solution}'s) at each true rate, with per-point failure
+    containment: a grid point whose evaluation raises yields
+    [(r, Error exn)] while the rest of the grid still returns
+    [(r, Ok point)] — no global abort; failures increment the
+    [par.item_failures] {!Dpm_obs} counter.  The policy table is
+    carried over by state (the state space does not depend on the
+    rate).  Grid points are solved on the {!Dpm_par} pool ([domains]
+    defaults to {!Dpm_par.default_domains}); results come back in
+    [rates] order regardless of the domain count.  Raises
+    [Invalid_argument] on a wrong-sized action table or nonpositive
+    rates. *)
+
 val rate_sweep :
   ?domains:int ->
   Sys_model.t ->
@@ -25,15 +46,9 @@ val rate_sweep :
   weight:float ->
   rates:float list ->
   point list
-(** [rate_sweep sys ~actions ~weight ~rates] evaluates the fixed
-    policy [actions] (tabulated over [sys]'s state indexing, e.g. an
-    {!Optimize.solution}'s) at each true rate.  The policy table is
-    carried over by state (the state space does not depend on the
-    rate).  Grid points are solved on the {!Dpm_par} pool ([domains]
-    defaults to {!Dpm_par.default_domains}); results come back in
-    [rates] order regardless of the domain count.  Raises
-    [Invalid_argument] on a wrong-sized action table or nonpositive
-    rates. *)
+(** {!rate_sweep_r} with failures re-raised: the exception of the
+    earliest failing rate propagates (after all other points
+    finished). *)
 
 val mismatch_regret :
   Sys_model.t -> weight:float -> design_rate:float -> true_rate:float -> float

@@ -2,7 +2,7 @@ open Dpm_linalg
 
 exception Not_irreducible of string
 
-let gth g =
+let gth ?(guard = fun () -> ()) g =
   let n = Generator.dim g in
   if n = 1 then [| 1.0 |]
   else begin
@@ -15,6 +15,7 @@ let gth g =
     done;
     (* Elimination: fold state k into states 0..k-1. *)
     for k = n - 1 downto 1 do
+      guard ();
       let s = ref 0.0 in
       for j = 0 to k - 1 do
         s := !s +. Matrix.get a k j
@@ -57,16 +58,19 @@ let lu_solve g =
   b.(n - 1) <- 1.0;
   Lu.solve a b
 
-let iterative ?tol ?max_iter g =
-  Iterative.gauss_seidel_steady ?tol ?max_iter (Generator.to_sparse g)
+let iterative ?tol ?max_iter ?guard g =
+  Iterative.gauss_seidel_steady ?tol ?max_iter ?guard (Generator.to_sparse g)
 
-let solve_irreducible g =
-  if Generator.is_dense_backed g then gth g
+let solve_irreducible ?guard g =
+  if Generator.is_dense_backed g then gth ?guard g
   else begin
-    let r = iterative g in
-    if not r.Iterative.converged then
-      (* Fall back on the exact dense path rather than return garbage. *)
-      gth g
+    let r = iterative ?guard g in
+    if not r.Iterative.converged then begin
+      (* Fall back on the exact dense path rather than return garbage;
+         the fallback is counted so operators can see sweeps failing. *)
+      Dpm_obs.Probe.incr "steady_state.gth_fallbacks";
+      gth ?guard g
+    end
     else r.Iterative.solution
   end
 
@@ -90,7 +94,7 @@ let restrict g members =
     members;
   (Generator.of_rates ~dim:m !rates, members)
 
-let solve ?(check = false) g =
+let solve ?(check = false) ?guard g =
   ignore check;
   (* GTH (and the iterative sweeps) assume an irreducible chain, but
      policy-induced chains routinely have transient states (states the
@@ -101,10 +105,10 @@ let solve ?(check = false) g =
   match Structure.recurrent_classes g with
   | [] -> raise (Not_irreducible "chain has no closed class")
   | [ members ] ->
-      if List.length members = Generator.dim g then solve_irreducible g
+      if List.length members = Generator.dim g then solve_irreducible ?guard g
       else begin
         let sub, index_of = restrict g members in
-        let p_sub = solve_irreducible sub in
+        let p_sub = solve_irreducible ?guard sub in
         let p = Vec.create (Generator.dim g) in
         Array.iteri (fun k s -> p.(s) <- p_sub.(k)) index_of;
         p

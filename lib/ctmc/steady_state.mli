@@ -22,8 +22,10 @@ exception Not_irreducible of string
     communicating classes, i.e. no start-state-independent limiting
     distribution exists (Theorem 2.1 requires a unique one). *)
 
-val gth : Generator.t -> Vec.t
+val gth : ?guard:(unit -> unit) -> Generator.t -> Vec.t
 (** [gth g] computes the stationary distribution by GTH elimination.
+    [guard] (default no-op) is invoked before each elimination step
+    and may raise to abort — the [Dpm_robust] deadline hook.
     O(n^3) time, O(n^2) space (densifies sparse inputs).  Exact up to
     rounding for {e irreducible} generators only — the back
     substitution anchors the measure at state 0, so a transient
@@ -36,18 +38,25 @@ val lu_solve : Generator.t -> Vec.t
     normalization row substituted.  Raises [Lu.Singular] when the
     chain has more than one closed class. *)
 
-val iterative : ?tol:float -> ?max_iter:int -> Generator.t -> Iterative.result
+val iterative :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  Generator.t ->
+  Iterative.result
 (** [iterative g] runs sparse Gauss-Seidel sweeps (see
     {!Dpm_linalg.Iterative.gauss_seidel_steady}). *)
 
-val solve : ?check:bool -> Generator.t -> Vec.t
+val solve : ?check:bool -> ?guard:(unit -> unit) -> Generator.t -> Vec.t
 (** [solve g] computes the limiting distribution of any chain with a
     unique closed class: it classifies states (Tarjan), solves the
     closed class in isolation (GTH for dense-backed generators,
-    Gauss-Seidel with a GTH fallback for sparse ones) and assigns
-    probability zero to transient states.  Raises {!Not_irreducible}
-    when the closed class is not unique.  [check] is kept for
-    interface stability and ignored — classification always runs. *)
+    Gauss-Seidel with a GTH fallback for sparse ones — fallbacks are
+    counted as [steady_state.gth_fallbacks]) and assigns probability
+    zero to transient states.  Raises {!Not_irreducible} when the
+    closed class is not unique.  [check] is kept for interface
+    stability and ignored — classification always runs.  [guard] is
+    threaded into the GTH elimination and the sweeps (see {!gth}). *)
 
 val residual : Generator.t -> Vec.t -> float
 (** [residual g p] is [norm_inf (p G)] — how well [p] balances. *)

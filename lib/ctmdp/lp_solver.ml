@@ -7,7 +7,7 @@ type result = {
   bias : Vec.t;
 }
 
-let solve ?(ref_state = 0) m =
+let solve ?(ref_state = 0) ?max_pivots ?guard m =
   let n = Model.num_states m in
   if ref_state < 0 || ref_state >= n then
     invalid_arg "Lp_solver.solve: bad reference state";
@@ -57,7 +57,7 @@ let solve ?(ref_state = 0) m =
     pairs;
   let b = Vec.create nrows in
   b.(norm_row) <- 1.0;
-  match Simplex.minimize ~c ~a b with
+  match Simplex.minimize ?max_pivots ?guard ~c ~a b with
   | Simplex.Infeasible -> failwith "Lp_solver.solve: LP infeasible (model bug?)"
   | Simplex.Unbounded -> failwith "Lp_solver.solve: LP unbounded (model bug?)"
   | Simplex.Optimal { x; objective; dual } ->

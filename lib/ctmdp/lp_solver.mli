@@ -30,7 +30,8 @@ type result = {
       (** relative values recovered from the LP duals, [v_ref = 0] *)
 }
 
-val solve : ?ref_state:int -> Model.t -> result
+val solve :
+  ?ref_state:int -> ?max_pivots:int -> ?guard:(unit -> unit) -> Model.t -> result
 (** [solve m] builds and solves the occupation-measure LP.  The
     policy picks, per state, the choice carrying positive measure;
     states with zero measure (transient under every optimal policy)
@@ -38,4 +39,8 @@ val solve : ?ref_state:int -> Model.t -> result
     exactly policy iteration's improvement rule, so the returned
     policy is average-cost optimal for unichain models.  Raises
     [Failure] if the LP is infeasible or unbounded (impossible for a
-    well-formed model). *)
+    well-formed model).  [max_pivots] and [guard] are forwarded to
+    {!Dpm_linalg.Simplex.minimize}: exhausting the pivot budget twice
+    (once under Dantzig pricing, once under the Bland anti-cycling
+    retry) raises [Simplex.Cycling], and [guard] may raise to abort —
+    the [Dpm_robust] deadline hook. *)

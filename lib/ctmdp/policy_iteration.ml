@@ -78,23 +78,71 @@ let evaluate ?(ref_state = 0) m p = evaluate_gen ~ref_state ~restart_rate:0.0 m 
    self-sufficient "orbits" — e.g. two active server speeds whose
    states never command each other) make the exact evaluation
    singular.  Retrying with a tiny restart rate toward the reference
-   state restores unichain structure at an O(eps) bias error.  The
-   system is assembled once: the successful factorization is consumed
-   through [Lu.solve_factored], and the singular retry reuses the
-   matrix (diagonal patched in place) and the same right-hand side. *)
+   state restores unichain structure at an O(eps) bias error.
+
+   The retry is an escalation ladder: the restart perturbation (a
+   Tikhonov-style diagonal shift) grows by three decades per rung
+   until the factorization succeeds AND the solution verifies.  Each
+   rung re-verifies against both systems: the residual of the
+   {e perturbed} system catches an ill-conditioned factorization
+   producing garbage, and the residual of the {e exact} unperturbed
+   system must stay consistent with the deliberate O(eps * |x|) bias
+   — no additional error is tolerated.  The system is assembled once
+   and the diagonal patched incrementally; every rung is counted via
+   [Dpm_obs]. *)
+let tikhonov_ladder = [| 1e-9; 1e-6; 1e-3 |]
+
 let evaluate_robust ?(ref_state = 0) m p =
   check_ref_state m ref_state;
   let a, b = dense_system ~ref_state m p in
   match Lu.decompose a with
   | lu -> evaluation_of ~ref_state (Lu.solve_factored lu b)
-  | exception Lu.Singular _ ->
-      let eps = 1e-9 *. Float.max 1.0 (Model.max_exit_rate m) in
-      Logs.debug (fun k ->
-          k "policy evaluation singular (multichain policy); retrying with \
-             restart rate %g" eps);
+  | exception Lu.Singular first_pivot ->
       Dpm_obs.Probe.incr "policy_iteration.robust_retries";
-      apply_restart a ~ref_state ~restart_rate:eps;
-      evaluation_of ~ref_state (Lu.solve a b)
+      let scale = Float.max 1.0 (Model.max_exit_rate m) in
+      (* Pristine copy for exact-residual re-verification ([a] is
+         patched in place rung by rung). *)
+      let exact_a, exact_b = dense_system ~ref_state m p in
+      let applied = ref 0.0 in
+      let last_singular = ref first_pivot in
+      let rec attempt rung =
+        if rung >= Array.length tikhonov_ladder then begin
+          Logs.warn (fun k ->
+              k "policy evaluation singular at every Tikhonov rung");
+          raise (Lu.Singular !last_singular)
+        end;
+        let eps = tikhonov_ladder.(rung) *. scale in
+        apply_restart a ~ref_state ~restart_rate:(eps -. !applied);
+        applied := eps;
+        Dpm_obs.Probe.incr "policy_iteration.tikhonov_rungs";
+        Logs.debug (fun k ->
+            k "policy evaluation singular (multichain policy?); Tikhonov \
+               rung %d, restart rate %g" rung eps);
+        match Lu.decompose a with
+        | exception Lu.Singular pivot ->
+            last_singular := pivot;
+            attempt (rung + 1)
+        | lu ->
+            let x = Lu.solve_factored lu b in
+            let x_norm = Vec.norm_inf x in
+            if not (Float.is_finite x_norm) then attempt (rung + 1)
+            else begin
+              (* Garbage detector on the system actually factored. *)
+              let r_pert = Lu.residual_norm a x b in
+              let tol_pert = 1e-8 *. Matrix.max_abs a *. Float.max 1.0 x_norm in
+              (* Exact-system consistency: the perturbation moves the
+                 residual by at most [eps * |x|]; allow 10x headroom
+                 plus the perturbed floor, nothing more. *)
+              let r_exact = Lu.residual_norm exact_a x exact_b in
+              Dpm_obs.Probe.set "policy_iteration.tikhonov_exact_residual"
+                r_exact;
+              let tol_exact = tol_pert +. (10.0 *. eps *. (1.0 +. x_norm)) in
+              if r_pert <= tol_pert && r_exact <= tol_exact then
+                evaluation_of ~ref_state x
+              else attempt (rung + 1)
+            end
+      in
+      attempt 0
 
 (* --- sparse evaluation --------------------------------------------- *)
 
@@ -319,10 +367,12 @@ let improve m (eval : evaluation) ~incumbent =
   in
   (Policy.of_choice_indices m selection, !changed)
 
-let solve ?ref_state ?(max_iter = 1000) ?init ?(eval = Auto) m =
+let solve ?ref_state ?(max_iter = 1000) ?init ?(eval = Auto)
+    ?(guard = fun () -> ()) m =
   Dpm_obs.Span.with_ "policy_iteration" @@ fun () ->
   let init = match init with Some p -> p | None -> Policy.uniform_first m in
   let rec loop iteration policy trace =
+    guard ();
     if iteration > max_iter then
       failwith
         (Printf.sprintf "Policy_iteration.solve: no convergence after %d iterations"

@@ -45,13 +45,21 @@ val evaluate : ?ref_state:int -> Model.t -> Policy.t -> evaluation
 
 val evaluate_robust : ?ref_state:int -> Model.t -> Policy.t -> evaluation
 (** Like {!evaluate}, but when the policy's chain is multichain (the
-    exact system is singular) it re-solves with a tiny restart rate
-    toward the reference state, which restores unichain structure at
-    an O(1e-9)-relative bias error.  {!solve} uses this internally so
+    exact system is singular) it re-solves through a Tikhonov
+    escalation ladder: a restart rate toward the reference state
+    (which restores unichain structure at an O(eps)-relative bias
+    error) growing from 1e-9 to 1e-3 of the model's rate scale, one
+    rung per failed attempt.  A rung is accepted only when its LU
+    factorization succeeds {e and} the solution verifies — a small
+    residual on the perturbed system plus an exact-system residual
+    consistent with the deliberate O(eps * |x|) bias.  Exhausting the
+    ladder re-raises [Lu.Singular].  {!solve} uses this internally so
     multichain policies encountered mid-iteration do not abort the
     optimization.  The system is assembled once, directly from
-    [Model.choice]; the retry reuses the assembled matrix (diagonal
-    patched in place) and right-hand side rather than rebuilding. *)
+    [Model.choice]; rungs patch the assembled diagonal in place.
+    Probe counters: [policy_iteration.robust_retries] (entries into
+    the ladder), [policy_iteration.tikhonov_rungs] (rungs tried),
+    gauge [policy_iteration.tikhonov_exact_residual]. *)
 
 val evaluate_sparse :
   ?ref_state:int -> ?tol:float -> ?max_iter:int -> Model.t -> Policy.t -> evaluation
@@ -93,6 +101,7 @@ val solve :
   ?max_iter:int ->
   ?init:Policy.t ->
   ?eval:eval_path ->
+  ?guard:(unit -> unit) ->
   Model.t ->
   result
 (** [solve m] runs policy iteration from [init] (default: each
@@ -101,7 +110,9 @@ val solve :
     modeling bug — PI must terminate on finite models).  [eval]
     (default {!Auto}) selects the evaluation backend per the
     {!eval_path} docs; every backend agrees to solver tolerance, so
-    the returned policy and gain do not depend on the choice. *)
+    the returned policy and gain do not depend on the choice.
+    [guard] (default no-op) is invoked at the top of every iteration
+    and may raise to abort — the [Dpm_robust] deadline hook. *)
 
 val brute_force : Model.t -> Policy.t * float
 (** [brute_force m] evaluates every stationary policy and returns a

@@ -9,7 +9,7 @@ type result = {
   converged : bool;
 }
 
-let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) m =
+let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) ?(guard = fun () -> ()) m =
   Dpm_obs.Span.with_ "value_iteration" @@ fun () ->
   let n = Model.num_states m in
   let u = Model.max_exit_rate m in
@@ -29,6 +29,7 @@ let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) m =
   let lower = ref neg_infinity and upper = ref infinity in
   let converged = ref false in
   while (not !converged) && !iterations < max_iter do
+    guard ();
     let next =
       Vec.init n (fun i ->
           let best = ref (backup !v i 0) in

@@ -22,10 +22,12 @@ type result = {
   converged : bool;
 }
 
-val solve : ?tol:float -> ?max_iter:int -> Model.t -> result
+val solve :
+  ?tol:float -> ?max_iter:int -> ?guard:(unit -> unit) -> Model.t -> result
 (** [solve m] iterates until the span of the value difference
     [v_{k+1} - v_k] falls below [tol] (default 1e-9) or [max_iter]
     (default 1e6) sweeps are spent.  The optimal gain lies in
     [[gain_lower, gain_upper]] (standard span bounds, scaled back to
     continuous time); the returned policy is greedy with respect to
-    the final values. *)
+    the final values.  [guard] (default no-op) is invoked before each
+    sweep and may raise to abort — the [Dpm_robust] deadline hook. *)

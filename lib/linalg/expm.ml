@@ -14,16 +14,10 @@ let one_norm m =
 (* Pade(6,6) coefficients for exp. *)
 let pade_coeffs = [| 1.0; 0.5; 5.0 /. 44.0; 1.0 /. 66.0; 1.0 /. 792.0; 1.0 /. 15840.0; 1.0 /. 665280.0 |]
 
-let expm a =
+(* Scaling-and-squaring at an explicit scaling parameter [s]; raises
+   [Lu.Singular] when the Pade denominator cannot be factorized. *)
+let expm_with_s a ~s =
   let n = Matrix.rows a in
-  if Matrix.cols a <> n then invalid_arg "Expm.expm: matrix not square";
-  if n = 0 then invalid_arg "Expm.expm: empty matrix";
-  (* Scale so the norm is small enough for the Pade approximant. *)
-  let norm = one_norm a in
-  let s =
-    if norm <= 0.5 then 0
-    else int_of_float (Float.ceil (Float.log (norm /. 0.5) /. Float.log 2.0))
-  in
   let scaled = Matrix.scale (1.0 /. (2.0 ** float_of_int s)) a in
   (* Evaluate numerator U + V and denominator U - V style split:
      p(A) = sum c_k A^k; q(A) = p(-A); exp(A) ~ q(A)^{-1} p(A). *)
@@ -40,17 +34,15 @@ let expm a =
   done;
   (* Solve q X = p column by column. *)
   let x =
-    match Lu.decompose !q with
-    | f ->
-        let dst = Matrix.create n n in
-        for j = 0 to n - 1 do
-          let col = Lu.solve_factored f (Matrix.col !p j) in
-          for i = 0 to n - 1 do
-            Matrix.set dst i j col.(i)
-          done
-        done;
-        dst
-    | exception Lu.Singular _ -> failwith "Expm.expm: Pade denominator singular"
+    let f = Lu.decompose !q in
+    let dst = Matrix.create n n in
+    for j = 0 to n - 1 do
+      let col = Lu.solve_factored f (Matrix.col !p j) in
+      for i = 0 to n - 1 do
+        Matrix.set dst i j col.(i)
+      done
+    done;
+    dst
   in
   (* Undo the scaling by repeated squaring. *)
   let result = ref x in
@@ -58,6 +50,27 @@ let expm a =
     result := Matrix.mul !result !result
   done;
   !result
+
+let expm a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Expm.expm: matrix not square";
+  if n = 0 then invalid_arg "Expm.expm: empty matrix";
+  (* Scale so the norm is small enough for the Pade approximant. *)
+  let norm = one_norm a in
+  let s =
+    if norm <= 0.5 then 0
+    else int_of_float (Float.ceil (Float.log (norm /. 0.5) /. Float.log 2.0))
+  in
+  match expm_with_s a ~s with
+  | x -> x
+  | exception Lu.Singular _ ->
+      (* A singular Pade denominator means the scaled norm was still
+         too large for the approximant (wildly mixed magnitudes defeat
+         the 1-norm estimate).  Scaling 16x further shrinks the
+         denominator toward the identity; if even that factorization
+         fails, the typed [Lu.Singular] escapes to the caller. *)
+      Dpm_obs.Probe.incr "expm.rescale_retries";
+      expm_with_s a ~s:(s + 4)
 
 let transition_matrix g ~t =
   if t < 0.0 then invalid_arg "Expm.transition_matrix: negative time";

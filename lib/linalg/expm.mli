@@ -12,10 +12,13 @@
 
 val expm : Matrix.t -> Matrix.t
 (** [expm a] is [e^a] for a square matrix.  Raises [Invalid_argument]
-    if [a] is not square, [Failure] if the internal linear solve
-    breaks down (entries of wildly mixed magnitude can defeat the
-    Pade denominator; generators scaled by reasonable times are
-    fine). *)
+    if [a] is not square.  If the Pade denominator cannot be
+    factorized (entries of wildly mixed magnitude can defeat the
+    1-norm scaling estimate), the evaluation is retried once at a
+    16x larger scaling-and-squaring factor (counted as
+    [expm.rescale_retries] by {!Dpm_obs}); a second breakdown raises
+    the typed [Lu.Singular].  Generators scaled by reasonable times
+    never need the retry. *)
 
 val transition_matrix : Matrix.t -> t:float -> Matrix.t
 (** [transition_matrix g ~t] is [e^{tG}] — for a generator [g], the

@@ -19,12 +19,14 @@ let default_init n = function
       Vec.copy v
   | None -> Vec.make n (1.0 /. float_of_int n)
 
-let power_method ?(tol = 1e-12) ?(max_iter = 100_000) ?init p =
+let power_method ?(tol = 1e-12) ?(max_iter = 100_000) ?(guard = fun () -> ())
+    ?init p =
   let n = Sparse.rows p in
   if Sparse.cols p <> n then invalid_arg "Iterative.power_method: not square";
   let x = ref (Vec.normalize1 (default_init n init)) in
   let iterations = ref 0 and change = ref infinity in
   while !change > tol && !iterations < max_iter do
+    guard ();
     let next = Vec.normalize1 (Sparse.vec_mul !x p) in
     change := Vec.norm1 (Vec.sub next !x);
     observe_residual !change;
@@ -50,7 +52,8 @@ let diagonal_of name q =
     d;
   d
 
-let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000) ?init q =
+let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000)
+    ?(guard = fun () -> ()) ?init q =
   let n = Sparse.rows q in
   if Sparse.cols q <> n then
     invalid_arg "Iterative.gauss_seidel_steady: not square";
@@ -67,6 +70,7 @@ let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000) ?init q =
   let p = ref (Vec.normalize1 (default_init n init)) in
   let iterations = ref 0 and change = ref infinity in
   while !change > tol && !iterations < max_iter do
+    guard ();
     let prev = Vec.copy !p in
     for j = 0 to n - 1 do
       let acc = ref 0.0 in
@@ -87,8 +91,8 @@ let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000) ?init q =
     converged = !change <= tol;
   }
 
-let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000) ?init a
-    b =
+let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000)
+    ?(guard = fun () -> ()) ?init a b =
   let n = Sparse.rows a in
   if Sparse.cols a <> n then
     invalid_arg (Printf.sprintf "Iterative.%s: not square" name);
@@ -98,6 +102,7 @@ let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000) ?init a
   let x = ref (match init with Some v -> Vec.copy v | None -> Vec.create n) in
   let iterations = ref 0 and residual = ref infinity in
   while !residual > tol && !iterations < max_iter do
+    guard ();
     x := update a b diag !x;
     residual := Vec.norm_inf (Vec.sub (Sparse.mul_vec a !x) b);
     observe_residual !residual;
@@ -128,8 +133,9 @@ let gauss_seidel_update a b diag x =
   done;
   next
 
-let jacobi ?tol ?max_iter ?init a b =
-  linear_sweep_solver "jacobi" jacobi_update ?tol ?max_iter ?init a b
+let jacobi ?tol ?max_iter ?guard ?init a b =
+  linear_sweep_solver "jacobi" jacobi_update ?tol ?max_iter ?guard ?init a b
 
-let gauss_seidel ?tol ?max_iter ?init a b =
-  linear_sweep_solver "gauss_seidel" gauss_seidel_update ?tol ?max_iter ?init a b
+let gauss_seidel ?tol ?max_iter ?guard ?init a b =
+  linear_sweep_solver "gauss_seidel" gauss_seidel_update ?tol ?max_iter ?guard
+    ?init a b

@@ -4,7 +4,11 @@
     queue-capacity ablation and any large composed model run through
     these matrix-free style iterations instead.  All iterations report
     convergence through the {!result} record rather than raising, so
-    callers can decide how to treat a hit iteration cap. *)
+    callers can decide how to treat a hit iteration cap.
+
+    Every solver takes an optional [guard] callback, invoked once at
+    the top of each sweep; it may raise to abort the iteration — the
+    wall-clock-deadline hook threaded down by [Dpm_robust]. *)
 
 type result = {
   solution : Vec.t;  (** last iterate *)
@@ -14,7 +18,12 @@ type result = {
 }
 
 val power_method :
-  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> result
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  ?init:Vec.t ->
+  Sparse.t ->
+  result
 (** [power_method p] iterates [x <- x P] on a row-stochastic matrix
     [p] until the L1 change falls below [tol] (default [1e-12]), from
     [init] (default uniform).  The iterate is renormalized to sum 1
@@ -22,7 +31,12 @@ val power_method :
     the chain.  [residual] is the last L1 change. *)
 
 val gauss_seidel_steady :
-  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> result
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  ?init:Vec.t ->
+  Sparse.t ->
+  result
 (** [gauss_seidel_steady q] solves [p q = 0, sum p = 1] for an
     irreducible CTMC generator [q] by Gauss-Seidel sweeps on the
     normal form [p_j = (sum_{i<>j} p_i q_ij) / (-q_jj)].  Diagonal
@@ -31,12 +45,24 @@ val gauss_seidel_steady :
     [norm_inf (p q)] of the final normalized iterate. *)
 
 val jacobi :
-  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> Vec.t -> result
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  ?init:Vec.t ->
+  Sparse.t ->
+  Vec.t ->
+  result
 (** [jacobi a b] solves [a x = b] by Jacobi iteration (requires a
     nonzero diagonal; raises [Invalid_argument] otherwise).
     [residual] is [norm_inf (a x - b)]. *)
 
 val gauss_seidel :
-  ?tol:float -> ?max_iter:int -> ?init:Vec.t -> Sparse.t -> Vec.t -> result
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  ?init:Vec.t ->
+  Sparse.t ->
+  Vec.t ->
+  result
 (** [gauss_seidel a b] solves [a x = b] by forward Gauss-Seidel
     sweeps; same diagonal requirement and residual as {!jacobi}. *)

@@ -1,3 +1,5 @@
+exception Cycling of int
+
 type outcome =
   | Optimal of { x : Vec.t; objective : float; dual : Vec.t }
   | Infeasible
@@ -18,17 +20,23 @@ let check_feasible ?(tol = 1e-7) ~a ~b x =
 type phase_result = POptimal | PUnbounded
 
 (* [columns.(j)] is column j of the extended constraint matrix;
-   [basis.(i)] names the column basic in row i.  Runs Bland's rule to
-   optimality for the given costs. *)
-let run_phase ~columns ~cost ~allowed ~b ~basis ~tol ~max_pivots =
+   [basis.(i)] names the column basic in row i.  Runs the
+   smallest-index entering rule to optimality for the given costs;
+   [bland] switches the ratio-test tie-break from
+   best-conditioned-pivot to smallest-basis-index, which together with
+   the entering rule is textbook Bland and provably cycle-free. *)
+let run_phase ~bland ~guard ~columns ~cost ~allowed ~b ~basis ~tol ~max_pivots =
   let m = Vec.dim b in
   let ncols = Array.length columns in
   let in_basis = Array.make ncols false in
   Array.iter (fun j -> in_basis.(j) <- true) basis;
   let pivots = ref 0 in
   let rec step () =
-    if !pivots > max_pivots then
-      failwith "Simplex: pivot limit exceeded (numerical cycling?)";
+    guard ();
+    if !pivots > max_pivots then begin
+      Dpm_obs.Probe.incr "simplex.cycling";
+      raise (Cycling !pivots)
+    end;
     let bmat = Matrix.init m m (fun i k -> columns.(basis.(k)).(i)) in
     (* A looser LU pivot threshold: occupation-measure bases are badly
        scaled but genuinely nonsingular; partial pivoting still picks
@@ -73,10 +81,13 @@ let run_phase ~columns ~cost ~allowed ~b ~basis ~tol ~max_pivots =
       for i = 0 to m - 1 do
         if d.(i) > tol then begin
           let ratio = Float.max 0.0 x_b.(i) /. d.(i) in
+          let tie_break =
+            !leave < 0
+            || if bland then basis.(i) < basis.(!leave) else d.(i) > d.(!leave)
+          in
           if
             ratio < !best_ratio -. 1e-12
-            || (Float.abs (ratio -. !best_ratio) <= 1e-12
-               && (!leave < 0 || d.(i) > d.(!leave)))
+            || (Float.abs (ratio -. !best_ratio) <= 1e-12 && tie_break)
           then begin
             leave := i;
             best_ratio := ratio
@@ -96,7 +107,23 @@ let run_phase ~columns ~cost ~allowed ~b ~basis ~tol ~max_pivots =
   in
   step ()
 
-let minimize_core ?(max_pivots = 100_000) ?(tol = 1e-9) ~c ~a b =
+(* A phase that blows its pivot budget with the conditioning-friendly
+   tie-break is retried once under strict Bland (cycle-free in exact
+   arithmetic) with a fresh budget; the basis reached so far is still
+   feasible, so the retry resumes from it rather than starting over.
+   A second blow-out is genuine numerical cycling: the typed
+   [Cycling] escapes to the caller. *)
+let run_phase_anticycling ~guard ~columns ~cost ~allowed ~b ~basis ~tol
+    ~max_pivots =
+  try
+    run_phase ~bland:false ~guard ~columns ~cost ~allowed ~b ~basis ~tol
+      ~max_pivots
+  with Cycling _ ->
+    Dpm_obs.Probe.incr "simplex.bland_retries";
+    run_phase ~bland:true ~guard ~columns ~cost ~allowed ~b ~basis ~tol
+      ~max_pivots
+
+let minimize_core ?(max_pivots = 100_000) ?(tol = 1e-9) ~guard ~c ~a b =
   let m = Matrix.rows a and n = Matrix.cols a in
   if Vec.dim c <> n then invalid_arg "Simplex.minimize: cost dimension mismatch";
   if Vec.dim b <> m then invalid_arg "Simplex.minimize: rhs dimension mismatch";
@@ -124,7 +151,7 @@ let minimize_core ?(max_pivots = 100_000) ?(tol = 1e-9) ~c ~a b =
   (* Phase 1: minimize the artificial mass. *)
   let phase1_cost = Array.init (n + m) (fun j -> if j >= n then 1.0 else 0.0) in
   (match
-     run_phase ~columns ~cost:phase1_cost
+     run_phase_anticycling ~guard ~columns ~cost:phase1_cost
        ~allowed:(fun _ -> true)
        ~b ~basis ~tol ~max_pivots
    with
@@ -166,7 +193,7 @@ let minimize_core ?(max_pivots = 100_000) ?(tol = 1e-9) ~c ~a b =
     (* Phase 2 on the real costs; artificial columns are banned. *)
     let phase2_cost = Array.init (n + m) (fun j -> if j < n then c.(j) else 0.0) in
     match
-      run_phase ~columns ~cost:phase2_cost
+      run_phase_anticycling ~guard ~columns ~cost:phase2_cost
         ~allowed:(fun j -> j < n)
         ~b ~basis ~tol ~max_pivots
     with
@@ -194,7 +221,7 @@ let minimize_core ?(max_pivots = 100_000) ?(tol = 1e-9) ~c ~a b =
    exact; the column scaling is the substitution x = D_c x'.  The
    solution, objective and duals are mapped back to the original
    problem, so callers never see the scaling. *)
-let minimize ?max_pivots ?tol ~c ~a b =
+let minimize ?max_pivots ?tol ?(guard = fun () -> ()) ~c ~a b =
   let m = Matrix.rows a and n = Matrix.cols a in
   if Vec.dim c <> n then invalid_arg "Simplex.minimize: cost dimension mismatch";
   if Vec.dim b <> m then invalid_arg "Simplex.minimize: rhs dimension mismatch";
@@ -231,7 +258,7 @@ let minimize ?max_pivots ?tol ~c ~a b =
   done;
   let b' = Vec.init m (fun r -> b.(r) /. row_scale.(r)) in
   let c' = Vec.init n (fun v -> c.(v) /. col_scale.(v)) in
-  match minimize_core ?max_pivots ?tol ~c:c' ~a:scaled b' with
+  match minimize_core ?max_pivots ?tol ~guard ~c:c' ~a:scaled b' with
   | Infeasible -> Infeasible
   | Unbounded -> Unbounded
   | Optimal { x = x'; objective = _; dual = y' } ->

@@ -13,6 +13,14 @@
 
     Inequalities are the caller's business (add slack variables). *)
 
+exception Cycling of int
+(** Raised (with the pivot count) when a phase exhausts its pivot
+    budget {e twice}: once under the default conditioning-friendly
+    ratio-test tie-break and once more after the automatic retry under
+    strict Bland's rule.  Exact-arithmetic cycling is impossible under
+    Bland, so this signals floating-point cycling or a budget far too
+    small for the problem. *)
+
 type outcome =
   | Optimal of {
       x : Vec.t;  (** an optimal vertex *)
@@ -25,14 +33,22 @@ type outcome =
   | Unbounded  (** the objective decreases without bound *)
 
 val minimize :
-  ?max_pivots:int -> ?tol:float -> c:Vec.t -> a:Matrix.t -> Vec.t -> outcome
+  ?max_pivots:int ->
+  ?tol:float ->
+  ?guard:(unit -> unit) ->
+  c:Vec.t ->
+  a:Matrix.t ->
+  Vec.t ->
+  outcome
 (** [minimize ~c ~a b] solves the standard-form program.  [tol]
     (default 1e-9) separates zero from nonzero in ratio tests and
-    feasibility checks; [max_pivots] (default 100_000) guards against
-    pathological cycling (Bland's rule makes cycling impossible in
-    exact arithmetic, the cap is a floating-point safety net — hitting
-    it raises [Failure]).  Raises [Invalid_argument] on shape
-    mismatches. *)
+    feasibility checks; [max_pivots] (default 100_000) bounds each
+    phase.  A phase that blows the budget is retried once from its
+    current (still feasible) basis under strict Bland's anti-cycling
+    rule with a fresh budget; a second blow-out raises {!Cycling}.
+    [guard] (default a no-op) is invoked before every pivot and may
+    raise to abort the solve — the deadline hook used by
+    [Dpm_robust].  Raises [Invalid_argument] on shape mismatches. *)
 
 val check_feasible : ?tol:float -> a:Matrix.t -> b:Vec.t -> Vec.t -> bool
 (** [check_feasible ~a ~b x] tests [A x = b] (within [tol], default

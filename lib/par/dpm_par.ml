@@ -219,6 +219,23 @@ let parallel_map ?domains f xs =
 let parallel_map_list ?domains f xs =
   Array.to_list (parallel_map ?domains f (Array.of_list xs))
 
+(* Per-item containment: each application is fenced on its own domain,
+   so one poisoned item turns into an [Error] slot instead of aborting
+   the whole call — the substrate Optimize/Sensitivity sweeps use to
+   degrade gracefully. *)
+let parallel_map_result ?domains f xs =
+  parallel_map ?domains
+    (fun x ->
+      match f x with
+      | v -> Ok v
+      | exception exn ->
+          Dpm_obs.Probe.incr "par.item_failures";
+          Error exn)
+    xs
+
+let parallel_map_result_list ?domains f xs =
+  Array.to_list (parallel_map_result ?domains f (Array.of_list xs))
+
 let parallel_for ?domains ?(chunk = 1) n body =
   run_indices ~domains ~chunk n body
 

@@ -65,6 +65,19 @@ val parallel_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val parallel_map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!parallel_map} over lists, preserving order. *)
 
+val parallel_map_result :
+  ?domains:int -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** [parallel_map_result f xs] is {!parallel_map} with per-item
+    exception containment: an application that raises yields
+    [Error exn] in its own slot while every other element still
+    completes — there is {e no} global abort.  Each failure increments
+    the [par.item_failures] {!Dpm_obs} counter.  Order determinism is
+    as in {!parallel_map}. *)
+
+val parallel_map_result_list :
+  ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** {!parallel_map_result} over lists, preserving order. *)
+
 val parallel_for : ?domains:int -> ?chunk:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f 0 .. f (n-1)] on the pool.  [chunk]
     (default 1) batches consecutive indices per queue pull to cut

@@ -1,0 +1,18 @@
+type severity = Error | Warning
+
+type t = { severity : severity; code : string; site : string; message : string }
+
+let error ~code ~site message = { severity = Error; code; site; message }
+let warning ~code ~site message = { severity = Warning; code; site; message }
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let pp_severity ppf = function
+  | Error -> Format.pp_print_string ppf "error"
+  | Warning -> Format.pp_print_string ppf "warning"
+
+let pp ppf d =
+  Format.fprintf ppf "%a[%s] %s: %s" pp_severity d.severity d.code d.site
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d

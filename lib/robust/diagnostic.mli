@@ -1,0 +1,32 @@
+(** Structured validation findings.
+
+    A diagnostic pins one violated invariant to one site (a state, a
+    choice, a matrix entry) so a validation pass can report {e all}
+    problems of a model at once instead of dying on the first — the
+    contract of {!Validate}. *)
+
+type severity =
+  | Error  (** the model/matrix is unusable; solvers would misbehave *)
+  | Warning  (** suspicious but solvable (e.g. an absorbing state) *)
+
+type t = {
+  severity : severity;
+  code : string;
+      (** stable machine-readable slug, e.g. ["bad-rate"],
+          ["c2-no-progress"], ["row-sum"] *)
+  site : string;  (** where, e.g. ["state 3, choice 1"] *)
+  message : string;  (** human-readable detail *)
+}
+
+val error : code:string -> site:string -> string -> t
+val warning : code:string -> site:string -> string -> t
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+(** Keep only the [Error]-severity findings. *)
+
+val pp : Format.formatter -> t -> unit
+(** [error[bad-rate] state 3, choice 1: rate -1 is negative]. *)
+
+val to_string : t -> string

@@ -1,0 +1,93 @@
+type t =
+  | Singular
+  | Nonconvergent of { iterations : int; residual : float }
+  | Cycling
+  | Invalid_model of Diagnostic.t list
+  | Deadline_exceeded of { budget_s : float; elapsed_s : float }
+  | Non_finite of string
+
+exception Deadline_signal of { budget_s : float; elapsed_s : float }
+
+let pp ppf = function
+  | Singular -> Format.pp_print_string ppf "singular linear system"
+  | Nonconvergent { iterations; residual } ->
+      Format.fprintf ppf "no convergence after %d iterations (residual %g)"
+        iterations residual
+  | Cycling -> Format.pp_print_string ppf "simplex cycling (pivot budget hit twice)"
+  | Invalid_model ds ->
+      Format.fprintf ppf "invalid model (%d finding%s):%a" (List.length ds)
+        (if List.length ds = 1 then "" else "s")
+        (fun ppf ->
+          List.iter (fun d -> Format.fprintf ppf "@\n  %a" Diagnostic.pp d))
+        ds
+  | Deadline_exceeded { budget_s; elapsed_s } ->
+      Format.fprintf ppf "deadline exceeded (budget %gs, elapsed %gs)" budget_s
+        elapsed_s
+  | Non_finite site -> Format.fprintf ppf "non-finite value at %s" site
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* First integer embedded in a message — recovers the iteration count
+   from [Failure "...: no convergence after %d iterations"]. *)
+let first_int msg =
+  let n = String.length msg in
+  let rec start i =
+    if i >= n then None
+    else if msg.[i] >= '0' && msg.[i] <= '9' then Some i
+    else start (i + 1)
+  in
+  match start 0 with
+  | None -> None
+  | Some i ->
+      let j = ref i in
+      while !j < n && msg.[!j] >= '0' && msg.[!j] <= '9' do
+        incr j
+      done;
+      int_of_string_opt (String.sub msg i (!j - i))
+
+let contains ~sub msg =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let of_failure msg =
+  if contains ~sub:"convergence" msg || contains ~sub:"converge" msg then
+    Nonconvergent
+      {
+        iterations = Option.value ~default:0 (first_int msg);
+        residual = Float.nan;
+      }
+  else if contains ~sub:"infeasible" msg then
+    Invalid_model [ Diagnostic.error ~code:"lp-infeasible" ~site:"lp" msg ]
+  else if contains ~sub:"unbounded" msg then
+    Invalid_model [ Diagnostic.error ~code:"lp-unbounded" ~site:"lp" msg ]
+  else Invalid_model [ Diagnostic.error ~code:"failure" ~site:"solver" msg ]
+
+let of_exn = function
+  (* Never swallow runtime-fatal conditions: the caller must see
+     these, not a typed solver error. *)
+  | Out_of_memory | Stack_overflow | Assert_failure _ | Sys.Break -> None
+  | Deadline_signal { budget_s; elapsed_s } ->
+      Some (Deadline_exceeded { budget_s; elapsed_s })
+  | Dpm_linalg.Lu.Singular _ -> Some Singular
+  | Dpm_linalg.Simplex.Cycling _ -> Some Cycling
+  | Dpm_ctmc.Generator.Invalid msg ->
+      Some
+        (Invalid_model
+           [ Diagnostic.error ~code:"invalid-generator" ~site:"generator" msg ])
+  | Dpm_ctmc.Steady_state.Not_irreducible msg ->
+      Some
+        (Invalid_model
+           [ Diagnostic.error ~code:"not-unichain" ~site:"chain" msg ])
+  | Invalid_argument msg ->
+      Some
+        (Invalid_model
+           [ Diagnostic.error ~code:"invalid-argument" ~site:"model" msg ])
+  | Failure msg -> Some (of_failure msg)
+  | exn ->
+      Some
+        (Invalid_model
+           [
+             Diagnostic.error ~code:"unexpected-exception" ~site:"solver"
+               (Printexc.to_string exn);
+           ])

@@ -1,0 +1,51 @@
+(** The typed failure taxonomy of the robustness layer.
+
+    Every [solve_r] entry point of {!Dpm_robust} returns
+    [('a, Error.t) result]: the raising core stays as it is (see
+    DESIGN.md — rewriting the solvers in result style would double
+    every signature for failure paths that occur on no well-formed
+    model), and this layer maps the exceptions that {e can} escape it
+    onto a closed sum a caller can actually match on. *)
+
+type t =
+  | Singular
+      (** a linear system had no usable LU factorization even after
+          the solver's own retry ladders (policy evaluation exhausted
+          its Tikhonov rungs, Padé re-scaling still singular, ...) *)
+  | Nonconvergent of { iterations : int; residual : float }
+      (** an iterative solve spent its budget; [residual] is the
+          final convergence measure ([gain_upper - gain_lower] for
+          value iteration, sweep residual for steady-state sweeps,
+          NaN when the raising core reported no measure) *)
+  | Cycling
+      (** the simplex exhausted its pivot budget twice — once under
+          Dantzig pricing and once under the automatic Bland
+          anti-cycling retry *)
+  | Invalid_model of Diagnostic.t list
+      (** the model/matrix violates invariants; {e all} detected
+          violations are listed, not just the first *)
+  | Deadline_exceeded of { budget_s : float; elapsed_s : float }
+      (** the per-solve wall-clock budget fired (see
+          {!Guard.deadline}) *)
+  | Non_finite of string
+      (** a NaN/Inf appeared at the named stage boundary (e.g.
+          ["policy_iteration.bias"]) *)
+
+exception Deadline_signal of { budget_s : float; elapsed_s : float }
+(** Raised by {!Guard.deadline} ticks inside solver loops; {!of_exn}
+    maps it to {!Deadline_exceeded}.  Defined here (not in [Guard])
+    so the mapping does not create a module cycle. *)
+
+val of_exn : exn -> t option
+(** Map an escaped exception onto the taxonomy.  [None] means "do not
+    catch": [Out_of_memory], [Stack_overflow], [Assert_failure] and
+    [Sys.Break] must keep unwinding.  Everything else maps: LU
+    singularity, simplex cycling, generator/model validation
+    exceptions, [Failure] messages mentioning convergence (the
+    iteration count is parsed back out), LP infeasibility, deadline
+    signals; genuinely unknown exceptions become
+    [Invalid_model [unexpected-exception]] rather than escaping a
+    [solve_r]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

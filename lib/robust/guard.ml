@@ -1,0 +1,60 @@
+open Dpm_linalg
+
+let none () = ()
+
+let compose guards =
+  match List.filter (fun g -> g != none) guards with
+  | [] -> none
+  | [ g ] -> g
+  | gs -> fun () -> List.iter (fun g -> g ()) gs
+
+let deadline ~seconds =
+  if not (seconds >= 0.0) then
+    invalid_arg "Dpm_robust.Guard.deadline: budget must be >= 0";
+  let start = Dpm_obs.Probe.now () in
+  fun () ->
+    let elapsed_s = Dpm_obs.Probe.now () -. start in
+    (* [>=], not [>]: a zero budget fires deterministically on the
+       first tick, which the fault tests rely on. *)
+    if elapsed_s >= seconds then begin
+      Dpm_obs.Probe.incr "robust.deadline_exceeded";
+      raise (Error.Deadline_signal { budget_s = seconds; elapsed_s })
+    end
+
+let of_deadline = function
+  | None -> none
+  | Some seconds -> deadline ~seconds
+
+let check_finite ~site x =
+  if Float.is_finite x then Ok ()
+  else begin
+    Dpm_obs.Probe.incr "robust.non_finite";
+    Error (Error.Non_finite site)
+  end
+
+let check_finite_vec ~site v =
+  let n = Vec.dim v in
+  let rec go i =
+    if i >= n then Ok ()
+    else if Float.is_finite v.(i) then go (i + 1)
+    else begin
+      Dpm_obs.Probe.incr "robust.non_finite";
+      Error (Error.Non_finite (Printf.sprintf "%s[%d]" site i))
+    end
+  in
+  go 0
+
+let run ?(stage = "solve") f =
+  match f () with
+  | v -> Ok v
+  | exception exn -> (
+      let bt = Printexc.get_raw_backtrace () in
+      match Error.of_exn exn with
+      | None -> Printexc.raise_with_backtrace exn bt
+      | Some e ->
+          Dpm_obs.Probe.incr "robust.errors";
+          Logs.debug (fun k ->
+              k "robust: %s failed with %a" stage Error.pp e);
+          Error e)
+
+let ( let* ) r f = Result.bind r f

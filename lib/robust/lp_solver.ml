@@ -1,0 +1,18 @@
+let ( let* ) = Guard.( let* )
+
+let solve_r ?ref_state ?max_pivots ?deadline_s ?faults ?(validate = true) m =
+  let guard =
+    Guard.compose [ Fault.guard_opt faults; Guard.of_deadline deadline_s ]
+  in
+  let* () = if validate then Policy_iteration.validate_model m else Ok () in
+  let* r =
+    Guard.run ~stage:"lp_solver" (fun () ->
+        Dpm_ctmdp.Lp_solver.solve ?ref_state ?max_pivots ~guard m)
+  in
+  let* () =
+    Guard.check_finite ~site:"lp_solver.gain" r.Dpm_ctmdp.Lp_solver.gain
+  in
+  let* () =
+    Guard.check_finite_vec ~site:"lp_solver.bias" r.Dpm_ctmdp.Lp_solver.bias
+  in
+  Ok r

@@ -1,0 +1,19 @@
+(** Result-returning LP policy optimization — the guarded face of
+    {!Dpm_ctmdp.Lp_solver.solve}. *)
+
+val solve_r :
+  ?ref_state:int ->
+  ?max_pivots:int ->
+  ?deadline_s:float ->
+  ?faults:Fault.plan ->
+  ?validate:bool ->
+  Dpm_ctmdp.Model.t ->
+  (Dpm_ctmdp.Lp_solver.result, Error.t) result
+(** {!Dpm_ctmdp.Lp_solver.solve} with the guardrail stack of
+    {!Policy_iteration.solve_r}.  LP-specific mappings: exhausting
+    the pivot budget twice (Dantzig pricing, then the automatic Bland
+    anti-cycling retry inside {!Dpm_linalg.Simplex}) becomes
+    [Error Cycling]; an infeasible or unbounded program — impossible
+    for a well-formed model — becomes [Error (Invalid_model _)] with
+    code [lp-infeasible] / [lp-unbounded].  [deadline_s] is ticked
+    before every pivot. *)

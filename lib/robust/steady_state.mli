@@ -1,0 +1,24 @@
+(** Result-returning steady-state analysis — the guarded face of
+    {!Dpm_ctmc.Steady_state.solve}. *)
+
+open Dpm_linalg
+
+val of_matrix_r :
+  ?tol:float -> Matrix.t -> (Dpm_ctmc.Generator.t, Error.t) result
+(** Validate a dense matrix with {!Validate.generator_matrix} —
+    reporting {e all} violations as [Error (Invalid_model _)]
+    (counted as [robust.models_rejected]) — then build the generator. *)
+
+val solve_r :
+  ?deadline_s:float ->
+  ?faults:Fault.plan ->
+  Dpm_ctmc.Generator.t ->
+  (Vec.t, Error.t) result
+(** {!Dpm_ctmc.Steady_state.solve} guarded: a chain without a unique
+    closed class maps to [Error (Invalid_model _)] (code
+    [not-unichain]); [deadline_s] is ticked per GTH elimination step
+    and per sweep; the returned distribution is NaN-scanned and
+    re-verified against the exact balance equations (one mat-vec,
+    [|p G| <= 1e-7 * max rate]) — a verification miss is
+    [Error (Nonconvergent { iterations = 0; residual })], counted as
+    [robust.verification_failures]. *)

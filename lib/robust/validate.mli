@@ -1,0 +1,66 @@
+(** Model validation: report {e all} violations, not just the first.
+
+    The raising constructors ([Model.create], [Generator.of_matrix])
+    stop at the first bad entry — correct for fail-fast library use,
+    useless for diagnosing a corrupted or hand-built instance.  These
+    passes walk the whole object and return every finding as a
+    {!Diagnostic.t} (capped at {!max_diagnostics}, with a [truncated]
+    warning when the cap is hit).  [dpm_cli check] and the pre-solve
+    validation hook are built on them. *)
+
+open Dpm_linalg
+open Dpm_core
+
+val max_diagnostics : int
+(** Report cap (100). *)
+
+val choices :
+  num_states:int -> (int -> Dpm_ctmdp.Model.choice list) -> Diagnostic.t list
+(** Validate a raw CTMDP choice table against [Model.create]'s
+    invariants — nonempty choice lists, finite costs, finite
+    nonnegative rates, in-range non-self targets, distinct action
+    labels (codes [empty-choice], [non-finite-cost], [bad-rate],
+    [bad-target], [duplicate-action]; a [choices_of] call that raises
+    becomes [choices-raised]) — plus unichain reachability of the
+    union graph of all choices ([not-unichain]), checked only when no
+    structural error was found. *)
+
+val model : Dpm_ctmdp.Model.t -> Diagnostic.t list
+(** {!choices} on an already-built model (useful after [map_costs],
+    which deliberately skips re-validation). *)
+
+val model_r :
+  num_states:int ->
+  (int -> Dpm_ctmdp.Model.choice list) ->
+  (Dpm_ctmdp.Model.t, Error.t) result
+(** Validate, then build: [Error (Invalid_model findings)] when
+    {!choices} reports any error-severity finding (counted as
+    [robust.models_rejected]), otherwise [Ok (Model.create ...)] —
+    with anything the constructor itself still raises mapped through
+    {!Guard.run}. *)
+
+val generator_matrix : ?tol:float -> Matrix.t -> Diagnostic.t list
+(** Validate a dense matrix as a CTMC generator: square
+    ([not-square]), finite entries ([non-finite-entry]), nonnegative
+    off-diagonals ([negative-rate]), row sums within [tol] (default
+    1e-9) of zero relative to the row scale ([row-sum]); an all-zero
+    row is the [absorbing-state] {e warning}. *)
+
+val system : Sys_model.t -> Diagnostic.t list
+(** Validate a composed DPM system: re-derives the paper's three
+    Section-III action-validity constraints from the SP quadruple and
+    checks them against every state's offered action set —
+    (1) an active SP in a stable state only commands active modes
+    ([c1-interrupts-service]); (2) in the full stable state an
+    inactive SP neither stays nor switches to an inactive mode with
+    an equal-or-longer wakeup ([c2-no-progress]); (3) in the full
+    transfer state no strictly slower active mode is offered
+    ([c3-slower-service]) — plus nonempty action sets ([no-actions])
+    and the {!choices} pass (generator invariants and unichain
+    reachability) on the raw choice table. *)
+
+val system_choices :
+  Sys_model.t -> weight:float -> int -> Dpm_ctmdp.Model.choice list
+(** The raw choice table [Sys_model.to_ctmdp] would hand the solvers,
+    {e before} any validation — the injection point the fault harness
+    corrupts and {!model_r} must then reject. *)

@@ -1,0 +1,35 @@
+let ( let* ) = Guard.( let* )
+
+let solve_r ?tol ?max_iter ?deadline_s ?faults ?(validate = true) m =
+  let guard =
+    Guard.compose [ Fault.guard_opt faults; Guard.of_deadline deadline_s ]
+  in
+  let* () = if validate then Policy_iteration.validate_model m else Ok () in
+  let* r =
+    Guard.run ~stage:"value_iteration" (fun () ->
+        Dpm_ctmdp.Value_iteration.solve ?tol ?max_iter ~guard m)
+  in
+  let* () =
+    Guard.check_finite_vec ~site:"value_iteration.values"
+      r.Dpm_ctmdp.Value_iteration.values
+  in
+  let* () =
+    Guard.check_finite ~site:"value_iteration.gain_lower"
+      r.Dpm_ctmdp.Value_iteration.gain_lower
+  in
+  let* () =
+    Guard.check_finite ~site:"value_iteration.gain_upper"
+      r.Dpm_ctmdp.Value_iteration.gain_upper
+  in
+  if not r.Dpm_ctmdp.Value_iteration.converged then begin
+    Dpm_obs.Probe.incr "robust.nonconvergent";
+    Error
+      (Error.Nonconvergent
+         {
+           iterations = r.Dpm_ctmdp.Value_iteration.iterations;
+           residual =
+             r.Dpm_ctmdp.Value_iteration.gain_upper
+             -. r.Dpm_ctmdp.Value_iteration.gain_lower;
+         })
+  end
+  else Ok r

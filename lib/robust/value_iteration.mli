@@ -1,0 +1,19 @@
+(** Result-returning value iteration — the guarded face of
+    {!Dpm_ctmdp.Value_iteration.solve}. *)
+
+val solve_r :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?deadline_s:float ->
+  ?faults:Fault.plan ->
+  ?validate:bool ->
+  Dpm_ctmdp.Model.t ->
+  (Dpm_ctmdp.Value_iteration.result, Error.t) result
+(** {!Dpm_ctmdp.Value_iteration.solve} with the guardrail stack of
+    {!Policy_iteration.solve_r}.  Two mappings are specific to VI:
+    the raising core returns with [converged = false] rather than
+    raising, which becomes [Error (Nonconvergent { iterations;
+    residual = gain_upper - gain_lower })] (counted as
+    [robust.nonconvergent]); and the NaN scan covers the value vector
+    and both gain bounds — uniformized backups overflow to infinities
+    on astronomically scaled costs well before any budget is spent. *)

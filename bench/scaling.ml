@@ -86,8 +86,13 @@ let all () =
     List.init 16 (fun k -> 1.0 /. (3.0 +. (float_of_int k *. (5.0 /. 15.0))))
   in
   let sol = Optimize.solve ~weight:1.0 sys in
+  (* Cache capacity 0 for the timed region: with memoization on, every
+     domain count after the first would be served from the cache and
+     the scaling curve would measure nothing. *)
   run_workload ~name:"rate_sweep" ~items:(List.length rates) (fun d ->
-      List.map
-        (fun (p : Sensitivity.point) -> (p.Sensitivity.rate, p.Sensitivity.objective, p.Sensitivity.regret))
-        (Sensitivity.rate_sweep ~domains:d sys ~actions:sol.Optimize.actions
-           ~weight:1.0 ~rates))
+      Dpm_cache.Solve_cache.with_capacity 0 (fun () ->
+          List.map
+            (fun (p : Sensitivity.point) ->
+              (p.Sensitivity.rate, p.Sensitivity.objective, p.Sensitivity.regret))
+            (Sensitivity.rate_sweep ~domains:d sys
+               ~actions:sol.Optimize.actions ~weight:1.0 ~rates)))

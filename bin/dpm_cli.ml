@@ -60,6 +60,25 @@ let apply_domains = function
       prerr_endline (Printf.sprintf "--domains must be >= 1, got %d" d);
       exit 1
 
+(* Global cache knob: capacity of the Dpm_cache solver-result cache
+   shared by every solve of the command (sweeps hit it on repeated or
+   structurally identical grid points). *)
+let cache_arg =
+  let doc =
+    "Capacity of the policy-iteration result cache, in entries.  Repeated \
+     solves of a structurally identical model (same states, actions, rates, \
+     costs) are served from the cache.  $(b,0) disables caching.  Defaults \
+     to $(b,DPM_CACHE) or 512."
+  in
+  Arg.(value & opt (some int) None & info [ "cache" ] ~docv:"N" ~doc)
+
+let apply_cache = function
+  | None -> ()
+  | Some c when c >= 0 -> Dpm_cache.Solve_cache.set_capacity c
+  | Some c ->
+      prerr_endline (Printf.sprintf "--cache must be >= 0, got %d" c);
+      exit 1
+
 (* Global observability flag: when given, a Dpm_obs registry is active
    for the whole command (solver iterations, LU factorizations,
    simulator event throughput, spans) and is rendered after the
@@ -102,15 +121,18 @@ let with_metrics format run =
           Dpm_obs.Probe.set_active (Some registry);
           run ())
 
-(* Every command takes the (metrics, domains) pair through one term so
-   the observability registry and the domain pool are set up the same
-   way everywhere. *)
-let with_runtime (metrics, domains) run =
+(* Every command takes the (metrics, domains, cache) triple through one
+   term so the observability registry, the domain pool, and the solver
+   cache are set up the same way everywhere. *)
+let with_runtime (metrics, domains, cache) run =
   apply_domains domains;
+  apply_cache cache;
   with_metrics metrics run
 
 let runtime_args =
-  Term.(const (fun metrics domains -> (metrics, domains)) $ metrics_arg $ domains_arg)
+  Term.(
+    const (fun metrics domains cache -> (metrics, domains, cache))
+    $ metrics_arg $ domains_arg $ cache_arg)
 
 let build_system device rate capacity =
   match Presets.find device with
@@ -287,29 +309,84 @@ let solve_cmd =
 
 (* --- sweep ----------------------------------------------------------- *)
 
+let weights_arg =
+  let doc =
+    "Comma-separated weight ladder to sweep instead of the default 20-point \
+     geometric ladder from 0.1 to 500.  Repeated weights are legal and hit \
+     the solver cache (see $(b,--cache-stats))."
+  in
+  Arg.(
+    value
+    & opt (some (list float)) None
+    & info [ "weights" ] ~docv:"W1,W2,..." ~doc)
+
+let cache_stats_arg =
+  let doc =
+    "After the CSV, print the solver-cache counters (hits, misses, \
+     evictions, hit ratio) on stderr."
+  in
+  Arg.(value & flag & info [ "cache-stats" ] ~doc)
+
 let sweep_cmd =
-  let run runtime device rate capacity no_validate =
+  let run runtime device rate capacity no_validate weights deadline cache_stats
+      =
     with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     validate_or_die sys ~no_validate;
-    (* Per-point failure containment: a failed grid point is reported
-       on stderr and dropped from the CSV; the rest of the frontier
-       still prints.  Only a fully failed sweep is fatal. *)
-    let results = Optimize.sweep_r sys ~weights:Optimize.default_weights in
+    let weights = Option.value weights ~default:Optimize.default_weights in
+    let guard = Dpm_robust.Guard.of_deadline deadline in
+    (* Per-point failure containment: failed grid points are dropped
+       from the CSV; the rest of the frontier still prints.  Only a
+       fully failed sweep is fatal. *)
+    let results = Optimize.sweep_r ~guard sys ~weights in
     let ok =
+      List.filter_map (fun (_, r) -> Result.to_option r) results
+    in
+    let failures =
       List.filter_map
-        (fun (w, r) ->
-          match r with
-          | Ok sol -> Some sol
-          | Error exn ->
-              Format.eprintf "# weight %g failed: %s@." w
-                (Printexc.to_string exn);
-              None)
+        (fun (w, r) -> match r with Error exn -> Some (w, exn) | Ok _ -> None)
         results
+    in
+    (* Each distinct failure is emitted exactly once, with every weight
+       it hit — a deadline tripping mid-grid fails all remaining points
+       with the same error and must not repeat per point.  Deadline
+       signals are grouped by budget (their elapsed field necessarily
+       differs per point). *)
+    let failure_label = function
+      | Dpm_robust.Error.Deadline_signal { budget_s; _ } ->
+          Printf.sprintf "deadline of %gs exceeded" budget_s
+      | exn -> Printexc.to_string exn
+    in
+    let groups =
+      List.fold_left
+        (fun acc (w, exn) ->
+          let msg = failure_label exn in
+          match List.assoc_opt msg acc with
+          | Some ws ->
+              ws := w :: !ws;
+              acc
+          | None -> acc @ [ (msg, ref [ w ]) ])
+        [] failures
+    in
+    List.iter
+      (fun (msg, ws) ->
+        let ws = List.rev !ws in
+        Format.eprintf "# %d weight%s failed (%s): %s@." (List.length ws)
+          (if List.length ws = 1 then "" else "s")
+          (String.concat ", " (List.map (Printf.sprintf "%g") ws))
+          msg)
+      groups;
+    let deadline_hit =
+      List.exists
+        (fun (_, exn) ->
+          match exn with
+          | Dpm_robust.Error.Deadline_signal _ -> true
+          | _ -> false)
+        failures
     in
     if ok = [] then begin
       prerr_endline "sweep: every grid point failed";
-      exit 1
+      exit (if deadline_hit then 3 else 1)
     end;
     Printf.printf "weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
     List.iter
@@ -318,14 +395,23 @@ let sweep_cmd =
         Printf.printf "%g,%.6f,%.6f,%.6f,%.8f\n" sol.Optimize.weight
           m.Analytic.power m.Analytic.avg_waiting_requests
           m.Analytic.avg_waiting_time m.Analytic.loss_probability)
-      (Optimize.pareto ok)
+      (Optimize.pareto ok);
+    if cache_stats then begin
+      let s = Dpm_cache.Solve_cache.stats () in
+      Format.eprintf
+        "# cache: capacity=%d size=%d hits=%d misses=%d evictions=%d \
+         hit_ratio=%.3f@."
+        s.Dpm_cache.Lru.capacity s.Dpm_cache.Lru.size s.Dpm_cache.Lru.hits
+        s.Dpm_cache.Lru.misses s.Dpm_cache.Lru.evictions
+        (Dpm_cache.Solve_cache.hit_ratio ())
+    end
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Trace the Pareto power/delay curve over a weight ladder (CSV).")
     Term.(
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
-      $ no_validate_arg)
+      $ no_validate_arg $ weights_arg $ deadline_arg $ cache_stats_arg)
 
 (* --- constrained ------------------------------------------------------ *)
 

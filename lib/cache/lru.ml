@@ -1,0 +1,100 @@
+type 'v node = { value : 'v; mutable last_used : int }
+
+type 'v t = {
+  cap : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutex : Mutex.t;
+}
+
+type stats = {
+  capacity : int;
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mutex = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let capacity t = t.cap
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.tick <- t.tick + 1;
+      node.last_used <- t.tick;
+      t.hits <- t.hits + 1;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key node acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= node.last_used -> acc
+        | _ -> Some (key, node.last_used))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      true
+  | None -> false
+
+let add t key value =
+  if t.cap = 0 then false
+  else
+    locked t @@ fun () ->
+    t.tick <- t.tick + 1;
+    match Hashtbl.find_opt t.table key with
+    | Some _ ->
+        Hashtbl.replace t.table key { value; last_used = t.tick };
+        false
+    | None ->
+        let evicted =
+          if Hashtbl.length t.table >= t.cap then evict_lru t else false
+        in
+        Hashtbl.replace t.table key { value; last_used = t.tick };
+        evicted
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    capacity = t.cap;
+    size = Hashtbl.length t.table;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }
+
+let clear t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.table;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,40 @@
+(** A mutex-guarded, string-keyed LRU map.
+
+    The cache the solver layer needs is small (hundreds of entries)
+    and contended only at grid-point granularity, so the
+    implementation favors simplicity: a hash table of entries stamped
+    with a logical clock, eviction by linear scan for the least
+    recently used stamp.  Every operation takes the internal mutex,
+    so a single instance can be shared by all {!Dpm_par} domains. *)
+
+type 'v t
+
+type stats = {
+  capacity : int;
+  size : int;  (** live entries *)
+  hits : int;  (** [find] calls that returned an entry *)
+  misses : int;  (** [find] calls that returned nothing *)
+  evictions : int;  (** entries displaced by [add] at capacity *)
+}
+
+val create : capacity:int -> 'v t
+(** A fresh cache holding at most [capacity] entries.  Capacity 0 is
+    legal and means "always miss, never store".  Raises
+    [Invalid_argument] for negative capacities. *)
+
+val capacity : 'v t -> int
+val length : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Look up a key, refreshing its recency on a hit and counting the
+    outcome either way. *)
+
+val add : 'v t -> string -> 'v -> bool
+(** Insert (or refresh) a binding, evicting the least recently used
+    entry when at capacity.  Returns [true] iff an eviction happened.
+    At capacity 0 this is a no-op returning [false]. *)
+
+val stats : 'v t -> stats
+
+val clear : 'v t -> unit
+(** Drop all entries and reset the counters. *)

@@ -6,54 +6,109 @@ type solution = {
   metrics : Analytic.metrics;
 }
 
-let solve ?(weight = 0.0) ?guard sys =
+let solve ?(weight = 0.0) ?init_actions ?guard sys =
   let model = Sys_model.to_ctmdp sys ~weight in
-  let solve_from init =
-    let result = Dpm_ctmdp.Policy_iteration.solve ?init ?guard model in
-    let actions =
-      Dpm_ctmdp.Policy.actions model result.Dpm_ctmdp.Policy_iteration.policy
-    in
-    (result, actions)
-  in
-  let result, actions = solve_from None in
-  let result, actions, metrics =
-    match Analytic.of_action_array sys actions with
-    | metrics -> (result, actions, metrics)
-    | exception Dpm_ctmc.Steady_state.Not_irreducible _ ->
-        (* The converged policy can be multichain only on exact ties
-           between self-sufficient orbits (e.g. two identical active
-           speeds).  Restart policy iteration from the greedy policy,
-           whose orbit structure is connected, to break the tie. *)
-        let greedy =
-          Policies.to_ctmdp_policy sys model (Policies.greedy sys)
+  match Dpm_cache.Solve_cache.find model with
+  | Some result ->
+      let actions =
+        Dpm_ctmdp.Policy.actions model result.Dpm_ctmdp.Policy_iteration.policy
+      in
+      {
+        weight;
+        actions;
+        gain = result.Dpm_ctmdp.Policy_iteration.gain;
+        iterations = result.Dpm_ctmdp.Policy_iteration.iterations;
+        metrics = Analytic.of_action_array sys actions;
+      }
+  | None ->
+      let solve_from init =
+        let result = Dpm_ctmdp.Policy_iteration.solve ?init ?guard model in
+        let actions =
+          Dpm_ctmdp.Policy.actions model
+            result.Dpm_ctmdp.Policy_iteration.policy
         in
-        let result, actions = solve_from (Some greedy) in
-        (result, actions, Analytic.of_action_array sys actions)
-  in
-  {
-    weight;
-    actions;
-    gain = result.Dpm_ctmdp.Policy_iteration.gain;
-    iterations = result.Dpm_ctmdp.Policy_iteration.iterations;
-    metrics;
-  }
+        (result, actions)
+      in
+      let init =
+        match init_actions with
+        | None -> None
+        | Some actions -> Dpm_cache.Warm.init_of_actions model actions
+      in
+      let result, actions = solve_from init in
+      let result, actions, metrics =
+        match Analytic.of_action_array sys actions with
+        | metrics -> (result, actions, metrics)
+        | exception Dpm_ctmc.Steady_state.Not_irreducible _ ->
+            (* The converged policy can be multichain only on exact ties
+               between self-sufficient orbits (e.g. two identical active
+               speeds).  Restart policy iteration from the greedy policy,
+               whose orbit structure is connected, to break the tie. *)
+            let greedy =
+              Policies.to_ctmdp_policy sys model (Policies.greedy sys)
+            in
+            let result, actions = solve_from (Some greedy) in
+            (result, actions, Analytic.of_action_array sys actions)
+      in
+      (* Store only the post-retry result: the cache must never serve a
+         multichain tie that the retry just worked around. *)
+      Dpm_cache.Solve_cache.store model result;
+      {
+        weight;
+        actions;
+        gain = result.Dpm_ctmdp.Policy_iteration.gain;
+        iterations = result.Dpm_ctmdp.Policy_iteration.iterations;
+        metrics;
+      }
 
 let action_of sys solution x = solution.actions.(Sys_model.index sys x)
 
-let sweep_r ?domains ?guard sys ~weights =
-  (* One independent policy-iteration solve per weight; the pool keeps
-     the returned list in [weights] order at any domain count.  Each
-     grid point is fenced: a poisoned weight yields an [Error] slot
-     while every other point still solves. *)
+let sweep_r ?domains ?guard ?(warm = true) sys ~weights =
+  (* One policy-iteration solve per weight, fenced per grid point: a
+     poisoned weight yields an [Error] slot while every other point
+     still solves.  With [warm] (the default) points run in the
+     {!Dpm_cache.Warm.waves} schedule, each seeded by an
+     already-solved point's policy — the schedule and every seed are
+     functions of the grid size alone, so results (iteration counts
+     included) are identical at any domain count, and a failed or
+     invalid seed just degrades that point to a cold start. *)
+  let ws = Array.of_list weights in
+  let n = Array.length ws in
+  let results = Array.make n None in
+  let solve_point (k, src) =
+    let init_actions =
+      match src with
+      | None -> None
+      | Some j -> (
+          match results.(j) with
+          | Some (Ok s) -> Some s.actions
+          | Some (Error _) | None -> None)
+    in
+    solve ~weight:ws.(k) ?init_actions ?guard sys
+  in
+  let schedule =
+    if warm then Dpm_cache.Warm.waves n
+    else if n = 0 then []
+    else [ Array.init n (fun k -> (k, None)) ]
+  in
+  List.iter
+    (fun wave ->
+      let out = Dpm_par.parallel_map_result ?domains solve_point wave in
+      Array.iteri
+        (fun slot r ->
+          let k, _ = wave.(slot) in
+          results.(k) <- Some r)
+        out)
+    schedule;
   List.combine weights
-    (Dpm_par.parallel_map_result_list ?domains
-       (fun weight -> solve ~weight ?guard sys)
-       weights)
+    (Array.to_list
+       (Array.map
+          (function Some r -> r | None -> assert false)
+          results))
 
-let sweep ?domains sys ~weights =
+let sweep ?domains ?warm sys ~weights =
   List.map
     (fun (_, r) -> match r with Ok s -> s | Error exn -> raise exn)
-    (sweep_r ?domains sys ~weights)
+    (sweep_r ?domains ?warm sys ~weights)
 
 let default_weights =
   let lo = 0.1 and hi = 500.0 and n = 20 in

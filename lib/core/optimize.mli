@@ -17,13 +17,28 @@ type solution = {
   metrics : Analytic.metrics;  (** analytic metrics of the policy *)
 }
 
-val solve : ?weight:float -> ?guard:(unit -> unit) -> Sys_model.t -> solution
+val solve :
+  ?weight:float ->
+  ?init_actions:int array ->
+  ?guard:(unit -> unit) ->
+  Sys_model.t ->
+  solution
 (** [solve sys ~weight] minimizes
     [C_pow + weight * C_sq] (default weight 0, pure power).  The
     reported [gain] is the weighted objective; [metrics] carries the
     separated power and delay terms.  [guard] (default no-op) is
     threaded into the policy-iteration loop and may raise to abort —
-    the [Dpm_robust] deadline hook. *)
+    the [Dpm_robust] deadline hook.
+
+    Results are memoized in {!Dpm_cache.Solve_cache} (keyed on the
+    built CTMDP's structural fingerprint); a repeat solve of the same
+    system and weight returns the cached policy, gain, and iteration
+    count, with the analytic metrics recomputed.  Only post-retry
+    results are stored, so the multichain tie-breaking below is never
+    bypassed.  [init_actions] (e.g. a neighboring grid point's
+    [actions]) warm-starts policy iteration; an action table that is
+    the wrong size or requests a label some state lacks falls back to
+    a cold start ({!Dpm_cache.Warm.init_of_actions}). *)
 
 val action_of : Sys_model.t -> solution -> Sys_model.state -> int
 (** Read a solution as a policy function. *)
@@ -31,6 +46,7 @@ val action_of : Sys_model.t -> solution -> Sys_model.state -> int
 val sweep_r :
   ?domains:int ->
   ?guard:(unit -> unit) ->
+  ?warm:bool ->
   Sys_model.t ->
   weights:float list ->
   (float * (solution, exn) result) list
@@ -42,9 +58,22 @@ val sweep_r :
     counter (via {!Dpm_par.parallel_map_result}).  Weights are solved
     on the {!Dpm_par} pool ([domains] defaults to
     {!Dpm_par.default_domains}); the result order and every solution
-    are identical whatever the domain count. *)
+    are identical whatever the domain count.
 
-val sweep : ?domains:int -> Sys_model.t -> weights:float list -> solution list
+    [warm] (default [true]) runs the grid in the deterministic
+    {!Dpm_cache.Warm.waves} schedule, warm-starting each point from
+    an already-solved neighbor's policy — typically halving the total
+    policy-iteration count of a sweep.  The schedule depends only on
+    the grid size, never on the domain count, so determinism is
+    preserved; a failed or invalid seed degrades that point to a cold
+    start.  [~warm:false] restores fully independent cold solves. *)
+
+val sweep :
+  ?domains:int ->
+  ?warm:bool ->
+  Sys_model.t ->
+  weights:float list ->
+  solution list
 (** [sweep sys ~weights] is {!sweep_r} with failures re-raised: the
     exception of the {e earliest} failing weight propagates (after
     all other points finished).  Figure 4 uses a geometric ladder of

@@ -9,13 +9,25 @@ type point = {
 let objective_of ~weight (m : Analytic.metrics) =
   m.Analytic.power +. (weight *. m.Analytic.avg_waiting_requests)
 
-let point_at sys ~actions ~weight rate =
+(* Returns the sensitivity point plus the re-optimized policy's action
+   table, so sweeps can warm-start neighboring rates from it. *)
+let point_at_warm sys ~actions ~weight ?init_actions rate =
   let sys' = Sys_model.with_arrival_rate sys rate in
   let metrics = Analytic.of_action_array sys' actions in
   let objective = objective_of ~weight metrics in
-  let optimal = Optimize.solve ~weight sys' in
+  let optimal = Optimize.solve ~weight ?init_actions sys' in
   let optimal_objective = objective_of ~weight optimal.Optimize.metrics in
-  { rate; metrics; objective; optimal_objective; regret = objective -. optimal_objective }
+  ( {
+      rate;
+      metrics;
+      objective;
+      optimal_objective;
+      regret = objective -. optimal_objective;
+    },
+    optimal.Optimize.actions )
+
+let point_at sys ~actions ~weight rate =
+  fst (point_at_warm sys ~actions ~weight rate)
 
 let check_sweep_args sys ~actions ~rates =
   if Array.length actions <> Sys_model.num_states sys then
@@ -26,21 +38,57 @@ let check_sweep_args sys ~actions ~rates =
         invalid_arg "Sensitivity.rate_sweep: rates must be positive")
     rates
 
-let rate_sweep_r ?domains sys ~actions ~weight ~rates =
+let rate_sweep_r ?domains ?(warm = true) sys ~actions ~weight ~rates =
   check_sweep_args sys ~actions ~rates;
-  (* Each grid point re-solves the CTMDP from scratch — embarrassingly
-     parallel, order-deterministic, and fenced per point: one poisoned
-     rate becomes an [Error] slot, the rest of the grid survives. *)
+  (* Each grid point re-solves the CTMDP — order-deterministic and
+     fenced per point: one poisoned rate becomes an [Error] slot, the
+     rest of the grid survives.  With [warm] (the default) the grid
+     runs in the {!Dpm_cache.Warm.waves} schedule and each point's
+     re-optimization is seeded by an already-solved neighbor's policy;
+     the schedule depends only on the grid size, so results are
+     identical at any domain count. *)
+  let rs = Array.of_list rates in
+  let n = Array.length rs in
+  let results = Array.make n None in
+  let solve_point (k, src) =
+    let init_actions =
+      match src with
+      | None -> None
+      | Some j -> (
+          match results.(j) with
+          | Some (Ok (_, opt_actions)) -> Some opt_actions
+          | Some (Error _) | None -> None)
+    in
+    point_at_warm sys ~actions ~weight ?init_actions rs.(k)
+  in
+  let schedule =
+    if warm then Dpm_cache.Warm.waves n
+    else if n = 0 then []
+    else [ Array.init n (fun k -> (k, None)) ]
+  in
+  List.iter
+    (fun wave ->
+      let out = Dpm_par.parallel_map_result ?domains solve_point wave in
+      Array.iteri
+        (fun slot r ->
+          let k, _ = wave.(slot) in
+          results.(k) <- Some r)
+        out)
+    schedule;
   List.combine rates
-    (Dpm_par.parallel_map_result_list ?domains
-       (point_at sys ~actions ~weight)
-       rates)
+    (Array.to_list
+       (Array.map
+          (function
+            | Some (Ok (point, _)) -> Ok point
+            | Some (Error exn) -> Error exn
+            | None -> assert false)
+          results))
 
-let rate_sweep ?domains sys ~actions ~weight ~rates =
+let rate_sweep ?domains ?warm sys ~actions ~weight ~rates =
   check_sweep_args sys ~actions ~rates;
   List.map
     (fun (_, r) -> match r with Ok p -> p | Error exn -> raise exn)
-    (rate_sweep_r ?domains sys ~actions ~weight ~rates)
+    (rate_sweep_r ?domains ?warm sys ~actions ~weight ~rates)
 
 let mismatch_regret sys ~weight ~design_rate ~true_rate =
   let design_sys = Sys_model.with_arrival_rate sys design_rate in

@@ -20,6 +20,7 @@ type point = {
 
 val rate_sweep_r :
   ?domains:int ->
+  ?warm:bool ->
   Sys_model.t ->
   actions:int array ->
   weight:float ->
@@ -35,12 +36,17 @@ val rate_sweep_r :
     carried over by state (the state space does not depend on the
     rate).  Grid points are solved on the {!Dpm_par} pool ([domains]
     defaults to {!Dpm_par.default_domains}); results come back in
-    [rates] order regardless of the domain count.  Raises
-    [Invalid_argument] on a wrong-sized action table or nonpositive
-    rates. *)
+    [rates] order regardless of the domain count.  [warm] (default
+    [true]) runs the grid in the {!Dpm_cache.Warm.waves} schedule and
+    seeds each point's re-optimization with an already-solved
+    neighbor's policy — the schedule is a function of the grid size
+    only, so results stay domain-count-invariant; [~warm:false]
+    restores independent cold solves.  Raises [Invalid_argument] on a
+    wrong-sized action table or nonpositive rates. *)
 
 val rate_sweep :
   ?domains:int ->
+  ?warm:bool ->
   Sys_model.t ->
   actions:int array ->
   weight:float ->

@@ -9,7 +9,8 @@ type result = {
   converged : bool;
 }
 
-let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) ?(guard = fun () -> ()) m =
+let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) ?init_values
+    ?(guard = fun () -> ()) m =
   Dpm_obs.Span.with_ "value_iteration" @@ fun () ->
   let n = Model.num_states m in
   let u = Model.max_exit_rate m in
@@ -24,7 +25,26 @@ let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) ?(guard = fun () -> ()) m =
       ((c.Model.cost /. lam) +. v.(i))
       c.Model.rates
   in
-  let v = ref (Vec.create n) in
+  let v =
+    ref
+      (match init_values with
+      | None -> Vec.create n
+      | Some v0 ->
+          if Vec.dim v0 <> n then
+            invalid_arg "Value_iteration.solve: init_values dimension mismatch";
+          Array.iter
+            (fun x ->
+              if not (Float.is_finite x) then
+                invalid_arg
+                  "Value_iteration.solve: init_values must be finite")
+            v0;
+          Dpm_obs.Probe.incr "value_iteration.warm_starts";
+          (* Re-center on state 0 exactly as every sweep below does, so
+             a warm start only shifts the starting point of the span
+             contraction, never the invariant. *)
+          let offset = v0.(0) in
+          Vec.init n (fun i -> v0.(i) -. offset))
+  in
   let iterations = ref 0 in
   let lower = ref neg_infinity and upper = ref infinity in
   let converged = ref false in

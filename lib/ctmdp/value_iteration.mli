@@ -23,11 +23,22 @@ type result = {
 }
 
 val solve :
-  ?tol:float -> ?max_iter:int -> ?guard:(unit -> unit) -> Model.t -> result
+  ?tol:float ->
+  ?max_iter:int ->
+  ?init_values:Vec.t ->
+  ?guard:(unit -> unit) ->
+  Model.t ->
+  result
 (** [solve m] iterates until the span of the value difference
     [v_{k+1} - v_k] falls below [tol] (default 1e-9) or [max_iter]
     (default 1e6) sweeps are spent.  The optimal gain lies in
     [[gain_lower, gain_upper]] (standard span bounds, scaled back to
     continuous time); the returned policy is greedy with respect to
-    the final values.  [guard] (default no-op) is invoked before each
-    sweep and may raise to abort — the [Dpm_robust] deadline hook. *)
+    the final values.  [init_values] (default all zeros) warm-starts
+    the sweep — e.g. with the [values] of a neighboring instance's
+    result, which cuts iterations without changing the fixed point;
+    it is re-centered on state 0 on entry and must be finite and of
+    the model's dimension ([Invalid_argument] otherwise; counted on
+    the [value_iteration.warm_starts] probe).  [guard] (default
+    no-op) is invoked before each sweep and may raise to abort — the
+    [Dpm_robust] deadline hook. *)

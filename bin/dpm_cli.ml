@@ -9,6 +9,8 @@
      dpm_cli sweep       -- trace the power/delay trade-off as CSV
      dpm_cli constrained -- minimum power under a delay bound
      dpm_cli simulate    -- event-driven simulation of a controller
+     dpm_cli adapt       -- adaptive vs static vs oracle on a drifting
+                            workload (online re-optimization)
      dpm_cli dot         -- DOT graphs of the SP / SQ / SYS chains
                             (regenerates Figures 1 and 2 of the paper) *)
 
@@ -483,43 +485,9 @@ let constrained_cmd =
 
 (* --- simulate ---------------------------------------------------------- *)
 
-let workload_of_spec rate spec =
-  match String.split_on_char ':' spec with
-  | [ "poisson" ] -> Ok (Dpm_sim.Workload.poisson ~rate)
-  | [ "mmpp"; r1; r2; sw ] -> (
-      match
-        (float_of_string_opt r1, float_of_string_opt r2, float_of_string_opt sw)
-      with
-      | Some r1, Some r2, Some sw when r1 > 0.0 && r2 > 0.0 && sw > 0.0 ->
-          Ok
-            (Dpm_sim.Workload.mmpp ~rates:[| r1; r2 |]
-               ~switch_rate:[| [| 0.0; sw |]; [| sw; 0.0 |] |])
-      | _ -> Error (Printf.sprintf "bad mmpp spec %S (mmpp:<r1>:<r2>:<switch>)" spec))
-  | [ "trace-file"; path ] -> (
-      try
-        let ic = open_in path in
-        let rec read acc =
-          match input_line ic with
-          | line -> (
-              let line = String.trim line in
-              if line = "" || line.[0] = '#' then read acc
-              else
-                match float_of_string_opt line with
-                | Some t -> read (t :: acc)
-                | None -> Error (Printf.sprintf "bad timestamp %S in %s" line path))
-          | exception End_of_file -> Ok (List.rev acc)
-        in
-        let r = read [] in
-        close_in ic;
-        match r with
-        | Ok times -> Ok (Dpm_sim.Workload.trace times)
-        | Error e -> Error e
-      with Sys_error e -> Error e)
-  | _ ->
-      Error
-        (Printf.sprintf
-           "unknown workload %S (try: poisson, mmpp:<r1>:<r2>:<switch>,             trace-file:<path>)"
-           spec)
+(* The grammar lives next to the workload constructors so the CLI, the
+   adapt harness, and the tests all parse the same specs. *)
+let workload_of_spec rate spec = Dpm_sim.Workload.of_spec ~rate spec
 
 let controller_of_spec sys spec =
   let fail () =
@@ -561,7 +529,11 @@ let simulate_cmd =
   in
   let workload_arg =
     let doc =
-      "Workload: poisson (at --rate), mmpp:<r1>:<r2>:<switch>, or        trace-file:<path> (one absolute arrival time per line)."
+      "Workload: poisson (at --rate), \
+       piecewise:<r1>@<t1>,...,<r_final> (rate r1 until time t1, ..., \
+       then r_final), mmpp:<r1>:<r2>:<switch>, trace-file:<path> (one \
+       absolute arrival time per line), or intervals-file:<path> (one \
+       inter-arrival gap per line)."
     in
     Arg.(value & opt string "poisson" & info [ "workload" ] ~docv:"W" ~doc)
   in
@@ -654,6 +626,81 @@ let simulate_cmd =
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ controller_arg $ workload_arg $ requests_arg $ seed_arg
       $ replications_arg $ trace_arg)
+
+(* --- adapt -------------------------------------------------------------- *)
+
+let adapt_cmd =
+  let segments_arg =
+    let doc =
+      "Drifting workload: comma-separated RATE@UNTIL entries (rate until \
+       that time) closed by a bare final RATE, e.g. \
+       $(b,0.083@4000,0.333@8000,0.125)."
+    in
+    Arg.(
+      value
+      & opt string "0.0833@4000,0.3333@8000,0.125"
+      & info [ "segments" ] ~docv:"SPEC" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Simulated seconds per run." in
+    Arg.(value & opt float 12_000.0 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+  in
+  let window_arg =
+    let doc = "Sliding window of the arrival-rate estimator, in gaps." in
+    Arg.(value & opt int 50 & info [ "window" ] ~docv:"GAPS" ~doc)
+  in
+  let cooldown_arg =
+    let doc = "Minimum simulated seconds between re-solve attempts." in
+    Arg.(value & opt float 150.0 & info [ "cooldown" ] ~docv:"SECONDS" ~doc)
+  in
+  let resolve_deadline_arg =
+    let doc =
+      "Wall-clock budget per online re-solve, in seconds.  An expired \
+       budget counts as a failed attempt and the incumbent policy stays \
+       deployed (the run continues)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "resolve-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let run runtime device rate capacity weight segments_spec horizon window
+      cooldown deadline_s seed =
+    with_runtime runtime @@ fun () ->
+    let sys = or_die (build_system device rate capacity) in
+    let segments, final_rate =
+      or_die (Dpm_sim.Workload.segments_of_spec segments_spec)
+    in
+    let c =
+      Dpm_adapt.Harness.compare ~seed:(Int64.of_int seed) ~weight ~window
+        ~cooldown ?deadline_s ~sys ~segments ~final_rate ~horizon ()
+    in
+    Format.printf "%a@." Dpm_adapt.Harness.pp c;
+    Format.printf "@.per-segment (adaptive):@.";
+    Format.printf "%-24s %10s %10s %8s@." "segment" "power(W)" "E[queue]"
+      "lost";
+    Array.iter
+      (fun (s : Dpm_sim.Power_sim.segment) ->
+        if s.Dpm_sim.Power_sim.seg_end > s.Dpm_sim.Power_sim.seg_start then
+          Format.printf "%-24s %10.4f %10.4f %8d@."
+            (Printf.sprintf "[%g, %g)" s.Dpm_sim.Power_sim.seg_start
+               s.Dpm_sim.Power_sim.seg_end)
+            s.Dpm_sim.Power_sim.seg_power
+            s.Dpm_sim.Power_sim.seg_waiting_requests
+            s.Dpm_sim.Power_sim.seg_lost)
+      c.Dpm_adapt.Harness.adaptive.Dpm_adapt.Harness.result
+        .Dpm_sim.Power_sim.segments
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Compare the online-adaptive power manager against the static \
+          optimum, the per-segment oracle, and the heuristics on a drifting \
+          workload.")
+    Term.(
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
+      $ weight_arg $ segments_arg $ horizon_arg $ window_arg $ cooldown_arg
+      $ resolve_deadline_arg $ seed_arg)
 
 (* --- dot --------------------------------------------------------------- *)
 
@@ -799,6 +846,7 @@ let () =
             sweep_cmd;
             constrained_cmd;
             simulate_cmd;
+            adapt_cmd;
             dot_cmd;
             report_cmd;
           ]))

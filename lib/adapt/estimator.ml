@@ -1,0 +1,129 @@
+type kind =
+  | Window of { gaps : float array; mutable filled : int; mutable next : int }
+  | Ewma of {
+      alpha : float;
+      mutable mean : float;
+      mutable sq_mean : float;
+    }
+
+type t = {
+  kind : kind;
+  z : float;
+  mutable last_arrival : float option;
+  mutable total : int;
+}
+
+let default_z = 1.959964
+
+let sliding_window ?(z = default_z) ~window () =
+  if window < 2 then invalid_arg "Estimator.sliding_window: window must be >= 2";
+  if z <= 0.0 || not (Float.is_finite z) then
+    invalid_arg "Estimator.sliding_window: z must be positive and finite";
+  {
+    kind = Window { gaps = Array.make window 0.0; filled = 0; next = 0 };
+    z;
+    last_arrival = None;
+    total = 0;
+  }
+
+let ewma ?(z = default_z) ~alpha () =
+  if alpha <= 0.0 || alpha >= 1.0 then
+    invalid_arg "Estimator.ewma: alpha must be in (0, 1)";
+  if z <= 0.0 || not (Float.is_finite z) then
+    invalid_arg "Estimator.ewma: z must be positive and finite";
+  {
+    kind = Ewma { alpha; mean = 0.0; sq_mean = 0.0 };
+    z;
+    last_arrival = None;
+    total = 0;
+  }
+
+let observe_gap t gap =
+  if gap <= 0.0 || not (Float.is_finite gap) then ()
+  else begin
+    t.total <- t.total + 1;
+    match t.kind with
+    | Window w ->
+        w.gaps.(w.next) <- gap;
+        w.next <- (w.next + 1) mod Array.length w.gaps;
+        if w.filled < Array.length w.gaps then w.filled <- w.filled + 1
+    | Ewma e ->
+        if t.total = 1 then begin
+          (* Seed with the first gap so the estimate does not drag a
+             zero initial value through the warm-up. *)
+          e.mean <- gap;
+          e.sq_mean <- gap *. gap
+        end
+        else begin
+          e.mean <- ((1.0 -. e.alpha) *. e.mean) +. (e.alpha *. gap);
+          e.sq_mean <- ((1.0 -. e.alpha) *. e.sq_mean) +. (e.alpha *. gap *. gap)
+        end
+  end
+
+let observe_arrival t ~now =
+  (match t.last_arrival with
+  | Some prev -> observe_gap t (now -. prev)
+  | None -> ());
+  t.last_arrival <- Some now
+
+let observations t = t.total
+
+(* Mean gap, standard error of the mean gap, and the sample count the
+   error is based on.  [None] until two gaps have been seen. *)
+let gap_stats t =
+  if t.total < 2 then None
+  else
+    match t.kind with
+    | Window w ->
+        let n = w.filled in
+        if n < 2 then None
+        else begin
+          let sum = ref 0.0 in
+          for i = 0 to n - 1 do
+            sum := !sum +. w.gaps.(i)
+          done;
+          let mean = !sum /. float_of_int n in
+          let ss = ref 0.0 in
+          for i = 0 to n - 1 do
+            let d = w.gaps.(i) -. mean in
+            ss := !ss +. (d *. d)
+          done;
+          let var = !ss /. float_of_int (n - 1) in
+          Some (mean, sqrt (var /. float_of_int n), n)
+        end
+    | Ewma e ->
+        let var = Float.max 0.0 (e.sq_mean -. (e.mean *. e.mean)) in
+        (* Effective sample size of an exponential window, capped by
+           the number of gaps actually folded in. *)
+        let n_eff =
+          Float.min (float_of_int t.total) ((2.0 -. e.alpha) /. e.alpha)
+        in
+        Some (e.mean, sqrt (var /. n_eff), t.total)
+
+let rate t =
+  match t.kind with
+  | Window w ->
+      if w.filled = 0 then None
+      else begin
+        let n = w.filled in
+        let sum = ref 0.0 in
+        for i = 0 to n - 1 do
+          sum := !sum +. w.gaps.(i)
+        done;
+        let mean = !sum /. float_of_int n in
+        if mean > 0.0 then Some (1.0 /. mean) else None
+      end
+  | Ewma e -> if t.total > 0 && e.mean > 0.0 then Some (1.0 /. e.mean) else None
+
+let band t =
+  match gap_stats t with
+  | None -> None
+  | Some (mean, se, _n) ->
+      if mean <= 0.0 then None
+      else begin
+        let half = t.z *. se in
+        let lo_gap = mean -. half and hi_gap = mean +. half in
+        let lo_rate = 1.0 /. hi_gap in
+        let hi_rate = if lo_gap <= 0.0 then infinity else 1.0 /. lo_gap in
+        Some (lo_rate, hi_rate)
+      end

@@ -1,0 +1,58 @@
+(** Online arrival-rate estimation.
+
+    The paper (Section III) notes that a power manager facing a
+    slowly varying workload can estimate the input rate online and
+    re-derive its policy; this module is that estimator.  It watches
+    the inter-arrival {e gaps} of the request stream and maintains a
+    running mean with a confidence band, either over a sliding window
+    (bounded memory, abrupt forgetting) or as an EWMA (exponential
+    forgetting).
+
+    Rates are estimated through the gap mean: the band on the mean
+    gap [m +/- z * se] is inverted to a rate band
+    [(1/(m + z*se), 1/(m - z*se))], which is exact for the question
+    the adaptive controller asks ("is the deployed rate plausible?")
+    and avoids the bias of averaging reciprocal gaps. *)
+
+type t
+(** A stateful estimator.  Not thread-safe: each simulation run must
+    own its estimator (the same discipline as {!Dpm_sim.Controller}). *)
+
+val sliding_window : ?z:float -> window:int -> unit -> t
+(** [sliding_window ~window ()] keeps the last [window] gaps (>= 2)
+    and computes the exact sample mean/variance over them.  [z]
+    (default 1.96) scales the confidence band.  Raises
+    [Invalid_argument] on a window below 2 or a non-positive [z]. *)
+
+val ewma : ?z:float -> alpha:float -> unit -> t
+(** [ewma ~alpha ()] tracks exponentially weighted moments of the
+    gaps; [alpha] in (0, 1) is the forgetting factor (larger = more
+    reactive).  The band divides the variance by the window's
+    effective sample size [(2 - alpha) / alpha], capped by the number
+    of gaps actually seen. *)
+
+val observe_arrival : t -> now:float -> unit
+(** [observe_arrival t ~now] notes an arrival at absolute time [now];
+    from the second call on, the gap since the previous arrival is
+    folded in.  Non-positive or non-finite gaps (simultaneous
+    arrivals, clock glitches) are ignored rather than poisoning the
+    moments. *)
+
+val observe_gap : t -> float -> unit
+(** [observe_gap t g] folds in one inter-arrival gap directly —
+    useful when replaying a gap trace without absolute times.
+    Non-positive or non-finite gaps are ignored. *)
+
+val observations : t -> int
+(** Total gaps folded in since creation (not capped by the window). *)
+
+val rate : t -> float option
+(** The current rate estimate [1 / mean-gap]; [None] before the first
+    gap. *)
+
+val band : t -> (float * float) option
+(** [band t] is the [(lo, hi)] rate band obtained by inverting the
+    [z]-scaled confidence interval on the mean gap; [hi] is
+    [infinity] when the interval's lower gap endpoint is
+    non-positive.  [None] until two gaps have been seen (no
+    dispersion information). *)

@@ -1,0 +1,166 @@
+open Dpm_core
+open Dpm_sim
+
+type entry = { label : string; cost : float; result : Power_sim.result }
+
+type comparison = {
+  weight : float;
+  horizon : float;
+  entries : entry list;
+  adaptive : entry;
+  static_best : entry;
+  oracle : entry;
+  resolves : int;
+  resolve_failures : int;
+  policy_switches : int;
+}
+
+let cost_of ~weight (r : Power_sim.result) =
+  r.Power_sim.avg_power +. (weight *. r.Power_sim.avg_waiting_requests)
+
+let solve_actions sys ~weight rate =
+  let sys' = Sys_model.with_arrival_rate sys rate in
+  (sys', (Optimize.solve ~weight sys').Optimize.actions)
+
+let oracle_controller sys ~weight ~segments ~final_rate =
+  let solve rate = snd (solve_actions sys ~weight rate) in
+  let pieces = List.map (fun (until, rate) -> (until, solve rate)) segments in
+  let final_actions = solve final_rate in
+  let actions_at time =
+    let rec go = function
+      | [] -> final_actions
+      | (until, acts) :: rest -> if time < until then acts else go rest
+    in
+    go pieces
+  in
+  let current = ref (actions_at 0.0) in
+  let inner =
+    Controller.of_dynamic_policy ~name:"oracle" sys ~policy:(fun () state ->
+        !current.(Sys_model.index sys state))
+  in
+  let next_boundary time =
+    List.fold_left
+      (fun acc (until, _) ->
+        if until > time +. 1e-9 && until < acc then until else acc)
+      infinity pieces
+  in
+  let decide obs reason =
+    current := actions_at obs.Controller.time;
+    let d = inner.Controller.decide obs reason in
+    (* Wake at the next phase boundary so the policy handover is not
+       delayed until a quiet phase's first arrival. *)
+    let nb = next_boundary obs.Controller.time in
+    let timer =
+      match d.Controller.timer with
+      | Some delay -> Some (Float.min delay (nb -. obs.Controller.time))
+      | None ->
+          if Float.is_finite nb then Some (nb -. obs.Controller.time)
+          else None
+    in
+    { d with Controller.timer }
+  in
+  { inner with Controller.decide }
+
+let mean_rate ~segments ~final_rate ~horizon =
+  let rec go t0 acc = function
+    | [] -> acc +. (final_rate *. Float.max 0.0 (horizon -. t0))
+    | (until, rate) :: rest ->
+        let hi = Float.min until horizon in
+        let acc = acc +. (rate *. Float.max 0.0 (hi -. t0)) in
+        go until acc rest
+  in
+  go 0.0 0.0 segments /. horizon
+
+let compare ?(seed = 1L) ?(weight = 1.0) ?(window = 50)
+    ?(min_observations = 30) ?(cooldown = 100.0) ?deadline_s
+    ?(include_heuristics = true) ~sys ~segments ~final_rate ~horizon () =
+  if horizon <= 0.0 || not (Float.is_finite horizon) then
+    invalid_arg "Harness.compare: horizon must be positive and finite";
+  ignore (Workload.piecewise ~segments ~final_rate);
+  let boundaries = List.filter (fun b -> b < horizon) (List.map fst segments) in
+  let run controller =
+    Power_sim.run ~seed ~segments:boundaries ~sys
+      ~workload:(Workload.piecewise ~segments ~final_rate)
+      ~controller
+      ~stop:(Power_sim.Sim_time horizon)
+      ()
+  in
+  let entry label controller =
+    let result = run controller in
+    { label; cost = cost_of ~weight result; result }
+  in
+  let static_entry ?label rate =
+    let sys', actions = solve_actions sys ~weight rate in
+    let label =
+      match label with Some l -> l | None -> Printf.sprintf "static@%.4g" rate
+    in
+    ignore sys';
+    entry label
+      (Controller.of_policy sys (fun state ->
+           actions.(Sys_model.index sys state)))
+  in
+  let rates =
+    List.sort_uniq Float.compare (final_rate :: List.map snd segments)
+  in
+  let statics = List.map (fun r -> static_entry r) rates in
+  let mean = mean_rate ~segments ~final_rate ~horizon in
+  let statics =
+    if List.exists (fun r -> r = mean) rates then statics
+    else statics @ [ static_entry ~label:(Printf.sprintf "static@mean(%.4g)" mean) mean ]
+  in
+  let adaptive_pm =
+    Adaptive.create ~weight
+      ~estimator:(Estimator.sliding_window ~window ())
+      ~min_observations ~cooldown ?deadline_s sys
+  in
+  let adaptive = entry "adaptive" (Adaptive.controller adaptive_pm) in
+  let oracle =
+    entry "oracle" (oracle_controller sys ~weight ~segments ~final_rate)
+  in
+  let heuristics =
+    if not include_heuristics then []
+    else
+      let delay = 1.0 /. mean in
+      [
+        entry "greedy" (Controller.greedy sys);
+        entry "n-policy(2)" (Controller.n_policy sys ~n:2);
+        entry (Printf.sprintf "timeout(%.3g)" delay)
+          (Controller.timeout sys ~delay);
+      ]
+  in
+  let static_best =
+    match
+      List.sort (fun a b -> Float.compare a.cost b.cost) statics
+    with
+    | best :: _ -> best
+    | [] -> invalid_arg "Harness.compare: no static policies"
+  in
+  let st = Adaptive.stats adaptive_pm in
+  {
+    weight;
+    horizon;
+    entries = (adaptive :: oracle :: statics) @ heuristics;
+    adaptive;
+    static_best;
+    oracle;
+    resolves = st.Adaptive.resolves;
+    resolve_failures = st.Adaptive.resolve_failures;
+    policy_switches = st.Adaptive.policy_switches;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "%-18s %10s %10s %10s %8s@," "controller" "cost" "power(W)" "E[queue]"
+    "lost";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-18s %10.4f %10.4f %10.4f %8d@," e.label e.cost
+        e.result.Power_sim.avg_power e.result.Power_sim.avg_waiting_requests
+        e.result.Power_sim.lost)
+    (List.sort (fun a b -> Float.compare a.cost b.cost) c.entries);
+  Format.fprintf ppf
+    "adaptive vs best static: %+.2f%%  |  vs oracle: %+.2f%%  (%d re-solves, %d switches, %d failures)@]"
+    (100.0 *. (c.adaptive.cost -. c.static_best.cost) /. c.static_best.cost)
+    (100.0 *. (c.adaptive.cost -. c.oracle.cost) /. c.oracle.cost)
+    c.resolves c.policy_switches c.resolve_failures

@@ -1,0 +1,72 @@
+(** Evaluation harness: adaptive vs static vs oracle on a drifting
+    workload.
+
+    One call simulates the same piecewise-stationary arrival stream
+    (same seed, hence the identical arrival sequence — a common
+    random numbers comparison) under a bench of controllers:
+
+    - the {!Adaptive} power manager;
+    - one static CTMDP-optimal policy per distinct segment rate, plus
+      one at the time-weighted mean rate — the best of these is what
+      an offline designer who had to pick {e one} policy could do;
+    - the {e oracle}: per-segment optimal policies switched exactly at
+      the (unknowable online) phase boundaries — the upper bound on
+      any adaptation scheme;
+    - optionally the paper's heuristics (greedy, N-policy, time-out).
+
+    Costs are the weighted objective [power + w * E\[queue\]] of
+    Eqn. (3.1), evaluated over the whole run; per-segment metrics are
+    attached to every entry's result ({!Dpm_sim.Power_sim.segment}). *)
+
+type entry = {
+  label : string;  (** controller label, e.g. ["static@0.125"] *)
+  cost : float;  (** [avg_power + weight * avg_waiting_requests] *)
+  result : Dpm_sim.Power_sim.result;
+      (** full simulation result, segments included *)
+}
+
+type comparison = {
+  weight : float;  (** the [w] the costs were evaluated at *)
+  horizon : float;  (** simulated seconds per run *)
+  entries : entry list;  (** every controller, adaptive first *)
+  adaptive : entry;
+  static_best : entry;
+      (** cheapest {e static CTMDP} entry (heuristics excluded) *)
+  oracle : entry;
+  resolves : int;  (** adaptive re-solve attempts *)
+  resolve_failures : int;  (** attempts that kept the incumbent *)
+  policy_switches : int;  (** successful policy deployments *)
+}
+
+val cost_of : weight:float -> Dpm_sim.Power_sim.result -> float
+(** The weighted objective of one run:
+    [avg_power + weight * avg_waiting_requests]. *)
+
+val compare :
+  ?seed:int64 ->
+  ?weight:float ->
+  ?window:int ->
+  ?min_observations:int ->
+  ?cooldown:float ->
+  ?deadline_s:float ->
+  ?include_heuristics:bool ->
+  sys:Dpm_core.Sys_model.t ->
+  segments:(float * float) list ->
+  final_rate:float ->
+  horizon:float ->
+  unit ->
+  comparison
+(** [compare ~sys ~segments ~final_rate ~horizon ()] runs the bench
+    on the {!Dpm_sim.Workload.piecewise} source described by
+    [(until, rate)] [segments] and [final_rate].  [seed] (default 1)
+    drives every run identically; [weight] (default 1) is the cost
+    weight used both to solve the policies and to score the runs;
+    [window], [min_observations], [cooldown], [deadline_s] are passed
+    to {!Adaptive.create}.  Segment boundaries are also passed to the
+    simulator, so each entry's result carries per-segment metrics.
+    Raises [Invalid_argument] on an invalid segment spec or a
+    non-positive horizon. *)
+
+val pp : Format.formatter -> comparison -> unit
+(** A cost-sorted table plus the adaptive-vs-static and
+    adaptive-vs-oracle relative gaps. *)

@@ -23,7 +23,10 @@ val create : capacity:int -> 'v t
     [Invalid_argument] for negative capacities. *)
 
 val capacity : 'v t -> int
+(** The maximum number of entries the cache will hold. *)
+
 val length : 'v t -> int
+(** The number of entries currently held. *)
 
 val find : 'v t -> string -> 'v option
 (** Look up a key, refreshing its recency on a hit and counting the
@@ -35,6 +38,7 @@ val add : 'v t -> string -> 'v -> bool
     At capacity 0 this is a no-op returning [false]. *)
 
 val stats : 'v t -> stats
+(** Hit/miss/eviction counters since creation (or the last {!clear}). *)
 
 val clear : 'v t -> unit
 (** Drop all entries and reset the counters. *)

@@ -37,7 +37,10 @@ val with_capacity : int -> (unit -> 'a) -> 'a
     (benchmarks use [with_capacity 0] to time cold solves). *)
 
 val clear : unit -> unit
+(** Drop every cached result and reset the counters ({!Lru.clear}). *)
+
 val stats : unit -> Lru.stats
+(** Hit/miss/eviction counters of the process-wide cache. *)
 
 val hit_ratio : unit -> float
 (** [hits / (hits + misses)], 0 when no lookups happened. *)

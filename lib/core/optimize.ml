@@ -62,6 +62,13 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
 
 let action_of sys solution x = solution.actions.(Sys_model.index sys x)
 
+let solve_at ?weight ?init_actions ?guard sys ~arrival_rate =
+  let sys' = Sys_model.with_arrival_rate sys arrival_rate in
+  match solve ?weight ?init_actions ?guard sys' with
+  | solution -> Ok (sys', solution)
+  | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+  | exception exn -> Error exn
+
 let sweep_r ?domains ?guard ?(warm = true) sys ~weights =
   (* One policy-iteration solve per weight, fenced per grid point: a
      poisoned weight yields an [Error] slot while every other point

@@ -19,9 +19,13 @@ type t = {
 }
 
 val error : code:string -> site:string -> string -> t
+(** An [Error]-severity finding (the message is the last argument). *)
+
 val warning : code:string -> site:string -> string -> t
+(** A [Warning]-severity finding. *)
 
 val is_error : t -> bool
+(** [true] iff the finding's severity is [Error]. *)
 
 val errors : t list -> t list
 (** Keep only the [Error]-severity findings. *)
@@ -30,3 +34,4 @@ val pp : Format.formatter -> t -> unit
 (** [error[bad-rate] state 3, choice 1: rate -1 is negative]. *)
 
 val to_string : t -> string
+(** {!pp} rendered to a string. *)

@@ -48,4 +48,8 @@ val of_exn : exn -> t option
     [solve_r]. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line rendering, e.g.
+    [deadline exceeded: budget 0.5s, elapsed 0.52s]. *)
+
 val to_string : t -> string
+(** {!pp} rendered to a string. *)

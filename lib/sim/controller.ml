@@ -22,7 +22,7 @@ type t = { name : string; decide : observation -> reason -> decision }
 
 let no_change = { target = None; timer = None }
 
-let of_policy sys policy =
+let of_dynamic_policy ?(name = "ctmdp-policy") sys ~policy =
   let q_cap = Sys_model.queue_capacity sys in
   let sp = Sys_model.sp sys in
   let decide obs _reason =
@@ -35,9 +35,11 @@ let of_policy sys policy =
         Sys_model.Transfer (obs.mode, max 1 (min (obs.queue_length + 1) q_cap))
       else Sys_model.Stable (obs.mode, min obs.queue_length q_cap)
     in
-    { target = Some (policy state); timer = None }
+    { target = Some ((policy ()) state); timer = None }
   in
-  { name = "ctmdp-policy"; decide }
+  { name; decide }
+
+let of_policy sys policy = of_dynamic_policy sys ~policy:(fun () -> policy)
 
 let of_solution sys (s : Optimize.solution) = of_policy sys (Optimize.action_of sys s)
 

@@ -48,6 +48,18 @@ type t = {
 val no_change : decision
 (** [{ target = None; timer = None }]. *)
 
+val of_dynamic_policy :
+  ?name:string ->
+  Dpm_core.Sys_model.t ->
+  policy:(unit -> Dpm_core.Sys_model.state -> int) ->
+  t
+(** [of_dynamic_policy sys ~policy] is {!of_policy} for a policy that
+    may change between decisions: [policy ()] is consulted at every
+    event, so a controller that re-optimizes online (see
+    [Dpm_adapt.Adaptive]) can swap the deployed policy by mutating
+    whatever [policy] reads.  The observation-to-state mapping is
+    identical to {!of_policy}. *)
+
 val of_policy : Dpm_core.Sys_model.t -> (Dpm_core.Sys_model.state -> int) -> t
 (** [of_policy sys policy] executes a stationary Markov policy: on a
     service completion with [i] requests present it consults

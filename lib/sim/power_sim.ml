@@ -3,6 +3,18 @@ open Dpm_prob
 
 type stop = Requests of int | Sim_time of float
 
+type segment = {
+  seg_start : float;
+  seg_end : float;
+  seg_power : float;
+  seg_waiting_requests : float;
+  seg_waiting_time : float;
+  seg_generated : int;
+  seg_lost : int;
+  seg_completed : int;
+  seg_switches : int;
+}
+
 type result = {
   controller : string;
   duration : float;
@@ -19,6 +31,7 @@ type result = {
   switch_count : int;
   switch_energy : float;
   mode_residency : float array;
+  segments : segment array;
 }
 
 type snapshot = {
@@ -44,6 +57,23 @@ type probes = {
   ev_timer : Dpm_obs.Metrics.counter;
   ev_total : Dpm_obs.Metrics.counter;
   heap_depth_max : Dpm_obs.Metrics.gauge;
+}
+
+(* Per-segment accumulators: cumulative-integral marks taken at each
+   boundary crossing, so segment metrics are exact differences of the
+   same accumulators the global metrics use. *)
+type seg_state = {
+  bounds : float array;
+  mutable seg_idx : int;
+  mutable seg_open : float; (* start time of the open segment *)
+  mutable power_mark : float;
+  mutable count_mark : float;
+  mutable gen_mark : int;
+  mutable lost_mark : int;
+  mutable comp_mark : int;
+  mutable switch_mark : int;
+  mutable seg_waiting : Stat.Welford.t;
+  mutable closed : segment list; (* reverse order *)
 }
 
 type sim = {
@@ -79,7 +109,68 @@ type sim = {
   mutable decisions : int;
   mutable events_processed : int;
   probes : probes option;
+  seg : seg_state option;
 }
+
+let close_segment s g ~upto =
+  let width = upto -. g.seg_open in
+  let power_now = Stat.Time_weighted.integral s.power ~upto in
+  let count_now = Stat.Time_weighted.integral s.count ~upto in
+  let avg integral = if width > 0.0 then integral /. width else 0.0 in
+  let wt =
+    if Stat.Welford.count g.seg_waiting = 0 then 0.0
+    else Stat.Welford.mean g.seg_waiting
+  in
+  g.closed <-
+    {
+      seg_start = g.seg_open;
+      seg_end = upto;
+      seg_power = avg (power_now -. g.power_mark);
+      seg_waiting_requests = avg (count_now -. g.count_mark);
+      seg_waiting_time = wt;
+      seg_generated = s.generated - g.gen_mark;
+      seg_lost = s.lost - g.lost_mark;
+      seg_completed = s.completed - g.comp_mark;
+      seg_switches = s.switch_count - g.switch_mark;
+    }
+    :: g.closed;
+  g.seg_open <- upto;
+  g.power_mark <- power_now;
+  g.count_mark <- count_now;
+  g.gen_mark <- s.generated;
+  g.lost_mark <- s.lost;
+  g.comp_mark <- s.completed;
+  g.switch_mark <- s.switch_count;
+  g.seg_waiting <- Stat.Welford.create ()
+
+(* Close every segment whose boundary is at or before [upto]; called
+   before handling an event at [upto], so the accumulators still hold
+   the pre-event signal and the integral up to the boundary is
+   exact. *)
+let flush_segments s ~upto =
+  match s.seg with
+  | None -> ()
+  | Some g ->
+      while
+        g.seg_idx < Array.length g.bounds && g.bounds.(g.seg_idx) <= upto
+      do
+        close_segment s g ~upto:g.bounds.(g.seg_idx);
+        g.seg_idx <- g.seg_idx + 1
+      done
+
+(* At end of run: remaining boundaries (past the horizon) all collapse
+   to zero-width segments at [duration], so every run over the same
+   boundary list reports the same number of segments. *)
+let finalize_segments s ~duration =
+  match s.seg with
+  | None -> [||]
+  | Some g ->
+      while g.seg_idx < Array.length g.bounds do
+        close_segment s g ~upto:(Float.min g.bounds.(g.seg_idx) duration);
+        g.seg_idx <- g.seg_idx + 1
+      done;
+      close_segment s g ~upto:duration;
+      Array.of_list (List.rev g.closed)
 
 let observation s =
   {
@@ -197,6 +288,9 @@ let handle_event s event =
       let level = Queue.length s.queue in
       let arrived = Queue.pop s.queue in
       Stat.Welford.add s.waiting (s.now -. arrived);
+      (match s.seg with
+      | Some g -> Stat.Welford.add g.seg_waiting (s.now -. arrived)
+      | None -> ());
       s.completed <- s.completed + 1;
       s.serving <- None;
       s.in_transfer <- true;
@@ -246,8 +340,8 @@ let handle_event s event =
         | Timer_fired -> p.ev_timer));
   notify_observer s label
 
-let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
-    ~workload ~controller ~stop () =
+let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ?segments
+    ~sys ~workload ~controller ~stop () =
   let sp = Sys_model.sp sys in
   let initial_mode =
     match initial_mode with
@@ -261,6 +355,35 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
   | Requests n when n <= 0 -> invalid_arg "Power_sim.run: request count must be positive"
   | Sim_time t when t <= 0.0 -> invalid_arg "Power_sim.run: horizon must be positive"
   | Requests _ | Sim_time _ -> ());
+  let seg =
+    match segments with
+    | None | Some [] -> None
+    | Some bounds ->
+        let rec check prev = function
+          | [] -> ()
+          | b :: rest ->
+              if b <= prev || not (Float.is_finite b) then
+                invalid_arg
+                  "Power_sim.run: segment boundaries must be positive, \
+                   finite and strictly increasing";
+              check b rest
+        in
+        check 0.0 bounds;
+        Some
+          {
+            bounds = Array.of_list bounds;
+            seg_idx = 0;
+            seg_open = 0.0;
+            power_mark = 0.0;
+            count_mark = 0.0;
+            gen_mark = 0;
+            lost_mark = 0;
+            comp_mark = 0;
+            switch_mark = 0;
+            seg_waiting = Stat.Welford.create ();
+            closed = [];
+          }
+  in
   let probes =
     match Dpm_obs.Probe.current () with
     | None -> None
@@ -311,6 +434,7 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
       decisions = 0;
       events_processed = 0;
       probes;
+      seg;
     }
   in
   consult s Controller.Init;
@@ -329,6 +453,7 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
           match horizon with
           | Some h when t > h -> s.now <- h
           | Some _ | None ->
+              flush_segments s ~upto:t;
               s.now <- t;
               handle_event s event;
               loop ())
@@ -371,10 +496,11 @@ let run ?(seed = 1L) ?initial_mode ?(decision_energy = 0.0) ?observer ~sys
       (if residency_total > 0.0 then
          Array.map (fun x -> x /. residency_total) s.residency
        else s.residency);
+    segments = finalize_segments s ~duration;
   }
 
-let replicate ?seeds ?(seed = 1L) ?n ?domains ~sys ~workload ~controller ~stop
-    () =
+let replicate ?seeds ?(seed = 1L) ?n ?domains ?segments ~sys ~workload
+    ~controller ~stop () =
   let seeds =
     match (seeds, n) with
     | Some [], _ -> invalid_arg "Power_sim.replicate: empty seed list"
@@ -397,7 +523,8 @@ let replicate ?seeds ?(seed = 1L) ?n ?domains ~sys ~workload ~controller ~stop
      constructors in this repository are). *)
   Dpm_par.parallel_map_list ?domains
     (fun seed ->
-      run ~seed ~sys ~workload:(workload ()) ~controller:(controller ()) ~stop ())
+      run ~seed ?segments ~sys ~workload:(workload ()) ~controller:(controller ())
+        ~stop ())
     seeds
 
 let pp ppf r =

@@ -41,6 +41,28 @@ type snapshot = {
 (** One line of the event log passed to [observer] (see {!run}); the
     {!Trace} module records these into a bounded buffer. *)
 
+type segment = {
+  seg_start : float;  (** segment start time (s) *)
+  seg_end : float;  (** segment end time (s) *)
+  seg_power : float;  (** time-averaged power over the segment (W) *)
+  seg_waiting_requests : float;
+      (** time-averaged number of requests in the system over the
+          segment *)
+  seg_waiting_time : float;
+      (** mean sojourn of requests {e completed} inside the segment
+          (0 when none completed) *)
+  seg_generated : int;  (** arrivals drawn inside the segment *)
+  seg_lost : int;  (** arrivals dropped inside the segment *)
+  seg_completed : int;  (** services finished inside the segment *)
+  seg_switches : int;  (** mode switches completed inside the segment *)
+}
+(** Metrics of one time segment of a run (see [?segments] on {!run}).
+    Segment metrics are exact differences of the same accumulators
+    the global metrics use, so they sum/average back to the global
+    result.  On a non-stationary workload the per-segment rows are
+    the meaningful ones — the global mean mixes phases (see
+    {!Summary.of_segment_results}). *)
+
 type result = {
   controller : string;  (** controller name *)
   duration : float;  (** simulated seconds *)
@@ -67,6 +89,10 @@ type result = {
   switch_count : int;  (** completed mode switches *)
   switch_energy : float;  (** total switching energy (J) *)
   mode_residency : float array;  (** fraction of time per mode *)
+  segments : segment array;
+      (** per-segment metrics when [?segments] was given (always
+          [length boundaries + 1] entries — boundaries past the
+          horizon yield zero-width segments); empty otherwise *)
 }
 
 val run :
@@ -74,6 +100,7 @@ val run :
   ?initial_mode:int ->
   ?decision_energy:float ->
   ?observer:(snapshot -> unit) ->
+  ?segments:float list ->
   sys:Dpm_core.Sys_model.t ->
   workload:Workload.t ->
   controller:Controller.t ->
@@ -84,6 +111,10 @@ val run :
     [sys] supplies the SP and the queue capacity (its arrival rate is
     ignored — the workload drives arrivals).  [initial_mode] defaults
     to the fastest active mode.  [seed] defaults to 1.
+    [segments] (strictly increasing positive boundary times, e.g. the
+    phase boundaries of a {!Workload.piecewise} source) requests
+    per-segment accounting in the result's [segments] field; it never
+    affects the dynamics, only the reporting.
     [decision_energy] (default 0) charges an energy impulse per
     controller consultation — the PM overhead of the paper's
     criticism (4) of time-sliced power managers.  [observer], when
@@ -99,6 +130,7 @@ val replicate :
   ?seed:int64 ->
   ?n:int ->
   ?domains:int ->
+  ?segments:float list ->
   sys:Dpm_core.Sys_model.t ->
   workload:(unit -> Workload.t) ->
   controller:(unit -> Controller.t) ->

@@ -42,6 +42,42 @@ let of_results results =
     switch_count = pick (fun r -> float_of_int r.Power_sim.switch_count);
   }
 
+let of_segment_results results =
+  if results = [] then invalid_arg "Summary.of_segment_results: no replications";
+  let n_segments =
+    match results with
+    | r :: rest ->
+        let n = Array.length r.Power_sim.segments in
+        if n = 0 then
+          invalid_arg
+            "Summary.of_segment_results: results carry no segments (pass \
+             ?segments to Power_sim.run/replicate)";
+        List.iter
+          (fun r' ->
+            if Array.length r'.Power_sim.segments <> n then
+              invalid_arg
+                "Summary.of_segment_results: replications disagree on segment \
+                 count")
+          rest;
+        n
+    | [] -> assert false
+  in
+  Array.init n_segments (fun i ->
+      let pick f =
+        estimate_of (List.map (fun r -> f r.Power_sim.segments.(i)) results)
+      in
+      let seg_loss s =
+        if s.Power_sim.seg_generated = 0 then 0.0
+        else float_of_int s.Power_sim.seg_lost /. float_of_int s.Power_sim.seg_generated
+      in
+      {
+        power = pick (fun s -> s.Power_sim.seg_power);
+        waiting_requests = pick (fun s -> s.Power_sim.seg_waiting_requests);
+        waiting_time = pick (fun s -> s.Power_sim.seg_waiting_time);
+        loss_probability = pick seg_loss;
+        switch_count = pick (fun s -> float_of_int s.Power_sim.seg_switches);
+      })
+
 let contains e x =
   (not (Float.is_nan e.ci95_half_width))
   && Float.abs (x -. e.mean) <= e.ci95_half_width

@@ -28,6 +28,18 @@ val of_results : Power_sim.result list -> t
     formats without a NaN literal (JSON) is always safe; [contains]
     then accepts only the exact mean. *)
 
+val of_segment_results : Power_sim.result list -> t array
+(** [of_segment_results rs] summarizes replications {e per segment}:
+    element [i] folds segment [i] of every replication, exactly as
+    {!of_results} folds the whole runs.  On a non-stationary workload
+    this is the statistically meaningful summary — the whole-run
+    averages of {!of_results} mix phases with different rates, so
+    comparing them against any single stationary model is a category
+    error.  All replications must have been run with the same
+    [?segments] boundaries ({!Power_sim.run}); raises
+    [Invalid_argument] on an empty list, segment-free results, or a
+    segment-count mismatch. *)
+
 val contains : estimate -> float -> bool
 (** [contains e x] tests whether [x] lies inside the 95% interval —
     the check the model-vs-simulation tables use. *)

@@ -66,6 +66,136 @@ let trace times =
   check 0.0 times;
   { kind = Trace { remaining = times }; last_now = neg_infinity }
 
+let of_intervals gaps =
+  List.iter
+    (fun g ->
+      if g <= 0.0 || not (Float.is_finite g) then
+        invalid_arg "Workload.of_intervals: gaps must be positive and finite")
+    gaps;
+  let _, times =
+    List.fold_left (fun (t, acc) g -> (t +. g, (t +. g) :: acc)) (0.0, []) gaps
+  in
+  trace (List.rev times)
+
+let load_trace ?(intervals = false) path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let rec read acc =
+        match input_line ic with
+        | line -> (
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then read acc
+            else
+              match float_of_string_opt line with
+              | Some t -> read (t :: acc)
+              | None ->
+                  Error (Printf.sprintf "bad timestamp %S in %s" line path))
+        | exception End_of_file -> Ok (List.rev acc)
+      in
+      let r = read [] in
+      close_in ic;
+      Result.bind r (fun values ->
+          match if intervals then of_intervals values else trace values with
+          | w -> Ok w
+          | exception Invalid_argument msg -> Error msg)
+
+(* The piecewise grammar shared by `dpm_cli simulate --workload
+   piecewise:...`, `dpm_cli adapt --segments ...` and the bench adapt
+   section: comma-separated [rate@until] entries (strictly increasing
+   boundaries) with a bare trailing [rate] as the final rate. *)
+let segments_of_spec spec =
+  let entries = String.split_on_char ',' (String.trim spec) in
+  let parse_entry e =
+    match String.split_on_char '@' (String.trim e) with
+    | [ r ] -> (
+        match float_of_string_opt r with
+        | Some r -> Ok (r, None)
+        | None -> Error (Printf.sprintf "bad rate %S" r))
+    | [ r; u ] -> (
+        match (float_of_string_opt r, float_of_string_opt u) with
+        | Some r, Some u -> Ok (r, Some u)
+        | _ -> Error (Printf.sprintf "bad segment %S (want RATE@UNTIL)" e))
+    | _ -> Error (Printf.sprintf "bad segment %S (want RATE@UNTIL)" e)
+  in
+  let rec build acc = function
+    | [] -> Error "empty segment list"
+    | [ last ] -> (
+        match parse_entry last with
+        | Error _ as e -> e
+        | Ok (r, None) -> Ok (List.rev acc, r)
+        | Ok (_, Some _) ->
+            Error
+              (Printf.sprintf
+                 "last entry %S must be a bare final rate (no @)" last))
+    | e :: rest -> (
+        match parse_entry e with
+        | Error _ as err -> err
+        | Ok (_, None) ->
+            Error (Printf.sprintf "entry %S needs a boundary (RATE@UNTIL)" e)
+        | Ok (r, Some u) -> build ((u, r) :: acc) rest)
+  in
+  Result.bind (build [] entries) (fun (segments, final_rate) ->
+      match piecewise ~segments ~final_rate with
+      | _ -> Ok (segments, final_rate)
+      | exception Invalid_argument msg -> Error msg)
+
+let of_spec ~rate spec =
+  let prefix p s =
+    let lp = String.length p in
+    if String.length s >= lp && String.sub s 0 lp = p then
+      Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  match spec with
+  | "poisson" -> (
+      match poisson ~rate with
+      | w -> Ok w
+      | exception Invalid_argument msg -> Error msg)
+  | s -> (
+      match prefix "piecewise:" s with
+      | Some body ->
+          Result.map
+            (fun (segments, final_rate) -> piecewise ~segments ~final_rate)
+            (segments_of_spec body)
+      | None -> (
+          match prefix "mmpp:" s with
+          | Some body -> (
+              match String.split_on_char ':' body with
+              | [ r1; r2; sw ] -> (
+                  match
+                    ( float_of_string_opt r1,
+                      float_of_string_opt r2,
+                      float_of_string_opt sw )
+                  with
+                  | Some r1, Some r2, Some sw
+                    when r1 > 0.0 && r2 > 0.0 && sw > 0.0 ->
+                      Ok
+                        (mmpp ~rates:[| r1; r2 |]
+                           ~switch_rate:[| [| 0.0; sw |]; [| sw; 0.0 |] |])
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "bad mmpp spec %S (mmpp:<r1>:<r2>:<switch>)" spec))
+              | _ ->
+                  Error
+                    (Printf.sprintf "bad mmpp spec %S (mmpp:<r1>:<r2>:<switch>)"
+                       spec))
+          | None -> (
+              match prefix "trace-file:" s with
+              | Some path -> load_trace path
+              | None -> (
+                  match prefix "intervals-file:" s with
+                  | Some path -> load_trace ~intervals:true path
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "unknown workload %S (try: poisson, \
+                            piecewise:<r1>@<t1>,...,<rfinal>, \
+                            mmpp:<r1>:<r2>:<switch>, trace-file:<path>, \
+                            intervals-file:<path>)"
+                           spec)))))
+
 let rate_at segments final_rate t =
   let rec scan = function
     | [] -> final_rate

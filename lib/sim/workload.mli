@@ -30,6 +30,32 @@ val trace : float list -> t
 (** Replay absolute arrival times (strictly increasing, positive).
     The stream ends when the trace does. *)
 
+val of_intervals : float list -> t
+(** Replay a trace given as inter-arrival {e gaps} (each positive and
+    finite); the first arrival lands at the first gap.  The common
+    on-disk form of measured request logs. *)
+
+val load_trace : ?intervals:bool -> string -> (t, string) result
+(** [load_trace path] reads one float per line ([#] comments and
+    blank lines ignored) as absolute arrival times, or, with
+    [~intervals:true], as inter-arrival gaps ({!of_intervals}).
+    [Error] on I/O failure, an unparsable line, or non-monotone /
+    non-positive values. *)
+
+val segments_of_spec : string -> ((float * float) list * float, string) result
+(** Parse the piecewise-rate grammar shared by the CLI and the
+    adaptive harness: comma-separated [RATE@UNTIL] entries with
+    strictly increasing boundaries, ending in a bare final [RATE] —
+    e.g. ["0.083@4000,0.333@8000,0.125"].  Returns the
+    [(segments, final_rate)] pair accepted by {!piecewise}. *)
+
+val of_spec : rate:float -> string -> (t, string) result
+(** Build a workload from the CLI spec grammar: [poisson] (at
+    [rate]), [piecewise:<r1>@<t1>,...,<rfinal>]
+    ({!segments_of_spec}), [mmpp:<r1>:<r2>:<switch>] (two phases,
+    symmetric switching), [trace-file:<path>] (absolute times), or
+    [intervals-file:<path>] (inter-arrival gaps). *)
+
 val next_arrival : t -> Rng.t -> now:float -> float option
 (** [next_arrival w rng ~now] draws the first arrival strictly after
     [now]; [None] when the source is exhausted (only for {!trace}).

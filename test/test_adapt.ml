@@ -1,0 +1,379 @@
+(* Dpm_adapt: arrival-rate estimation, non-stationary workloads, the
+   online-adaptive controller, and its solver-failure fallback.
+
+   The determinism tests mirror the Dpm_par/Dpm_cache contracts: the
+   adaptive controller re-solves through the shared solve cache, so
+   bit-identical results at any domain count lean on warm == cold
+   (pinned in test_cache.ml) and on every replication owning its own
+   estimator and policy state. *)
+
+open Dpm_core
+open Dpm_sim
+module Estimator = Dpm_adapt.Estimator
+module Adaptive = Dpm_adapt.Adaptive
+module Harness = Dpm_adapt.Harness
+
+let t = Alcotest.test_case
+
+(* --- estimator ------------------------------------------------------ *)
+
+(* Feed exponential gaps at a known rate; both estimators must land on
+   it and cover it with their band. *)
+let estimator_converges_stationary () =
+  let rate = 0.25 in
+  let feed est n =
+    let rng = Dpm_prob.Rng.create 42L in
+    let now = ref 0.0 in
+    for _ = 1 to n do
+      now := !now +. Dpm_prob.Dist.exponential_sample rng ~rate;
+      Estimator.observe_arrival est ~now:!now
+    done
+  in
+  List.iter
+    (fun (name, est) ->
+      feed est 400;
+      (match Estimator.rate est with
+      | None -> Alcotest.failf "%s: no estimate after 400 arrivals" name
+      | Some r ->
+          Test_util.check_relative ~rel:0.25 (name ^ ": rate estimate") rate r);
+      match Estimator.band est with
+      | None -> Alcotest.failf "%s: no band" name
+      | Some (lo, hi) ->
+          Alcotest.(check bool)
+            (name ^ ": band ordered and covers truth")
+            true
+            (lo <= hi && lo <= rate && rate <= hi))
+    [
+      ("window", Estimator.sliding_window ~window:100 ());
+      ("ewma", Estimator.ewma ~alpha:0.05 ());
+    ]
+
+let estimator_band_excludes_drifted_rate () =
+  (* After a 4x rate jump the old rate must leave the band quickly —
+     this is the adaptation trigger. *)
+  let est = Estimator.sliding_window ~window:50 () in
+  let rng = Dpm_prob.Rng.create 7L in
+  let now = ref 0.0 in
+  let feed rate n =
+    for _ = 1 to n do
+      now := !now +. Dpm_prob.Dist.exponential_sample rng ~rate;
+      Estimator.observe_arrival est ~now:!now
+    done
+  in
+  feed 0.1 100;
+  feed 0.4 80;
+  match Estimator.band est with
+  | None -> Alcotest.fail "no band"
+  | Some (lo, _hi) ->
+      Alcotest.(check bool) "old rate below the band" true (0.1 < lo)
+
+let estimator_ignores_degenerate_gaps () =
+  let est = Estimator.sliding_window ~window:10 () in
+  Estimator.observe_arrival est ~now:1.0;
+  Estimator.observe_arrival est ~now:1.0;
+  (* zero gap: dropped *)
+  Estimator.observe_gap est nan;
+  Estimator.observe_gap est (-3.0);
+  Alcotest.(check int) "degenerate gaps dropped" 0 (Estimator.observations est);
+  Estimator.observe_gap est 2.0;
+  Alcotest.(check int) "good gap kept" 1 (Estimator.observations est)
+
+(* --- non-stationary workloads --------------------------------------- *)
+
+(* The MMPP marginal rate is the phase-mix average: with symmetric
+   switching the mix is 1/2-1/2, so lambda-bar = (r1 + r2) / 2.  Count
+   arrivals over a long horizon and check the empirical rate. *)
+let mmpp_marginal_rate () =
+  let r1 = 0.05 and r2 = 0.45 in
+  let w = Workload.mmpp ~rates:[| r1; r2 |]
+      ~switch_rate:[| [| 0.0; 0.01 |]; [| 0.01; 0.0 |] |]
+  in
+  let rng = Dpm_prob.Rng.create 11L in
+  let horizon = 200_000.0 in
+  let rec count now n =
+    match Workload.next_arrival w rng ~now with
+    | Some at when at <= horizon -> count at (n + 1)
+    | Some _ | None -> n
+  in
+  let n = count 0.0 0 in
+  let empirical = float_of_int n /. horizon in
+  let expected = (r1 +. r2) /. 2.0 in
+  (* ~50k arrivals but the 0.01 modulator gives few phase cycles; a
+     5% tolerance keeps the check sharp without flakiness. *)
+  Test_util.check_relative ~rel:0.05 "MMPP marginal rate" expected empirical
+
+let trace_roundtrip_files () =
+  let write lines =
+    let path = Filename.temp_file "dpm_trace" ".txt" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let drain w =
+    let rng = Dpm_prob.Rng.create 1L in
+    let rec go now acc =
+      match Workload.next_arrival w rng ~now with
+      | Some at -> go at (at :: acc)
+      | None -> List.rev acc
+    in
+    go 0.0 []
+  in
+  let abs_path = write [ "# demo trace"; "1.5"; "3.0"; ""; "7.25" ] in
+  (match Workload.load_trace abs_path with
+  | Error e -> Alcotest.failf "absolute trace: %s" e
+  | Ok w ->
+      Alcotest.(check (list (float 1e-12)))
+        "absolute times replayed" [ 1.5; 3.0; 7.25 ] (drain w));
+  let gaps_path = write [ "1.5"; "1.5"; "4.25" ] in
+  (match Workload.load_trace ~intervals:true gaps_path with
+  | Error e -> Alcotest.failf "interval trace: %s" e
+  | Ok w ->
+      Alcotest.(check (list (float 1e-12)))
+        "gaps accumulated" [ 1.5; 3.0; 7.25 ] (drain w));
+  let bad_path = write [ "1.0"; "oops" ] in
+  (match Workload.load_trace bad_path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unparsable line accepted");
+  (match Workload.load_trace "/nonexistent/dpm_trace.txt" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  Sys.remove abs_path;
+  Sys.remove gaps_path;
+  Sys.remove bad_path
+
+let spec_parsing () =
+  (match Workload.segments_of_spec "0.083@4000,0.333@8000,0.125" with
+  | Ok (segments, final_rate) ->
+      Alcotest.(check (list (pair (float 1e-12) (float 1e-12))))
+        "segments" [ (4000.0, 0.083); (8000.0, 0.333) ] segments;
+      Test_util.check_close "final rate" 0.125 final_rate
+  | Error e -> Alcotest.failf "segments_of_spec: %s" e);
+  List.iter
+    (fun spec ->
+      match Workload.segments_of_spec spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" spec)
+    [ ""; "0.1@100"; "0.1@100,0.2@50,0.3"; "x@1,0.2"; "0.1@-5,0.2"; "-1" ];
+  List.iter
+    (fun spec ->
+      match Workload.of_spec ~rate:0.2 spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "of_spec %S: %s" spec e)
+    [ "poisson"; "piecewise:0.1@50,0.3"; "mmpp:0.1:0.4:0.02" ];
+  List.iter
+    (fun spec ->
+      match Workload.of_spec ~rate:0.2 spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "of_spec accepted %S" spec)
+    [ "nonsense"; "mmpp:0.1:0.4"; "piecewise:"; "trace-file:/nonexistent/x" ]
+
+(* --- per-segment accounting ----------------------------------------- *)
+
+let segments_sum_to_global () =
+  let sys = Paper_instance.system () in
+  let boundaries = [ 500.0; 1500.0 ] in
+  let r =
+    Power_sim.run ~seed:3L ~segments:boundaries ~sys
+      ~workload:
+        (Workload.piecewise ~segments:[ (500.0, 0.08); (1500.0, 0.3) ]
+           ~final_rate:0.125)
+      ~controller:(Controller.greedy sys)
+      ~stop:(Power_sim.Sim_time 2500.0) ()
+  in
+  Alcotest.(check int) "segment count" 3 (Array.length r.Power_sim.segments);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 r.Power_sim.segments in
+  Alcotest.(check int) "generated" r.Power_sim.generated
+    (sum (fun s -> s.Power_sim.seg_generated));
+  Alcotest.(check int) "lost" r.Power_sim.lost
+    (sum (fun s -> s.Power_sim.seg_lost));
+  Alcotest.(check int) "completed" r.Power_sim.completed
+    (sum (fun s -> s.Power_sim.seg_completed));
+  Alcotest.(check int) "switches" r.Power_sim.switch_count
+    (sum (fun s -> s.Power_sim.seg_switches));
+  let weighted f =
+    Array.fold_left
+      (fun acc s ->
+        acc +. (f s *. (s.Power_sim.seg_end -. s.Power_sim.seg_start)))
+      0.0 r.Power_sim.segments
+    /. r.Power_sim.duration
+  in
+  Test_util.check_relative ~rel:1e-9 "power is the duration-weighted mix"
+    r.Power_sim.avg_power
+    (weighted (fun s -> s.Power_sim.seg_power));
+  Test_util.check_relative ~rel:1e-9 "queue average likewise"
+    r.Power_sim.avg_waiting_requests
+    (weighted (fun s -> s.Power_sim.seg_waiting_requests))
+
+let segment_summaries () =
+  let sys = Paper_instance.system () in
+  let rs =
+    Power_sim.replicate ~seed:5L ~n:3 ~segments:[ 400.0; 800.0 ] ~sys
+      ~workload:(fun () -> Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+      ~controller:(fun () -> Controller.greedy sys)
+      ~stop:(Power_sim.Sim_time 1200.0) ()
+  in
+  let per_seg = Summary.of_segment_results rs in
+  Alcotest.(check int) "one summary per segment" 3 (Array.length per_seg);
+  Array.iter
+    (fun (s : Summary.t) ->
+      Alcotest.(check int) "3 replications" 3 s.Summary.power.Summary.n)
+    per_seg;
+  Test_util.check_raises_invalid "empty list rejected" (fun () ->
+      Summary.of_segment_results []);
+  let bare =
+    Power_sim.run ~seed:5L ~sys
+      ~workload:(Workload.poisson ~rate:(Sys_model.arrival_rate sys))
+      ~controller:(Controller.greedy sys)
+      ~stop:(Power_sim.Sim_time 100.0) ()
+  in
+  Test_util.check_raises_invalid "segment-free results rejected" (fun () ->
+      Summary.of_segment_results [ bare ])
+
+(* --- adaptive controller --------------------------------------------- *)
+
+let drifting_workload () =
+  Workload.piecewise ~segments:[ (800.0, 1.0 /. 12.0); (1600.0, 1.0 /. 3.0) ]
+    ~final_rate:0.125
+
+let adaptive_replicate ~domains =
+  let sys = Paper_instance.system () in
+  Power_sim.replicate ~seed:21L ~n:4 ~domains ~sys
+    ~workload:(fun () -> drifting_workload ())
+    ~controller:(fun () ->
+      Adaptive.controller
+        (Adaptive.create ~weight:1.0 ~min_observations:20 ~cooldown:100.0 sys))
+    ~stop:(Power_sim.Sim_time 2400.0) ()
+
+let adaptive_bit_identical_across_domains () =
+  let r1 = adaptive_replicate ~domains:1 in
+  let r2 = adaptive_replicate ~domains:2 in
+  let r4 = adaptive_replicate ~domains:4 in
+  Alcotest.(check bool) "1 vs 2 domains" true (r1 = r2);
+  Alcotest.(check bool) "1 vs 4 domains" true (r1 = r4)
+
+let adaptive_actually_adapts () =
+  let sys = Paper_instance.system () in
+  let pm = Adaptive.create ~weight:1.0 ~min_observations:20 ~cooldown:100.0 sys in
+  let initial = Adaptive.deployed_actions pm in
+  let _ =
+    Power_sim.run ~seed:21L ~sys ~workload:(drifting_workload ())
+      ~controller:(Adaptive.controller pm)
+      ~stop:(Power_sim.Sim_time 2400.0) ()
+  in
+  let st = Adaptive.stats pm in
+  Alcotest.(check bool) "re-solved at least once" true (st.Adaptive.resolves > 0);
+  Alcotest.(check bool) "switched policy" true (st.Adaptive.policy_switches > 0);
+  Alcotest.(check bool) "deployed rate moved" true
+    (st.Adaptive.deployed_rate <> Sys_model.arrival_rate sys);
+  Alcotest.(check bool) "policy table changed" true
+    (Adaptive.deployed_actions pm <> initial
+    || st.Adaptive.deployed_rate <> Sys_model.arrival_rate sys)
+
+(* Under an injected solver stall and a tiny re-solve deadline, every
+   adaptation attempt must fail typed-ly and keep the incumbent; the
+   simulation itself must finish normally.  The cache is scoped to
+   capacity 0 because a cache hit would bypass the guarded solve. *)
+let solver_failure_keeps_incumbent () =
+  Dpm_cache.Solve_cache.with_capacity 0 @@ fun () ->
+  Unix.putenv "DPM_FAULTS" "stall";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DPM_FAULTS" "")
+    (fun () ->
+      let sys = Paper_instance.system () in
+      let pm =
+        Adaptive.create ~weight:1.0 ~min_observations:20 ~cooldown:100.0
+          ~deadline_s:1e-6 sys
+      in
+      let incumbent = Adaptive.deployed_actions pm in
+      let r =
+        Power_sim.run ~seed:21L ~sys ~workload:(drifting_workload ())
+          ~controller:(Adaptive.controller pm)
+          ~stop:(Power_sim.Sim_time 2400.0) ()
+      in
+      let st = Adaptive.stats pm in
+      Alcotest.(check bool) "attempts were made" true (st.Adaptive.resolves > 0);
+      Alcotest.(check int) "every attempt failed" st.Adaptive.resolves
+        st.Adaptive.resolve_failures;
+      Alcotest.(check int) "no policy switch" 0 st.Adaptive.policy_switches;
+      Test_util.check_close "deployed rate unchanged"
+        (Sys_model.arrival_rate sys) st.Adaptive.deployed_rate;
+      Alcotest.(check bool) "incumbent policy kept" true
+        (Adaptive.deployed_actions pm = incumbent);
+      Alcotest.(check bool) "simulation completed" true
+        (r.Power_sim.duration = 2400.0))
+
+let quantize_log_grid () =
+  Test_util.check_close ~tol:1e-12 "fixed point on the grid" 1.0
+    (Adaptive.quantize_log 1.0);
+  Test_util.check_relative ~rel:0.07 "stays within one grid step" 0.2
+    (Adaptive.quantize_log 0.2);
+  (* Nearby estimates collapse to the same grid point — the property
+     that makes the solve cache effective under estimate jitter. *)
+  Alcotest.(check (float 0.0)) "jitter collapses"
+    (Adaptive.quantize_log 0.2001) (Adaptive.quantize_log 0.2002);
+  Test_util.check_raises_invalid "rejects non-positive" (fun () ->
+      Adaptive.quantize_log 0.0)
+
+(* --- harness ---------------------------------------------------------- *)
+
+let harness_smoke () =
+  let sys = Paper_instance.system () in
+  let c =
+    Harness.compare ~seed:9L ~weight:1.0 ~min_observations:20 ~cooldown:100.0
+      ~sys
+      ~segments:[ (800.0, 1.0 /. 12.0); (1600.0, 1.0 /. 3.0) ]
+      ~final_rate:0.125 ~horizon:2400.0 ()
+  in
+  Alcotest.(check bool) "adaptive entry labelled" true
+    (c.Harness.adaptive.Harness.label = "adaptive");
+  Alcotest.(check bool) "oracle is cheapest-or-equal vs adaptive" true
+    (c.Harness.oracle.Harness.cost
+    <= c.Harness.adaptive.Harness.cost +. 1e-9
+    || c.Harness.adaptive.Harness.cost < c.Harness.static_best.Harness.cost);
+  Alcotest.(check bool) "static_best is a static entry" true
+    (String.length c.Harness.static_best.Harness.label >= 6
+    && String.sub c.Harness.static_best.Harness.label 0 6 = "static");
+  (* Every entry simulated the same arrival process: same generated
+     count under common random numbers. *)
+  (match c.Harness.entries with
+  | first :: rest ->
+      List.iter
+        (fun (e : Harness.entry) ->
+          Alcotest.(check int)
+            ("generated matches for " ^ e.Harness.label)
+            first.Harness.result.Power_sim.generated
+            e.Harness.result.Power_sim.generated)
+        rest
+  | [] -> Alcotest.fail "no entries");
+  List.iter
+    (fun (e : Harness.entry) ->
+      Alcotest.(check int)
+        ("per-segment metrics attached to " ^ e.Harness.label)
+        3
+        (Array.length e.Harness.result.Power_sim.segments))
+    c.Harness.entries
+
+let suite =
+  [
+    t "estimators converge on a stationary stream" `Quick
+      estimator_converges_stationary;
+    t "band excludes a drifted-away rate" `Quick
+      estimator_band_excludes_drifted_rate;
+    t "degenerate gaps are ignored" `Quick estimator_ignores_degenerate_gaps;
+    t "MMPP marginal rate matches the phase mix" `Slow mmpp_marginal_rate;
+    t "trace files round-trip (absolute and intervals)" `Quick
+      trace_roundtrip_files;
+    t "workload spec grammar" `Quick spec_parsing;
+    t "per-segment metrics sum back to the global result" `Quick
+      segments_sum_to_global;
+    t "per-segment replication summaries" `Quick segment_summaries;
+    t "adaptive results bit-identical at 1/2/4 domains" `Slow
+      adaptive_bit_identical_across_domains;
+    t "adaptive controller re-solves and switches policy" `Quick
+      adaptive_actually_adapts;
+    t "solver failure keeps the incumbent policy" `Quick
+      solver_failure_keeps_incumbent;
+    t "log-grid quantization" `Quick quantize_log_grid;
+    t "harness compares on common random numbers" `Slow harness_smoke;
+  ]

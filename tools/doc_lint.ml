@@ -1,0 +1,106 @@
+(* Documentation lint for .mli files.
+
+   odoc is not part of this repository's toolchain, so `dune build
+   @doc` alone cannot prove the interfaces are documented.  This tool
+   enforces the contract mechanically: every [.mli] passed on the
+   command line must open with a module-level [(** ... *)] header, and
+   every top-level [val] must carry a doc comment — either ending on
+   the line above the declaration or opening after it, before the next
+   top-level declaration.
+
+   Usage: doc_lint.exe FILE.mli...   (exit 1 and a per-item report on
+   any undocumented surface; no output when clean) *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        Array.of_list (List.rev acc)
+  in
+  go []
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_toplevel_decl line =
+  List.exists
+    (fun p -> starts_with p line)
+    [ "val "; "type "; "module "; "exception "; "external "; "include " ]
+
+let ends_with_comment_close line =
+  let t = String.trim line in
+  let n = String.length t in
+  n >= 2 && String.sub t (n - 2) 2 = "*)"
+
+let contains_doc_open line =
+  let rec go i =
+    if i + 2 >= String.length line then false
+    else if line.[i] = '(' && line.[i + 1] = '*' && line.[i + 2] = '*' then true
+    else go (i + 1)
+  in
+  go 0
+
+(* A val at [i] is documented when the nearest non-blank line above
+   ends a comment, or a doc-comment opens between the declaration and
+   the next top-level declaration. *)
+let val_documented lines i =
+  let above =
+    let rec go k =
+      if k < 0 then false
+      else if String.trim lines.(k) = "" then go (k - 1)
+      else ends_with_comment_close lines.(k)
+    in
+    go (i - 1)
+  in
+  above
+  ||
+  let n = Array.length lines in
+  let rec go k =
+    if k >= n then false
+    else if k > i && is_toplevel_decl lines.(k) then false
+    else if contains_doc_open lines.(k) then true
+    else go (k + 1)
+  in
+  go (i + 1)
+
+let module_header lines =
+  let n = Array.length lines in
+  let rec go k =
+    if k >= n then false
+    else if String.trim lines.(k) = "" then go (k + 1)
+    else starts_with "(**" (String.trim lines.(k))
+  in
+  go 0
+
+let lint path =
+  let lines = read_lines path in
+  let problems = ref [] in
+  if not (module_header lines) then
+    problems := Printf.sprintf "%s:1: missing module-level (** ... *) header" path :: !problems;
+  Array.iteri
+    (fun i line ->
+      if starts_with "val " line && not (val_documented lines i) then
+        problems :=
+          Printf.sprintf "%s:%d: undocumented: %s" path (i + 1)
+            (String.trim line)
+          :: !problems)
+    lines;
+  List.rev !problems
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: doc_lint FILE.mli...";
+    exit 2
+  end;
+  let problems = List.concat_map lint files in
+  if problems <> [] then begin
+    List.iter prerr_endline problems;
+    Printf.eprintf "doc_lint: %d undocumented item(s) in %d file(s)\n"
+      (List.length problems) (List.length files);
+    exit 1
+  end

@@ -77,6 +77,47 @@ let perf () =
       | Some _ | None -> Printf.printf "%-40s %16s\n" name "(no estimate)")
     (List.sort compare rows)
 
+(* --- Metrics stamping --------------------------------------------- *)
+
+(* Every bench run writes a self-describing metrics document: the
+   Report.to_json series wrapped in a meta envelope (git SHA, UTC
+   timestamp, sections run) so tools/bench_diff.exe can compare runs
+   from different commits and bench_history.jsonl stays greppable. *)
+
+let git_sha () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ | (exception _) -> "unknown")
+
+let utc_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let stamped_metrics registry ~sections =
+  let open Dpm_trace.Json in
+  let metrics =
+    match parse (Dpm_obs.Report.to_json registry) with
+    | Ok j -> j
+    | Error _ -> Obj [] (* unreachable: Report.to_json emits valid JSON *)
+  in
+  Obj
+    [
+      ( "meta",
+        Obj
+          [
+            ("git_sha", Str (git_sha ()));
+            ("utc", Str (utc_now ()));
+            ("sections", Arr (List.map (fun s -> Str s) sections));
+          ] );
+      ("metrics", metrics);
+    ]
+
 (* --- Section dispatch --------------------------------------------- *)
 
 let sections =
@@ -136,8 +177,20 @@ let () =
       else run name)
     requested;
   Dpm_obs.Probe.set_active None;
+  let line = Dpm_trace.Json.to_string (stamped_metrics registry ~sections:requested) in
   let oc = open_out "bench_metrics.json" in
-  output_string oc (Dpm_obs.Report.to_json registry);
+  output_string oc line;
+  output_char oc '\n';
   close_out oc;
-  Printf.printf "\nmetrics: wrote bench_metrics.json (%d series)\n"
+  (* The history file accumulates one line per run for trend plots;
+     bench_metrics.json is always the latest run. *)
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "bench_history.jsonl"
+  in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\nmetrics: wrote bench_metrics.json and appended bench_history.jsonl \
+     (%d series)\n"
     (List.length (Dpm_obs.Metrics.samples registry))

@@ -97,44 +97,95 @@ let metrics_arg =
     & opt ~vopt:(Some "table") (some string) None
     & info [ "metrics" ] ~docv:"FORMAT" ~doc)
 
-let with_metrics format run =
-  match format with
-  | None -> run ()
-  | Some fmt ->
-      let render =
-        match fmt with
-        | "table" -> Dpm_obs.Report.to_table
-        | "json" -> Dpm_obs.Report.to_json
-        | "prometheus" | "prom" -> Dpm_obs.Report.to_prometheus
-        | other ->
-            prerr_endline
-              (Printf.sprintf
-                 "unknown metrics format %S (try: table, json, prometheus)"
-                 other);
-            exit 1
+let metrics_out_arg =
+  let doc =
+    "Also write the collected metrics to $(docv) (in the $(b,--metrics) \
+     format, or json when $(b,--metrics) is absent).  Implies metrics \
+     collection even without $(b,--metrics)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let render_of_format = function
+  | "table" -> Dpm_obs.Report.to_table
+  | "json" -> Dpm_obs.Report.to_json
+  | "prometheus" | "prom" -> Dpm_obs.Report.to_prometheus
+  | other ->
+      prerr_endline
+        (Printf.sprintf
+           "unknown metrics format %S (try: table, json, prometheus)" other);
+      exit 1
+
+let with_metrics format out run =
+  match (format, out) with
+  | None, None -> run ()
+  | _ ->
+      (* Validate formats up front so a typo fails before the work. *)
+      let stdout_render = Option.map render_of_format format in
+      let file_render =
+        render_of_format (Option.value format ~default:"json")
       in
       let registry = Dpm_obs.Metrics.create () in
       Fun.protect
         ~finally:(fun () ->
           Dpm_obs.Probe.set_active None;
-          print_newline ();
-          print_string (render registry))
+          (match stdout_render with
+          | Some render ->
+              print_newline ();
+              print_string (render registry)
+          | None -> ());
+          match out with
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (file_render registry);
+              close_out oc
+          | None -> ())
         (fun () ->
           Dpm_obs.Probe.set_active (Some registry);
           run ())
 
-(* Every command takes the (metrics, domains, cache) triple through one
-   term so the observability registry, the domain pool, and the solver
+(* Global timeline tracing: when given, a Dpm_trace recorder is active
+   for the whole command; at exit its events are written as Chrome
+   trace-event JSON (open in Perfetto or chrome://tracing). *)
+let trace_arg =
+  let doc =
+    "Record a structured event timeline (spans, cache hits, fault \
+     injections, online re-solves with provenance) and write it to $(docv) \
+     as Chrome trace-event JSON, loadable in Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace file run =
+  match file with
+  | None -> run ()
+  | Some file ->
+      let recorder = Dpm_trace.Recorder.create () in
+      Fun.protect
+        ~finally:(fun () ->
+          Dpm_trace.Recorder.set_active None;
+          let oc = open_out file in
+          output_string oc (Dpm_trace.Chrome.to_json recorder);
+          close_out oc)
+        (fun () ->
+          Dpm_trace.Recorder.set_active (Some recorder);
+          run ())
+
+(* Every command takes the runtime bundle (metrics, metrics file, trace
+   file, domains, cache) through one term so the observability
+   registry, the timeline recorder, the domain pool, and the solver
    cache are set up the same way everywhere. *)
-let with_runtime (metrics, domains, cache) run =
+let with_runtime (metrics, metrics_out, trace, domains, cache) run =
   apply_domains domains;
   apply_cache cache;
-  with_metrics metrics run
+  with_trace trace @@ fun () -> with_metrics metrics metrics_out run
 
 let runtime_args =
   Term.(
-    const (fun metrics domains cache -> (metrics, domains, cache))
-    $ metrics_arg $ domains_arg $ cache_arg)
+    const (fun metrics metrics_out trace domains cache ->
+        (metrics, metrics_out, trace, domains, cache))
+    $ metrics_arg $ metrics_out_arg $ trace_arg $ domains_arg $ cache_arg)
 
 let build_system device rate capacity =
   match Presets.find device with
@@ -292,14 +343,27 @@ let print_solution sys (sol : Optimize.solution) =
   Format.printf "policy (rows: SP mode, '>' rows: transfer states):@.%s"
     (Policy_export.table sys (Optimize.action_of sys sol))
 
+let provenance_arg =
+  let doc =
+    "After the solution, print its solve provenance as one JSON line: model \
+     fingerprint, method and evaluation path, iterations, final residual, \
+     cache origin (cold / warm / cache_hit), robustness retries, and \
+     wall-clock time."
+  in
+  Arg.(value & flag & info [ "provenance" ] ~doc)
+
 let solve_cmd =
-  let run runtime device rate capacity weight no_validate deadline =
+  let run runtime device rate capacity weight no_validate deadline provenance =
     with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     validate_or_die sys ~no_validate;
     let guard = Dpm_robust.Guard.of_deadline deadline in
     match Optimize.solve ~weight ~guard sys with
-    | sol -> print_solution sys sol
+    | sol ->
+        print_solution sys sol;
+        if provenance then
+          print_endline
+            (Dpm_trace.Provenance.to_json sol.Optimize.provenance)
     | exception exn -> die_on_deadline exn
   in
   Cmd.v
@@ -307,7 +371,7 @@ let solve_cmd =
        ~doc:"Optimize the power-management policy for a given delay weight.")
     Term.(
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
-      $ weight_arg $ no_validate_arg $ deadline_arg)
+      $ weight_arg $ no_validate_arg $ deadline_arg $ provenance_arg)
 
 (* --- sweep ----------------------------------------------------------- *)
 
@@ -522,10 +586,14 @@ let simulate_cmd =
     in
     Arg.(value & opt string "optimal:1" & info [ "controller"; "c" ] ~docv:"CTL" ~doc)
   in
-  let trace_arg =
-    let doc = "Write a CSV event trace (last 65k events) to this file." in
+  let csv_trace_arg =
+    let doc =
+      "Write a CSV event trace (last 65k events) to this file.  Distinct \
+       from the global $(b,--trace), which records the Chrome-format \
+       runtime timeline."
+    in
     Cmdliner.Arg.(
-      value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+      value & opt (some string) None & info [ "csv-trace" ] ~docv:"FILE" ~doc)
   in
   let workload_arg =
     let doc =
@@ -542,7 +610,7 @@ let simulate_cmd =
       "Run this many independent replications (seeds derived from --seed by \
        the splitmix64 stream, run on the --domains pool) and print \
        per-replication lines plus a mean +/- 95% CI summary.  \
-       Incompatible with --trace."
+       Incompatible with --csv-trace."
     in
     Arg.(value & opt int 1 & info [ "replications" ] ~docv:"R" ~doc)
   in
@@ -556,7 +624,8 @@ let simulate_cmd =
     end;
     if replications > 1 then begin
       if trace_file <> None then begin
-        prerr_endline "--trace only applies to a single run (replications=1)";
+        prerr_endline
+          "--csv-trace only applies to a single run (replications=1)";
         exit 1
       end;
       let rs =
@@ -625,7 +694,7 @@ let simulate_cmd =
     Term.(
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ controller_arg $ workload_arg $ requests_arg $ seed_arg
-      $ replications_arg $ trace_arg)
+      $ replications_arg $ csv_trace_arg)
 
 (* --- adapt -------------------------------------------------------------- *)
 

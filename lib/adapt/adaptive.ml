@@ -17,6 +17,7 @@ type t = {
   quantize : float -> float;
   mutable actions : int array;
   mutable last_attempt : float;
+  mutable last_provenance : Dpm_trace.Provenance.t option;
   stats : stats;
 }
 
@@ -54,6 +55,7 @@ let create ?(weight = 0.0) ?estimator ?(min_observations = 30)
     quantize;
     actions = solution.Optimize.actions;
     last_attempt = neg_infinity;
+    last_provenance = Some solution.Optimize.provenance;
     stats =
       {
         resolves = 0;
@@ -65,6 +67,7 @@ let create ?(weight = 0.0) ?estimator ?(min_observations = 30)
 
 let stats t = t.stats
 let estimator t = t.estimator
+let last_provenance t = t.last_provenance
 let deployed_actions t = Array.copy t.actions
 
 let policy t state = t.actions.(Sys_model.index t.sys state)
@@ -107,14 +110,38 @@ let maybe_adapt t ~now =
               t.actions <- solution.Optimize.actions;
               t.stats.deployed_rate <- target;
               t.stats.policy_switches <- t.stats.policy_switches + 1;
+              (* Pin the deadline the solve actually ran under; the
+                 lower layers never see it (it lives in the guard). *)
+              let provenance =
+                {
+                  solution.Optimize.provenance with
+                  Dpm_trace.Provenance.deadline_s = t.deadline_s;
+                }
+              in
+              t.last_provenance <- Some provenance;
               Dpm_obs.Probe.incr "adapt.policy_switches";
-              Dpm_obs.Probe.set "adapt.deployed_rate" target
+              Dpm_obs.Probe.set "adapt.deployed_rate" target;
+              if Dpm_trace.Recorder.enabled () then
+                Dpm_trace.Recorder.instant "adapt.resolve"
+                  ~args:
+                    (("outcome", Dpm_trace.Event.Str "deployed")
+                     :: ("sim_time", Dpm_trace.Event.Float now)
+                     :: ("rate", Dpm_trace.Event.Float target)
+                     :: Dpm_trace.Provenance.to_args provenance)
           | Error _ ->
               (* Keep the incumbent policy; the cooldown spaces out
                  retries so a persistently failing solver degrades the
                  controller to a static one instead of stalling it. *)
               t.stats.resolve_failures <- t.stats.resolve_failures + 1;
-              Dpm_obs.Probe.incr "adapt.resolve_failures"
+              Dpm_obs.Probe.incr "adapt.resolve_failures";
+              if Dpm_trace.Recorder.enabled () then
+                Dpm_trace.Recorder.instant "adapt.resolve"
+                  ~args:
+                    [
+                      ("outcome", Dpm_trace.Event.Str "failed");
+                      ("sim_time", Dpm_trace.Event.Float now);
+                      ("rate", Dpm_trace.Event.Float target);
+                    ]
         end
 
 let controller ?(name = "adaptive") t =

@@ -96,3 +96,11 @@ val estimator : t -> Estimator.t
 val deployed_actions : t -> int array
 (** A copy of the currently deployed action table (indexed by
     {!Dpm_core.Sys_model.index}). *)
+
+val last_provenance : t -> Dpm_trace.Provenance.t option
+(** Provenance of the solve that produced the deployed policy — the
+    incumbent's at creation, then the latest successful re-solve's
+    (with [deadline_s] filled in from [create]).  A failed re-solve
+    leaves it untouched, matching the policy it describes.  Each
+    re-solve decision is also emitted as an [adapt.resolve] instant
+    (with these fields as args) on the active [Dpm_trace.Recorder]. *)

@@ -45,8 +45,9 @@ let find ?(config = Fingerprint.default_config) m =
   let c = !cache in
   if Lru.capacity c = 0 then None
   else begin
+    let key = Fingerprint.key ~config m in
     let hit =
-      match Lru.find c (Fingerprint.key ~config m) with
+      match Lru.find c key with
       | None -> None
       | Some e -> (
           (* Rebuild the policy for this model instance; a label the
@@ -64,6 +65,15 @@ let find ?(config = Fingerprint.default_config) m =
           | exception Invalid_argument _ -> None)
     in
     Probe.incr (if hit = None then "cache.misses" else "cache.hits");
+    if Dpm_trace.Recorder.enabled () then
+      Dpm_trace.Recorder.instant
+        (if hit = None then "cache.miss" else "cache.hit")
+        ~args:
+          [
+            ( "fingerprint",
+              Dpm_trace.Event.Str
+                (Printf.sprintf "%016Lx" (Fingerprint.hash64 key)) );
+          ];
     publish c;
     hit
   end

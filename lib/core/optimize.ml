@@ -4,10 +4,24 @@ type solution = {
   gain : float;
   iterations : int;
   metrics : Analytic.metrics;
+  provenance : Dpm_trace.Provenance.t;
 }
 
 let solve ?(weight = 0.0) ?init_actions ?guard sys =
+  let t0 = Dpm_obs.Probe.now () in
   let model = Sys_model.to_ctmdp sys ~weight in
+  (* Identify the solve in provenance whatever path produced it; the
+     hash is O(model) — noise next to any evaluation. *)
+  let finish ~origin (result : Dpm_ctmdp.Policy_iteration.result) =
+    {
+      result.Dpm_ctmdp.Policy_iteration.provenance with
+      Dpm_trace.Provenance.fingerprint = Dpm_cache.Fingerprint.model_hash model;
+      origin;
+      wall_s = Dpm_obs.Probe.now () -. t0;
+      weight;
+      arrival_rate = Sys_model.arrival_rate sys;
+    }
+  in
   match Dpm_cache.Solve_cache.find model with
   | Some result ->
       let actions =
@@ -19,6 +33,7 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
         gain = result.Dpm_ctmdp.Policy_iteration.gain;
         iterations = result.Dpm_ctmdp.Policy_iteration.iterations;
         metrics = Analytic.of_action_array sys actions;
+        provenance = finish ~origin:Dpm_trace.Provenance.Cache_hit result;
       }
   | None ->
       let solve_from init =
@@ -58,6 +73,11 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
         gain = result.Dpm_ctmdp.Policy_iteration.gain;
         iterations = result.Dpm_ctmdp.Policy_iteration.iterations;
         metrics;
+        provenance =
+          finish
+            ~origin:result.Dpm_ctmdp.Policy_iteration.provenance
+                      .Dpm_trace.Provenance.origin
+            result;
       }
 
 let action_of sys solution x = solution.actions.(Sys_model.index sys x)

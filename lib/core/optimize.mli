@@ -15,6 +15,11 @@ type solution = {
   gain : float;  (** optimal average total cost per unit time *)
   iterations : int;  (** policy-iteration sweeps *)
   metrics : Analytic.metrics;  (** analytic metrics of the policy *)
+  provenance : Dpm_trace.Provenance.t;
+      (** full solve provenance: the built CTMDP's structural
+          fingerprint, cache-hit/warm/cold origin, eval path,
+          iterations, final residual, robustness counters, wall
+          clock, and the [weight]/[arrival_rate] the solve ran at. *)
 }
 
 val solve :

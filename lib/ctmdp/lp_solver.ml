@@ -5,9 +5,11 @@ type result = {
   gain : float;
   occupation : float array array;
   bias : Vec.t;
+  provenance : Dpm_trace.Provenance.t;
 }
 
 let solve ?(ref_state = 0) ?max_pivots ?guard m =
+  let t0 = Dpm_obs.Probe.now () in
   let n = Model.num_states m in
   if ref_state < 0 || ref_state >= n then
     invalid_arg "Lp_solver.solve: bad reference state";
@@ -57,7 +59,11 @@ let solve ?(ref_state = 0) ?max_pivots ?guard m =
     pairs;
   let b = Vec.create nrows in
   b.(norm_row) <- 1.0;
-  match Simplex.minimize ?max_pivots ?guard ~c ~a b with
+  let outcome, counts =
+    Dpm_trace.Provenance.collect (fun () ->
+        Simplex.minimize ?max_pivots ?guard ~c ~a b)
+  in
+  match outcome with
   | Simplex.Infeasible -> failwith "Lp_solver.solve: LP infeasible (model bug?)"
   | Simplex.Unbounded -> failwith "Lp_solver.solve: LP unbounded (model bug?)"
   | Simplex.Optimal { x; objective; dual } ->
@@ -101,4 +107,10 @@ let solve ?(ref_state = 0) ?max_pivots ?guard m =
         gain = objective;
         occupation;
         bias;
+        provenance =
+          Dpm_trace.Provenance.of_counts ~method_:"lp"
+            ~iterations:counts.Dpm_trace.Provenance.pivots
+            ~origin:Dpm_trace.Provenance.Cold
+            ~wall_s:(Dpm_obs.Probe.now () -. t0)
+            ~eval_path:"simplex" counts;
       }

@@ -28,6 +28,8 @@ type result = {
       (** [occupation.(i).(k)]: measure of state [i], choice [k] *)
   bias : Vec.t;
       (** relative values recovered from the LP duals, [v_ref = 0] *)
+  provenance : Dpm_trace.Provenance.t;
+      (** method ["lp"], iterations = simplex pivots taken. *)
 }
 
 val solve :

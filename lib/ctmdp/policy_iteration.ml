@@ -15,6 +15,7 @@ type result = {
   bias : Vec.t;
   iterations : int;
   trace : step list;
+  provenance : Dpm_trace.Provenance.t;
 }
 
 let check_ref_state m ref_state =
@@ -99,6 +100,7 @@ let evaluate_robust ?(ref_state = 0) m p =
   | lu -> evaluation_of ~ref_state (Lu.solve_factored lu b)
   | exception Lu.Singular first_pivot ->
       Dpm_obs.Probe.incr "policy_iteration.robust_retries";
+      Dpm_trace.Provenance.note_robust_retry ();
       let scale = Float.max 1.0 (Model.max_exit_rate m) in
       (* Pristine copy for exact-residual re-verification ([a] is
          patched in place rung by rung). *)
@@ -115,6 +117,14 @@ let evaluate_robust ?(ref_state = 0) m p =
         apply_restart a ~ref_state ~restart_rate:(eps -. !applied);
         applied := eps;
         Dpm_obs.Probe.incr "policy_iteration.tikhonov_rungs";
+        Dpm_trace.Provenance.note_tikhonov_rung ();
+        if Dpm_trace.Recorder.enabled () then
+          Dpm_trace.Recorder.instant "pi.tikhonov_rung"
+            ~args:
+              [
+                ("rung", Dpm_trace.Event.Int rung);
+                ("restart_rate", Dpm_trace.Event.Float eps);
+              ];
         Logs.debug (fun k ->
             k "policy evaluation singular (multichain policy?); Tikhonov \
                rung %d, restart rate %g" rung eps);
@@ -137,8 +147,10 @@ let evaluate_robust ?(ref_state = 0) m p =
               Dpm_obs.Probe.set "policy_iteration.tikhonov_exact_residual"
                 r_exact;
               let tol_exact = tol_pert +. (10.0 *. eps *. (1.0 +. x_norm)) in
-              if r_pert <= tol_pert && r_exact <= tol_exact then
+              if r_pert <= tol_pert && r_exact <= tol_exact then begin
+                Dpm_trace.Provenance.note_residual r_exact;
                 evaluation_of ~ref_state x
+              end
               else attempt (rung + 1)
             end
       in
@@ -294,6 +306,7 @@ let evaluate_sparse_exn ~ref_state ~tol ~max_iter m p =
     raise
       (Sparse_failed
          (Printf.sprintf "verification residual %g above %g" residual accept));
+  Dpm_trace.Provenance.note_residual residual;
   evaluation_of ~ref_state x
 
 let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
@@ -307,6 +320,7 @@ let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
   | e ->
       Dpm_obs.Probe.incr "policy_iteration.sparse_evals";
       Dpm_obs.Probe.set "policy_iteration.eval_path" 1.0;
+      Dpm_trace.Provenance.note_eval_path "sparse";
       e
   | exception (Sparse_failed reason | Invalid_argument reason) ->
       (* Zero diagonals (absorbing states), non-convergence, or a
@@ -315,6 +329,11 @@ let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
           k "sparse policy evaluation fell back to dense LU: %s" reason);
       Dpm_obs.Probe.incr "policy_iteration.sparse_fallbacks";
       Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
+      Dpm_trace.Provenance.note_sparse_fallback ();
+      Dpm_trace.Provenance.note_eval_path "dense";
+      if Dpm_trace.Recorder.enabled () then
+        Dpm_trace.Recorder.instant "pi.sparse_fallback"
+          ~args:[ ("reason", Dpm_trace.Event.Str reason) ];
       evaluate_robust ~ref_state m p
 
 type eval_path = Dense | Sparse | Auto
@@ -334,6 +353,7 @@ let evaluate_auto ?ref_state ~path m p =
   if use_sparse then evaluate_sparse ?ref_state m p
   else begin
     Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
+    Dpm_trace.Provenance.note_eval_path "dense";
     evaluate_robust ?ref_state m p
   end
 
@@ -370,6 +390,12 @@ let improve m (eval : evaluation) ~incumbent =
 let solve ?ref_state ?(max_iter = 1000) ?init ?(eval = Auto)
     ?(guard = fun () -> ()) m =
   Dpm_obs.Span.with_ "policy_iteration" @@ fun () ->
+  let t0 = Dpm_obs.Probe.now () in
+  let origin =
+    match init with
+    | Some _ -> Dpm_trace.Provenance.Warm
+    | None -> Dpm_trace.Provenance.Cold
+  in
   let init = match init with Some p -> p | None -> Policy.uniform_first m in
   let rec loop iteration policy trace =
     guard ();
@@ -401,18 +427,25 @@ let solve ?ref_state ?(max_iter = 1000) ?init ?(eval = Auto)
       Dpm_obs.Probe.incr "policy_iteration.solves";
       Dpm_obs.Probe.add "policy_iteration.iterations" iteration;
       Dpm_obs.Probe.set "policy_iteration.gain" evaluation.gain;
-      ( {
-          policy;
-          gain = evaluation.gain;
-          bias = evaluation.bias;
-          iterations = iteration;
-          trace = List.rev (step :: trace);
-        }
-        : result )
+      (policy, evaluation, iteration, List.rev (step :: trace))
     end
     else loop (iteration + 1) next (step :: trace)
   in
-  loop 1 init []
+  let (policy, evaluation, iterations, trace), counts =
+    Dpm_trace.Provenance.collect (fun () -> loop 1 init [])
+  in
+  {
+    policy;
+    gain = evaluation.gain;
+    bias = evaluation.bias;
+    iterations;
+    trace;
+    provenance =
+      Dpm_trace.Provenance.of_counts ~method_:"policy_iteration" ~iterations
+        ~origin
+        ~wall_s:(Dpm_obs.Probe.now () -. t0)
+        counts;
+  }
 
 let brute_force m =
   let best = ref None in

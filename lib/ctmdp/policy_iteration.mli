@@ -34,6 +34,11 @@ type result = {
   bias : Vec.t;
   iterations : int;
   trace : step list;  (** chronological *)
+  provenance : Dpm_trace.Provenance.t;
+      (** how this solve went: method, eval path, iterations, final
+          residual, warm/cold origin, Tikhonov rungs, sparse
+          fallbacks, wall clock.  The fingerprint is [0L] here; the
+          cache layer ([Dpm_cache], [Optimize]) fills it in. *)
 }
 
 val evaluate : ?ref_state:int -> Model.t -> Policy.t -> evaluation

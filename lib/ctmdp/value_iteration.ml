@@ -7,11 +7,18 @@ type result = {
   values : Vec.t;
   iterations : int;
   converged : bool;
+  provenance : Dpm_trace.Provenance.t;
 }
 
 let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) ?init_values
     ?(guard = fun () -> ()) m =
   Dpm_obs.Span.with_ "value_iteration" @@ fun () ->
+  let t0 = Dpm_obs.Probe.now () in
+  let origin =
+    match init_values with
+    | Some _ -> Dpm_trace.Provenance.Warm
+    | None -> Dpm_trace.Provenance.Cold
+  in
   let n = Model.num_states m in
   let u = Model.max_exit_rate m in
   (* Strictly above the max exit rate so every state keeps a self-loop
@@ -91,4 +98,13 @@ let solve ?(tol = 1e-9) ?(max_iter = 1_000_000) ?init_values
     values = !v;
     iterations = !iterations;
     converged = !converged;
+    provenance =
+      (* VI has no retry machinery; its counts are structurally empty. *)
+      (let (), counts = Dpm_trace.Provenance.collect (fun () -> ()) in
+       Dpm_trace.Provenance.of_counts ~method_:"value_iteration"
+         ~iterations:!iterations ~origin
+         ~wall_s:(Dpm_obs.Probe.now () -. t0)
+         ~eval_path:"uniformized"
+         ~residual:(!upper -. !lower)
+         counts);
   }

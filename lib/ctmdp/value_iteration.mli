@@ -20,6 +20,9 @@ type result = {
   values : Vec.t;      (** final relative values *)
   iterations : int;
   converged : bool;
+  provenance : Dpm_trace.Provenance.t;
+      (** method ["value_iteration"], residual = final gain-bound
+          span, warm/cold origin from [init_values]. *)
 }
 
 val solve :

@@ -101,6 +101,7 @@ let run_phase ~bland ~guard ~columns ~cost ~allowed ~b ~basis ~tol ~max_pivots =
         basis.(!leave) <- j;
         incr pivots;
         Dpm_obs.Probe.incr "simplex.pivots";
+        Dpm_trace.Provenance.note_pivot ();
         step ()
       end
     end

@@ -43,8 +43,13 @@ val create : unit -> t
 (** A fresh, empty registry. *)
 
 val counter : t -> ?help:string -> string -> counter
+(** Register (or re-fetch) the counter [name]. *)
+
 val gauge : t -> ?help:string -> string -> gauge
+(** Register (or re-fetch) the gauge [name]. *)
+
 val timer : t -> ?help:string -> string -> timer
+(** Register (or re-fetch) the timer [name]. *)
 
 val histogram : t -> ?help:string -> buckets:float array -> string -> histogram
 (** [buckets] are strictly increasing finite upper bounds; raises
@@ -52,8 +57,13 @@ val histogram : t -> ?help:string -> buckets:float array -> string -> histogram
     histogram is returned and [buckets] is ignored. *)
 
 val incr : counter -> unit
+(** Add one. *)
+
 val add : counter -> int -> unit
+(** Add [n] (negative deltas are a programming error, not checked). *)
+
 val set : gauge -> float -> unit
+(** Overwrite the gauge value. *)
 
 val set_max : gauge -> float -> unit
 (** High-water mark: keeps the larger of the stored and given value. *)
@@ -62,6 +72,7 @@ val record : timer -> float -> unit
 (** [record t seconds] adds one timed interval. *)
 
 val observe : histogram -> float -> unit
+(** Count [v] into its bucket and the running sum. *)
 
 (** {1 Snapshots} *)
 
@@ -85,4 +96,7 @@ val samples : t -> sample list
     copies; the snapshot is immutable. *)
 
 val find : t -> string -> value option
+(** Snapshot one metric by name. *)
+
 val is_empty : t -> bool
+(** [true] iff nothing has been registered. *)

@@ -17,7 +17,10 @@ val set_active : Metrics.t option -> unit
 (** Install (or, with [None], remove) the process-wide registry. *)
 
 val current : unit -> Metrics.t option
+(** The active registry, if any. *)
+
 val enabled : unit -> bool
+(** [true] iff a registry is active. *)
 
 val with_active : Metrics.t -> (unit -> 'a) -> 'a
 (** Run a thunk with the given registry active, restoring the
@@ -31,11 +34,22 @@ val now : unit -> float
     active. *)
 
 val incr : string -> unit
+(** Add one to counter [name]. *)
+
 val add : string -> int -> unit
+(** Add [n] to counter [name]. *)
+
 val set : string -> float -> unit
+(** Overwrite gauge [name]. *)
+
 val set_max : string -> float -> unit
+(** High-water-mark gauge [name]. *)
+
 val observe : string -> buckets:float array -> float -> unit
+(** Observe into histogram [name] (buckets fixed at first use). *)
+
 val record : string -> float -> unit
+(** Add one timed interval to timer [name]. *)
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f], recording its wall-clock duration into

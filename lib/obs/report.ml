@@ -118,11 +118,30 @@ let sanitize name =
 
 let prom_name name = "dpm_" ^ sanitize name
 
+(* Exposition-format escaping (text format 0.0.4): HELP text escapes
+   backslash and newline — a raw newline would start a bogus sample
+   line; label values additionally escape double quotes. *)
+let prom_escape ~quote s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' when quote -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_help = prom_escape ~quote:false
+let prom_label_value = prom_escape ~quote:true
+
 let to_prometheus r =
   let b = Buffer.create 1024 in
   let header name kind help =
     if help <> "" then
-      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b
+        (Printf.sprintf "# HELP %s %s\n" name (prom_help help));
     Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
   in
   List.iter
@@ -155,7 +174,8 @@ let to_prometheus r =
                 else "+Inf"
               in
               Buffer.add_string b
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le !cumulative))
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+                   (prom_label_value le) !cumulative))
             counts;
           Buffer.add_string b
             (Printf.sprintf "%s_sum %s\n" name (prom_float sum));

@@ -16,5 +16,19 @@
       series. *)
 
 val to_table : Metrics.t -> string
+(** Aligned two-column text table. *)
+
 val to_json : Metrics.t -> string
+(** One JSON object keyed by metric name. *)
+
 val to_prometheus : Metrics.t -> string
+(** Prometheus text exposition; help strings have backslashes and
+    newlines escaped so hostile metric help cannot break the
+    format. *)
+
+val prom_help : string -> string
+(** Escape a HELP text for the exposition format: backslash and
+    newline become their backslash escapes; quotes stay bare. *)
+
+val prom_label_value : string -> string
+(** Escape a label value: like {!prom_help} plus double quotes. *)

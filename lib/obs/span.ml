@@ -8,19 +8,34 @@ let stack : string list ref Domain.DLS.key =
 let path () = List.rev !(Domain.DLS.get stack)
 
 let with_ name f =
-  match Probe.current () with
-  | None -> f ()
-  | Some r ->
+  let metrics = Probe.current () in
+  let tracing = Dpm_trace.Recorder.current () in
+  match (metrics, tracing) with
+  | None, None -> f ()
+  | _ ->
       let stack = Domain.DLS.get stack in
       let saved = !stack in
-      let dotted =
-        String.concat "." (List.rev_append saved [ name ]) |> ( ^ ) "span."
+      let tm =
+        match metrics with
+        | None -> None
+        | Some r ->
+            let dotted =
+              String.concat "." (List.rev_append saved [ name ])
+              |> ( ^ ) "span."
+            in
+            Some (Metrics.timer r dotted)
       in
-      let tm = Metrics.timer r dotted in
       stack := name :: saved;
+      (match tracing with
+      | None -> ()
+      | Some t -> Dpm_trace.Recorder.emit t Dpm_trace.Event.Begin name);
       let t0 = Probe.now () in
       Fun.protect
         ~finally:(fun () ->
           stack := saved;
-          Metrics.record tm (Probe.now () -. t0))
+          let dt = Probe.now () -. t0 in
+          (match tracing with
+          | None -> ()
+          | Some t -> Dpm_trace.Recorder.emit t Dpm_trace.Event.End name);
+          match tm with None -> () | Some tm -> Metrics.record tm dt)
         f

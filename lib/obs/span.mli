@@ -1,13 +1,16 @@
 (** Hierarchical wall-clock spans.
 
-    A span is a named, nested timing scope: entering span ["evaluate"]
-    inside span ["policy_iteration"] accumulates into the timer
-    [span.policy_iteration.evaluate] of the active {!Probe} registry.
-    Each distinct path gets one {!Metrics.timer}, so repeated passes
-    through the same scope aggregate (count + total seconds) rather
-    than producing a trace.
+    A span is a named, nested timing scope with two sinks.  Into the
+    active {!Probe} registry it {e aggregates}: entering span
+    ["evaluate"] inside span ["policy_iteration"] accumulates into the
+    timer [span.policy_iteration.evaluate], one {!Metrics.timer} per
+    distinct path (count + total seconds).  Into the active
+    [Dpm_trace.Recorder] — when one is installed — it additionally
+    emits begin/end {e timeline events}, so the same instrumentation
+    points appear as nested duration slices in a Chrome/Perfetto
+    trace.  Either sink may be active without the other.
 
-    Like all probes, spans are free when no registry is active: the
+    Like all probes, spans are free when neither sink is active: the
     body runs directly, with no clock read and no allocation. *)
 
 val with_ : string -> (unit -> 'a) -> 'a

@@ -78,7 +78,11 @@ let of_env () =
       if kinds = [] then None else Some { seed; kinds }
 
 let injected kind =
-  Dpm_obs.Probe.incr ("fault.injected." ^ kind_to_string kind)
+  Dpm_obs.Probe.incr ("fault.injected." ^ kind_to_string kind);
+  Dpm_trace.Provenance.note_fault ();
+  if Dpm_trace.Recorder.enabled () then
+    Dpm_trace.Recorder.instant "fault.injected"
+      ~args:[ ("kind", Dpm_trace.Event.Str (kind_to_string kind)) ]
 
 (* Derive one sub-seed per fault kind, so adding a kind to the plan
    does not move where the other kinds strike. *)

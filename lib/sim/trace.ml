@@ -46,6 +46,10 @@ let mode_intervals t =
 
 let to_csv t =
   let buf = Buffer.create 4096 in
+  (* Truncation marker: plots can tell a clipped ring from a short
+     run without counting rows. *)
+  Buffer.add_string buf
+    (Printf.sprintf "# length=%d dropped=%d\n" (length t) (dropped t));
   Buffer.add_string buf "time,event,mode,queue,switching_to,in_transfer\n";
   List.iter
     (fun s ->

@@ -28,4 +28,8 @@ val mode_intervals : t -> (float * float * int) list
     window — the data behind a power-state timeline plot. *)
 
 val to_csv : t -> string
-(** CSV rendering: [time,event,mode,queue,switching_to,in_transfer]. *)
+(** CSV rendering: [time,event,mode,queue,switching_to,in_transfer].
+    The first line is a comment, [# length=N dropped=M], so a
+    downstream plot can detect ring-buffer truncation ([dropped > 0]
+    means the file starts mid-run) instead of silently rendering a
+    clipped trace. *)

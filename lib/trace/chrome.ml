@@ -1,0 +1,39 @@
+let arg_json = function
+  | Event.Str s -> "\"" ^ Json.escape s ^ "\""
+  | Event.Int i -> string_of_int i
+  | Event.Float f -> Json.float_str f
+  | Event.Bool b -> if b then "true" else "false"
+
+let event_json ~epoch (e : Event.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\": \"%s\", \"cat\": \"dpm\", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": %d"
+       (Json.escape e.name)
+       (Event.phase_code e.phase)
+       ((e.ts -. epoch) *. 1e6)
+       e.tid);
+  if e.phase = Event.Instant then Buffer.add_string buf ", \"s\": \"t\"";
+  if e.args <> [] then begin
+    Buffer.add_string buf ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf ("\"" ^ Json.escape k ^ "\": " ^ arg_json v))
+      e.args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let render ~epoch events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf (if i > 0 then ",\n  " else "\n  ");
+      Buffer.add_string buf (event_json ~epoch e))
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let to_json t = render ~epoch:(Recorder.epoch t) (Recorder.events t)

@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON export.
+
+    Renders recorded events in the Trace Event Format understood by
+    Perfetto ([ui.perfetto.dev]) and [chrome://tracing]: a JSON object
+    with a [traceEvents] array of [{"name", "cat", "ph", "ts", "pid",
+    "tid", ...}] records, timestamps in microseconds relative to the
+    recorder epoch.  [Begin]/[End] pairs nest into duration slices per
+    track; instants render with scope ["t"] (thread). *)
+
+val render : epoch:float -> Event.t list -> string
+(** Render an event list (absolute timestamps rebased onto [epoch]).
+    Deterministic given the events — used for golden pinning. *)
+
+val to_json : Recorder.t -> string
+(** [render] the recorder's merged, time-sorted events against its
+    own epoch. *)

@@ -1,0 +1,13 @@
+type arg = Str of string | Int of int | Float of float | Bool of bool
+type phase = Begin | End | Instant
+
+type t = {
+  ts : float;
+  name : string;
+  phase : phase;
+  tid : int;
+  args : (string * arg) list;
+}
+
+let compare_ts a b = Float.compare a.ts b.ts
+let phase_code = function Begin -> "B" | End -> "E" | Instant -> "i"

@@ -1,0 +1,213 @@
+type origin = Cold | Warm | Cache_hit
+
+type counts = {
+  mutable robust_retries : int;
+  mutable tikhonov_rungs : int;
+  mutable sparse_fallbacks : int;
+  mutable faults_injected : int;
+  mutable pivots : int;
+  mutable residual : float;
+  mutable eval_path : string option;
+}
+
+type t = {
+  fingerprint : int64;
+  method_ : string;
+  eval_path : string;
+  iterations : int;
+  residual : float;
+  origin : origin;
+  robust_retries : int;
+  tikhonov_rungs : int;
+  sparse_fallbacks : int;
+  faults_injected : int;
+  deadline_s : float option;
+  wall_s : float;
+  weight : float;
+  arrival_rate : float;
+}
+
+(* Domain-local active collector, [None] outside [collect].  A ref
+   cell per domain keeps the notes allocation-free: ticking mutates
+   fields in place. *)
+let collector : counts option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fresh () =
+  {
+    robust_retries = 0;
+    tikhonov_rungs = 0;
+    sparse_fallbacks = 0;
+    faults_injected = 0;
+    pivots = 0;
+    residual = Float.nan;
+    eval_path = None;
+  }
+
+let collect f =
+  let slot = Domain.DLS.get collector in
+  let saved = !slot in
+  let c = fresh () in
+  slot := Some c;
+  let r = Fun.protect ~finally:(fun () -> slot := saved) f in
+  (r, c)
+
+let with_counts f =
+  match !(Domain.DLS.get collector) with None -> () | Some c -> f c
+
+let note_robust_retry () =
+  with_counts (fun c -> c.robust_retries <- c.robust_retries + 1)
+
+let note_tikhonov_rung () =
+  with_counts (fun c -> c.tikhonov_rungs <- c.tikhonov_rungs + 1)
+
+let note_sparse_fallback () =
+  with_counts (fun c -> c.sparse_fallbacks <- c.sparse_fallbacks + 1)
+
+let note_fault () =
+  with_counts (fun c -> c.faults_injected <- c.faults_injected + 1)
+
+let note_pivot () = with_counts (fun c -> c.pivots <- c.pivots + 1)
+let note_residual r = with_counts (fun c -> c.residual <- r)
+let note_eval_path p = with_counts (fun c -> c.eval_path <- Some p)
+
+let of_counts ~method_ ~iterations ~origin ~wall_s ?eval_path ?residual
+    ?deadline_s (c : counts) =
+  {
+    fingerprint = 0L;
+    method_;
+    eval_path =
+      (match eval_path with
+      | Some p -> p
+      | None -> Option.value c.eval_path ~default:"");
+    iterations;
+    residual = (match residual with Some r -> r | None -> c.residual);
+    origin;
+    robust_retries = c.robust_retries;
+    tikhonov_rungs = c.tikhonov_rungs;
+    sparse_fallbacks = c.sparse_fallbacks;
+    faults_injected = c.faults_injected;
+    deadline_s;
+    wall_s;
+    weight = Float.nan;
+    arrival_rate = Float.nan;
+  }
+
+let origin_to_string = function
+  | Cold -> "cold"
+  | Warm -> "warm"
+  | Cache_hit -> "cache_hit"
+
+let origin_of_string = function
+  | "cold" -> Some Cold
+  | "warm" -> Some Warm
+  | "cache_hit" -> Some Cache_hit
+  | _ -> None
+
+let fingerprint_hex t = Printf.sprintf "%016Lx" t.fingerprint
+
+let opt_num x = if Float.is_finite x then Json.Num x else Json.Null
+
+let to_json t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("fingerprint", Json.Str (fingerprint_hex t));
+         ("method", Json.Str t.method_);
+         ("eval_path", Json.Str t.eval_path);
+         ("iterations", Json.Num (float_of_int t.iterations));
+         ("residual", opt_num t.residual);
+         ("origin", Json.Str (origin_to_string t.origin));
+         ("robust_retries", Json.Num (float_of_int t.robust_retries));
+         ("tikhonov_rungs", Json.Num (float_of_int t.tikhonov_rungs));
+         ("sparse_fallbacks", Json.Num (float_of_int t.sparse_fallbacks));
+         ("faults_injected", Json.Num (float_of_int t.faults_injected));
+         ( "deadline_s",
+           match t.deadline_s with Some d -> Json.Num d | None -> Json.Null );
+         ("wall_s", opt_num t.wall_s);
+         ("weight", opt_num t.weight);
+         ("arrival_rate", opt_num t.arrival_rate);
+       ])
+
+let of_json s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      let int k = Option.bind (Json.member k j) Json.to_int in
+      let num k =
+        match Json.member k j with
+        | Some (Json.Num x) -> x
+        | _ -> Float.nan
+      in
+      match (str "fingerprint", str "method", int "iterations", str "origin")
+      with
+      | Some fp_hex, Some method_, Some iterations, Some origin_s -> (
+          match
+            ( Int64.of_string_opt ("0x" ^ fp_hex),
+              origin_of_string origin_s )
+          with
+          | Some fingerprint, Some origin ->
+              Ok
+                {
+                  fingerprint;
+                  method_;
+                  eval_path = Option.value (str "eval_path") ~default:"";
+                  iterations;
+                  residual = num "residual";
+                  origin;
+                  robust_retries =
+                    Option.value (int "robust_retries") ~default:0;
+                  tikhonov_rungs =
+                    Option.value (int "tikhonov_rungs") ~default:0;
+                  sparse_fallbacks =
+                    Option.value (int "sparse_fallbacks") ~default:0;
+                  faults_injected =
+                    Option.value (int "faults_injected") ~default:0;
+                  deadline_s =
+                    (let d = num "deadline_s" in
+                     if Float.is_finite d then Some d else None);
+                  wall_s = num "wall_s";
+                  weight = num "weight";
+                  arrival_rate = num "arrival_rate";
+                }
+          | None, _ -> Error "provenance: bad fingerprint hex"
+          | _, None -> Error "provenance: bad origin")
+      | _ -> Error "provenance: missing required field")
+
+let to_args t =
+  List.concat
+    [
+      [
+        ("fingerprint", Event.Str (fingerprint_hex t));
+        ("method", Event.Str t.method_);
+        ("origin", Event.Str (origin_to_string t.origin));
+        ("iterations", Event.Int t.iterations);
+        ("wall_s", Event.Float t.wall_s);
+      ];
+      (if t.eval_path = "" then []
+       else [ ("eval_path", Event.Str t.eval_path) ]);
+      (if Float.is_finite t.residual then
+         [ ("residual", Event.Float t.residual) ]
+       else []);
+      (if t.robust_retries > 0 then
+         [ ("robust_retries", Event.Int t.robust_retries) ]
+       else []);
+      (if t.tikhonov_rungs > 0 then
+         [ ("tikhonov_rungs", Event.Int t.tikhonov_rungs) ]
+       else []);
+      (if t.sparse_fallbacks > 0 then
+         [ ("sparse_fallbacks", Event.Int t.sparse_fallbacks) ]
+       else []);
+      (if t.faults_injected > 0 then
+         [ ("faults_injected", Event.Int t.faults_injected) ]
+       else []);
+      (match t.deadline_s with
+      | Some d -> [ ("deadline_s", Event.Float d) ]
+      | None -> []);
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%s] %s fp=%s iters=%d wall=%.3gs" t.method_
+    (if t.eval_path = "" then "-" else t.eval_path)
+    (origin_to_string t.origin) (fingerprint_hex t) t.iterations t.wall_s

@@ -1,0 +1,106 @@
+(* One ring per recording domain.  [next] counts every event ever
+   written; the live window is the last [min next capacity] slots, so
+   dropped = next - retained without extra bookkeeping. *)
+type ring = { tid : int; buf : Event.t option array; mutable next : int }
+
+type t = {
+  id : int;
+  capacity : int;
+  epoch : float;
+  lock : Mutex.t;
+  mutable rings : ring list;
+}
+
+let ids = Atomic.make 0
+
+let create ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  {
+    id = Atomic.fetch_and_add ids 1;
+    capacity;
+    epoch = Unix.gettimeofday ();
+    lock = Mutex.create ();
+    rings = [];
+  }
+
+(* The active sink mirrors [Dpm_obs.Probe.active]: installs are rare,
+   reads are a single atomic load on the hot path. *)
+let active : t option Atomic.t = Atomic.make None
+
+let set_active t = Atomic.set active t
+let current () = Atomic.get active
+let enabled () = Option.is_some (Atomic.get active)
+
+let with_recorder t f =
+  let prev = Atomic.get active in
+  Atomic.set active (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set active prev) f
+
+let epoch t = t.epoch
+
+(* Per-domain cache of the ring last used, keyed by physical equality
+   on the recorder, so repeat emissions skip the registration lock. *)
+let slot : (t * ring) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let ring_for t =
+  let slot = Domain.DLS.get slot in
+  match !slot with
+  | Some (t', r) when t' == t -> r
+  | _ ->
+      let tid = (Domain.self () :> int) in
+      Mutex.lock t.lock;
+      let r =
+        match List.find_opt (fun r -> r.tid = tid) t.rings with
+        | Some r -> r
+        | None ->
+            let r = { tid; buf = Array.make t.capacity None; next = 0 } in
+            t.rings <- r :: t.rings;
+            r
+      in
+      Mutex.unlock t.lock;
+      slot := Some (t, r);
+      r
+
+let emit t ?(args = []) phase name =
+  let r = ring_for t in
+  let e = { Event.ts = Unix.gettimeofday (); name; phase; tid = r.tid; args } in
+  r.buf.(r.next mod t.capacity) <- Some e;
+  r.next <- r.next + 1
+
+let on_active phase ?args name =
+  match Atomic.get active with
+  | None -> ()
+  | Some t -> emit t ?args phase name
+
+let begin_ ?args name = on_active Event.Begin ?args name
+let end_ ?args name = on_active Event.End ?args name
+let instant ?args name = on_active Event.Instant ?args name
+
+(* Oldest-first walk of one ring's live window. *)
+let ring_events t r =
+  let retained = min r.next t.capacity in
+  let first = r.next - retained in
+  let out = ref [] in
+  for i = r.next - 1 downto first do
+    match r.buf.(i mod t.capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let with_rings t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.rings)
+
+let events t =
+  with_rings t (fun rings ->
+      List.concat_map (ring_events t) rings |> List.stable_sort Event.compare_ts)
+
+let length t =
+  with_rings t
+    (List.fold_left (fun acc r -> acc + min r.next t.capacity) 0)
+
+let dropped t =
+  with_rings t
+    (List.fold_left (fun acc r -> acc + max 0 (r.next - t.capacity)) 0)

@@ -1,0 +1,60 @@
+(** Ring-buffered structured event recorder.
+
+    The timeline counterpart of [Dpm_obs.Probe]: a process-wide
+    recorder sink held in an [Atomic.t].  When no recorder is active
+    every emission helper is a single atomic load and returns — no
+    allocation, no clock read — so call sites may stay unconditionally
+    instrumented.  When one {e is} active, each domain appends to its
+    own fixed-capacity ring buffer (registered on first use, cached in
+    domain-local storage), so the hot path takes no lock and domains
+    never contend; once a ring fills, the oldest events are
+    overwritten and counted as {!dropped}.
+
+    Callers that attach argument lists should guard construction with
+    {!enabled} — building the [args] list itself allocates. *)
+
+type t
+(** A recorder: an epoch plus one ring buffer per recording domain. *)
+
+val create : ?capacity:int -> unit -> t
+(** Fresh recorder.  [capacity] is the per-domain ring size in events
+    (default 65536). *)
+
+val set_active : t option -> unit
+(** Install (or, with [None], remove) the process-wide recorder. *)
+
+val current : unit -> t option
+(** The active recorder, if any. *)
+
+val enabled : unit -> bool
+(** [true] iff a recorder is active. *)
+
+val with_recorder : t -> (unit -> 'a) -> 'a
+(** Run a thunk with [t] active, restoring the previous sink
+    afterwards (also on exceptions). *)
+
+val epoch : t -> float
+(** Wall-clock seconds at creation; export rebases timestamps onto
+    this. *)
+
+val emit : t -> ?args:(string * Event.arg) list -> Event.phase -> string -> unit
+(** Append one event to the calling domain's ring of [t]. *)
+
+val begin_ : ?args:(string * Event.arg) list -> string -> unit
+(** Open a duration scope on the active recorder; no-op when none. *)
+
+val end_ : ?args:(string * Event.arg) list -> string -> unit
+(** Close a duration scope on the active recorder; no-op when none. *)
+
+val instant : ?args:(string * Event.arg) list -> string -> unit
+(** Mark a point in time on the active recorder; no-op when none. *)
+
+val events : t -> Event.t list
+(** All retained events, merged across domains and sorted by
+    timestamp (ties keep per-domain emission order). *)
+
+val length : t -> int
+(** Number of retained events across all rings. *)
+
+val dropped : t -> int
+(** Number of events lost to ring overwrite across all rings. *)

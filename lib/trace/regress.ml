@@ -1,0 +1,125 @@
+type direction = Lower_better | Higher_better | Informational
+type verdict = Regression | Improvement | Unchanged | Only_old | Only_new
+
+type row = {
+  name : string;
+  before : float option;
+  after : float option;
+  delta : float option;
+  direction : direction;
+  verdict : verdict;
+}
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let direction_of name =
+  let name = String.lowercase_ascii name in
+  let any subs = List.exists (fun sub -> contains ~sub name) subs in
+  if any [ "per_sec"; "throughput"; "hit_ratio"; "speedup" ] then
+    Higher_better
+  else if any [ ".seconds"; "ns_per_run"; "_time"; "wall"; "latency"; "duration" ]
+  then Lower_better
+  else Informational
+
+let extract j =
+  (* Unwrap the bench envelope when both halves are present. *)
+  let j =
+    match (Json.member "metrics" j, Json.member "meta" j) with
+    | Some m, Some _ -> m
+    | _ -> j
+  in
+  match j with
+  | Json.Obj kvs ->
+      List.concat_map
+        (fun (k, v) ->
+          match v with
+          | Json.Num x when Float.is_finite x -> [ (k, x) ]
+          | Json.Obj sub -> (
+              match List.assoc_opt "seconds" sub with
+              | Some (Json.Num s) -> [ (k ^ ".seconds", s) ]
+              | _ -> (
+                  match List.assoc_opt "sum" sub with
+                  | Some (Json.Num s) -> [ (k ^ ".sum", s) ]
+                  | _ -> []))
+          | _ -> [])
+        kvs
+  | _ -> []
+
+let compare_series ?(threshold = 0.10) ?(overrides = []) before after =
+  let names =
+    List.sort_uniq String.compare (List.map fst before @ List.map fst after)
+  in
+  List.map
+    (fun name ->
+      let b = List.assoc_opt name before
+      and a = List.assoc_opt name after in
+      let direction = direction_of name in
+      let thr =
+        match List.assoc_opt name overrides with
+        | Some t -> t
+        | None -> threshold
+      in
+      let delta =
+        match (b, a) with
+        | Some b, Some a when b <> 0.0 -> Some ((a -. b) /. Float.abs b)
+        | _ -> None
+      in
+      let verdict =
+        match (b, a, delta, direction) with
+        | None, Some _, _, _ -> Only_new
+        | Some _, None, _, _ -> Only_old
+        | _, _, _, Informational -> Unchanged
+        | _, _, None, _ -> Unchanged
+        | _, _, Some d, Lower_better ->
+            if d > thr then Regression
+            else if d < -.thr then Improvement
+            else Unchanged
+        | _, _, Some d, Higher_better ->
+            if d < -.thr then Regression
+            else if d > thr then Improvement
+            else Unchanged
+      in
+      { name; before = b; after = a; delta; direction; verdict })
+    names
+
+let regressions rows = List.filter (fun r -> r.verdict = Regression) rows
+
+let verdict_str = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "improvement"
+  | Unchanged -> "ok"
+  | Only_old -> "removed"
+  | Only_new -> "added"
+
+let render rows =
+  let buf = Buffer.create 1024 in
+  let num = function Some x -> Json.float_str x | None -> "-" in
+  let width =
+    List.fold_left (fun acc r -> max acc (String.length r.name)) 6 rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  %14s  %14s  %8s  %s\n" width "series" "before"
+       "after" "delta" "verdict");
+  List.iter
+    (fun r ->
+      let delta =
+        match r.delta with
+        | Some d -> Printf.sprintf "%+.1f%%" (100.0 *. d)
+        | None -> "-"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %14s  %14s  %8s  %s\n" width r.name
+           (num r.before) (num r.after) delta (verdict_str r.verdict)))
+    rows;
+  let n = List.length (regressions rows) in
+  Buffer.add_string buf
+    (if n = 0 then
+       Printf.sprintf "bench_diff: %d series compared, no regressions\n"
+         (List.length rows)
+     else
+       Printf.sprintf "bench_diff: %d regression(s) in %d series\n" n
+         (List.length rows));
+  Buffer.contents buf

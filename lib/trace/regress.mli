@@ -1,0 +1,56 @@
+(** Bench-metrics comparison: the logic behind [tools/bench_diff.exe].
+
+    Takes two metric documents (the [Report.to_json] shape, optionally
+    wrapped in the bench harness's [{"meta": ..., "metrics": ...}]
+    envelope), flattens them to named float series, classifies each
+    series as lower-better / higher-better / informational from its
+    name, and flags relative changes beyond a threshold as regressions
+    or improvements.  Pure — file IO and exit codes live in the
+    tool. *)
+
+(** Which way a series should move. *)
+type direction = Lower_better | Higher_better | Informational
+
+(** Per-series outcome. *)
+type verdict = Regression | Improvement | Unchanged | Only_old | Only_new
+
+(** One compared series.  [delta] is the relative change
+    [(after - before) / |before|]; [None] when either side is missing
+    or the baseline is zero. *)
+type row = {
+  name : string;
+  before : float option;
+  after : float option;
+  delta : float option;
+  direction : direction;
+  verdict : verdict;
+}
+
+val direction_of : string -> direction
+(** Classify a series name: time-like suffixes ([.seconds],
+    [ns_per_run], [_time], [wall], [latency], [duration]) are
+    lower-better; rate-like ones ([per_sec], [throughput],
+    [hit_ratio], [speedup]) are higher-better; everything else is
+    informational and never flags. *)
+
+val extract : Json.t -> (string * float) list
+(** Flatten a metrics document to series: counters and gauges keep
+    their value; timers contribute [name.seconds]; histograms
+    contribute [name.sum].  A [{"meta", "metrics"}] envelope is
+    unwrapped first.  Null (non-finite) values are skipped. *)
+
+val compare_series :
+  ?threshold:float ->
+  ?overrides:(string * float) list ->
+  (string * float) list ->
+  (string * float) list ->
+  row list
+(** Compare baseline against candidate, sorted by name.  [threshold]
+    is the default relative change that flags (default [0.10]);
+    [overrides] gives per-series thresholds by exact name. *)
+
+val regressions : row list -> row list
+(** The rows whose verdict is [Regression]. *)
+
+val render : row list -> string
+(** Human-readable table plus a one-line summary. *)

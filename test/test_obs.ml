@@ -180,6 +180,41 @@ let golden_prometheus () =
   Alcotest.(check string) "stable Prometheus text" expected
     (Report.to_prometheus (golden_registry ()))
 
+let prometheus_escapes_help () =
+  let r = Metrics.create () in
+  Metrics.incr
+    (Metrics.counter r
+       ~help:"tricky \"quoted\" help\nsecond line with a back\\slash"
+       "tricky.counter");
+  let text = Report.to_prometheus r in
+  (* Exposition format 0.0.4: HELP text escapes backslash and newline
+     (quotes stay bare) so the help can never leak a bogus sample
+     line. *)
+  Alcotest.(check bool) "help is escaped onto one line" true
+    (Test_util.contains_substring text
+       "# HELP dpm_tricky_counter tricky \"quoted\" help\\nsecond line with \
+        a back\\\\slash\n");
+  List.iteri
+    (fun i line ->
+      if line <> "" then
+        let well_formed =
+          String.length line > 0
+          && (line.[0] = '#'
+             || String.length line > 4 && String.sub line 0 4 = "dpm_")
+        in
+        if not well_formed then
+          Alcotest.failf "line %d is neither comment nor sample: %S" i line)
+    (String.split_on_char '\n' text)
+
+let prometheus_escapes_label_values () =
+  (* The only labels the exporter emits are histogram [le] bounds;
+     pin the escaping contract directly on the helper that guards
+     them. *)
+  Alcotest.(check string) "backslash, quote, newline" "a\\\\b\\\"c\\nd"
+    (Report.prom_label_value "a\\b\"c\nd");
+  Alcotest.(check string) "help leaves quotes bare" "a\\\\b\"c\\nd"
+    (Report.prom_help "a\\b\"c\nd")
+
 let json_never_emits_nan () =
   let r = Metrics.create () in
   Metrics.set (Metrics.gauge r "bad") Float.nan;
@@ -238,6 +273,8 @@ let suite =
     t "disabled probes are allocation-free" `Quick disabled_probes_are_free;
     t "golden JSON" `Quick golden_json;
     t "golden Prometheus" `Quick golden_prometheus;
+    t "Prometheus escapes help" `Quick prometheus_escapes_help;
+    t "Prometheus escapes label values" `Quick prometheus_escapes_label_values;
     t "JSON never emits nan" `Quick json_never_emits_nan;
     t "table lists all metrics" `Quick table_mentions_every_metric;
     t "instrumented solver populates registry" `Quick solver_populates_registry;

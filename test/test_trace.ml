@@ -66,17 +66,35 @@ let csv_shape () =
   let trace, _ = run_traced ~n:50 () in
   let csv = Trace.to_csv trace in
   let lines = String.split_on_char '\n' (String.trim csv) in
-  Alcotest.(check int) "header + rows" (Trace.length trace + 1) (List.length lines);
+  Alcotest.(check int) "comment + header + rows"
+    (Trace.length trace + 2)
+    (List.length lines);
   (match lines with
-  | header :: _ ->
-      Alcotest.(check string) "header" "time,event,mode,queue,switching_to,in_transfer"
-        header
-  | [] -> Alcotest.fail "empty csv");
+  | comment :: header :: _ ->
+      Alcotest.(check string) "truncation comment"
+        (Printf.sprintf "# length=%d dropped=%d" (Trace.length trace)
+           (Trace.dropped trace))
+        comment;
+      Alcotest.(check string) "header"
+        "time,event,mode,queue,switching_to,in_transfer" header
+  | _ -> Alcotest.fail "csv too short");
   List.iteri
     (fun i line ->
-      if i > 0 && List.length (String.split_on_char ',' line) <> 6 then
+      if i > 1 && List.length (String.split_on_char ',' line) <> 6 then
         Alcotest.failf "row %d malformed: %s" i line)
     lines
+
+let csv_reports_truncation () =
+  let trace, _ = run_traced ~capacity:100 () in
+  let csv = Trace.to_csv trace in
+  match String.split_on_char '\n' csv with
+  | comment :: _ ->
+      Alcotest.(check string) "clipped ring announces itself"
+        (Printf.sprintf "# length=100 dropped=%d" (Trace.dropped trace))
+        comment;
+      Alcotest.(check bool) "something was dropped" true
+        (Trace.dropped trace > 0)
+  | [] -> Alcotest.fail "empty csv"
 
 let validation () =
   Test_util.check_raises_invalid "capacity" (fun () ->
@@ -89,5 +107,6 @@ let suite =
     t "ring eviction" `Quick ring_buffer_eviction;
     t "mode intervals" `Quick mode_intervals_cover_modes;
     t "csv shape" `Quick csv_shape;
+    t "csv reports truncation" `Quick csv_reports_truncation;
     t "validation" `Quick validation;
   ]

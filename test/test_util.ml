@@ -40,3 +40,28 @@ let qtest ?(count = 200) ?print name gen prop =
 
 (* A reproducible RNG for tests that need raw randomness. *)
 let rng () = Dpm_prob.Rng.create 20260705L
+
+(* Provenance is timing metadata (wall clock, cache origin): two
+   otherwise-identical solutions legitimately differ in it.  Tests
+   that assert solver determinism compare solutions modulo
+   provenance. *)
+let neutral_provenance =
+  {
+    Dpm_trace.Provenance.fingerprint = 0L;
+    method_ = "";
+    eval_path = "";
+    iterations = 0;
+    residual = 0.0;
+    origin = Dpm_trace.Provenance.Cold;
+    robust_retries = 0;
+    tikhonov_rungs = 0;
+    sparse_fallbacks = 0;
+    faults_injected = 0;
+    deadline_s = None;
+    wall_s = 0.0;
+    weight = 0.0;
+    arrival_rate = 0.0;
+  }
+
+let strip_provenance (sol : Dpm_core.Optimize.solution) =
+  { sol with Dpm_core.Optimize.provenance = neutral_provenance }

@@ -1,0 +1,85 @@
+(* bench_diff: the perf regression gate.
+
+   Usage:
+     bench_diff [--threshold FRAC] [--series NAME=FRAC]... BASELINE CANDIDATE
+
+   BASELINE and CANDIDATE are bench metrics documents -- either a bare
+   Dpm_obs.Report.to_json dump or the stamped {"meta", "metrics"}
+   envelope written by bench/main.exe.  Series are flattened and
+   compared by Dpm_trace.Regress: time-like series must not grow,
+   rate-like series must not shrink, by more than the threshold
+   (default 10%, overridable per series with --series).
+
+   Exit codes: 0 no regressions, 1 at least one regression, 2 usage or
+   parse error. *)
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff [--threshold FRAC] [--series NAME=FRAC]... \
+     BASELINE.json CANDIDATE.json";
+  exit 2
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+
+let parse_doc path =
+  match Dpm_trace.Json.parse (read_file path) with
+  | Ok doc -> doc
+  | Error msg ->
+      Printf.eprintf "bench_diff: %s: %s\n" path msg;
+      exit 2
+
+let positive_fraction flag v =
+  match float_of_string_opt v with
+  | Some t when t > 0.0 && Float.is_finite t -> t
+  | _ ->
+      Printf.eprintf "bench_diff: %s expects a positive fraction, got %S\n"
+        flag v;
+      exit 2
+
+let () =
+  let threshold = ref 0.10 in
+  let overrides = ref [] in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | [ ("--threshold" | "--series") ] -> usage ()
+    | "--threshold" :: v :: rest ->
+        threshold := positive_fraction "--threshold" v;
+        parse rest
+    | "--series" :: v :: rest -> (
+        match String.index_opt v '=' with
+        | Some i ->
+            let name = String.sub v 0 i in
+            let frac = String.sub v (i + 1) (String.length v - i - 1) in
+            overrides := (name, positive_fraction "--series" frac) :: !overrides;
+            parse rest
+        | None ->
+            Printf.eprintf "bench_diff: --series expects NAME=FRAC, got %S\n" v;
+            exit 2)
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "bench_diff: unknown option %s\n" arg;
+        usage ()
+    | arg :: rest ->
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline; candidate ] ->
+      let before = Dpm_trace.Regress.extract (parse_doc baseline) in
+      let after = Dpm_trace.Regress.extract (parse_doc candidate) in
+      let rows =
+        Dpm_trace.Regress.compare_series ~threshold:!threshold
+          ~overrides:!overrides before after
+      in
+      print_string (Dpm_trace.Regress.render rows);
+      if Dpm_trace.Regress.regressions rows <> [] then exit 1
+  | _ -> usage ()

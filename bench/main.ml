@@ -3,7 +3,7 @@
    Usage:  dune exec bench/main.exe [--domains N] [sections...]
 
    Sections: fig4 modelcheck tab1 fig5 npolicy2 ablations extensions
-   scaling cache adapt perf all
+   scaling kron cache adapt perf all
    (default: all).  The experiment sections regenerate the paper's
    tables/figures (see EXPERIMENTS.md); the scaling section measures
    Dpm_par speedup at several domain counts; the perf section runs one
@@ -130,6 +130,7 @@ let sections =
     ("ablations", Ablations.all);
     ("extensions", Extensions.all);
     ("scaling", Scaling.all);
+    ("kron", Scaling.kron);
     ("cache", Cache.all);
     ("adapt", Adapt.all);
     ("perf", perf);

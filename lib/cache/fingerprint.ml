@@ -58,7 +58,11 @@ let model m =
   encode_model buf m;
   Buffer.contents buf
 
-let eval_tag = function Pi.Dense -> 0 | Pi.Sparse -> 1 | Pi.Auto -> 2
+let eval_tag = function
+  | Pi.Dense -> 0
+  | Pi.Sparse -> 1
+  | Pi.Auto -> 2
+  | Pi.Implicit -> 3
 
 let key ?(config = default_config) m =
   let buf = Buffer.create 1024 in

@@ -7,9 +7,16 @@ type solution = {
   provenance : Dpm_trace.Provenance.t;
 }
 
-let solve ?(weight = 0.0) ?init_actions ?guard sys =
+let solve ?(weight = 0.0) ?init_actions ?guard
+    ?(eval = Dpm_ctmdp.Policy_iteration.Auto) sys =
   let t0 = Dpm_obs.Probe.now () in
   let model = Sys_model.to_ctmdp sys ~weight in
+  (* The cache key includes the evaluation path: results agree to
+     solver tolerance across paths but are not bit-identical, and a
+     caller pinning [eval] is usually measuring that very path. *)
+  let config =
+    { Dpm_cache.Fingerprint.default_config with Dpm_cache.Fingerprint.eval }
+  in
   (* Identify the solve in provenance whatever path produced it; the
      hash is O(model) — noise next to any evaluation. *)
   let finish ~origin (result : Dpm_ctmdp.Policy_iteration.result) =
@@ -22,7 +29,7 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
       arrival_rate = Sys_model.arrival_rate sys;
     }
   in
-  match Dpm_cache.Solve_cache.find model with
+  match Dpm_cache.Solve_cache.find ~config model with
   | Some result ->
       let actions =
         Dpm_ctmdp.Policy.actions model result.Dpm_ctmdp.Policy_iteration.policy
@@ -37,7 +44,7 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
       }
   | None ->
       let solve_from init =
-        let result = Dpm_ctmdp.Policy_iteration.solve ?init ?guard model in
+        let result = Dpm_ctmdp.Policy_iteration.solve ?init ?guard ~eval model in
         let actions =
           Dpm_ctmdp.Policy.actions model
             result.Dpm_ctmdp.Policy_iteration.policy
@@ -66,7 +73,7 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
       in
       (* Store only the post-retry result: the cache must never serve a
          multichain tie that the retry just worked around. *)
-      Dpm_cache.Solve_cache.store model result;
+      Dpm_cache.Solve_cache.store ~config model result;
       {
         weight;
         actions;
@@ -82,9 +89,9 @@ let solve ?(weight = 0.0) ?init_actions ?guard sys =
 
 let action_of sys solution x = solution.actions.(Sys_model.index sys x)
 
-let solve_at ?weight ?init_actions ?guard sys ~arrival_rate =
+let solve_at ?weight ?init_actions ?guard ?eval sys ~arrival_rate =
   let sys' = Sys_model.with_arrival_rate sys arrival_rate in
-  match solve ?weight ?init_actions ?guard sys' with
+  match solve ?weight ?init_actions ?guard ?eval sys' with
   | solution -> Ok (sys', solution)
   | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
   | exception exn -> Error exn

@@ -280,6 +280,163 @@ let tensor_generator sys ~action =
   done;
   out
 
+(* --- the same tensor formula, lazily --------------------------------- *)
+
+(* The canonical state order is already tensor-ordered: stable states
+   are [mode-major x queue-minor] (an S x (Q+1) grid) and transfer
+   states [active-position-major x level-minor] (a |S_active| x Q
+   grid), so no permutation is needed — unlike [tensor_generator],
+   whose literal Section III layout puts active modes first.  And
+   because each Kronecker factor carries its own rates, the lazy form
+   generalizes to any number of active modes. *)
+let operator sys ~action =
+  let sp = sys.sp in
+  let s_count = num_modes sys in
+  let q = sys.queue_capacity in
+  let k = num_active sys in
+  let lam = sys.arrival_rate in
+  if action < 0 || action >= s_count then
+    invalid_arg "Sys_model.operator: action out of range";
+  (* Arrival superdiagonal over [n] queue levels — O(n) stored floats. *)
+  let arrival n =
+    Operator.csr
+      (Sparse.of_triplets ~rows:n ~cols:n
+         (List.init (max 0 (n - 1)) (fun i -> (i, i + 1, lam))))
+  in
+  (* SS: G_SP_off(a) (+) arrivals — the Kronecker sum of the
+     off-diagonal SP generator under the uniform command and the SQ
+     arrival chain (diagonals are added globally below). *)
+  let g_sp_off =
+    Matrix.init s_count s_count (fun s s' ->
+        if s' = action && s <> s' then Service_provider.switch_rate sp s action
+        else 0.0)
+  in
+  let ss = Operator.kron_sum (Operator.dense g_sp_off) (arrival (q + 1)) in
+  let off =
+    if k = 0 then ss
+    else begin
+      (* ST: service completions Stable(s,i) -> Transfer(s,i) at
+         mu(s), as [Mu (x) P] with Mu(s, pos(s)) = mu(s) and P the
+         level map i -> i-1 (row 0 empty: no service on an empty
+         queue). *)
+      let mu = Matrix.create s_count k in
+      Array.iteri
+        (fun pos s -> Matrix.set mu s pos (Service_provider.service_rate sp s))
+        sys.active;
+      let p_drop =
+        Operator.csr
+          (Sparse.of_triplets ~rows:(q + 1) ~cols:q
+             (List.init q (fun i -> (i + 1, i, 1.0))))
+      in
+      let st = Operator.kron_prod (Operator.dense mu) p_drop in
+      (* TS: transfer resolution Transfer(s, i) -> Stable(a, i-1) at
+         the extended rate chi-hat(s, a) (self-switch = big M), as
+         [R (x) N] with R(pos(s), a) the resolution rate and N the
+         level-preserving embedding. *)
+      let r = Matrix.create k s_count in
+      Array.iteri
+        (fun pos s -> Matrix.set r pos action (switch_out_rate sys s action))
+        sys.active;
+      let n_keep =
+        Operator.csr
+          (Sparse.of_triplets ~rows:q ~cols:(q + 1)
+             (List.init q (fun i -> (i, i, 1.0))))
+      in
+      let ts = Operator.kron_prod (Operator.dense r) n_keep in
+      (* TT: arrivals within the transfer band. *)
+      let tt = Operator.kron_prod (Operator.identity k) (arrival q) in
+      Operator.blocks
+        ~row_dims:[| s_count * (q + 1); k * q |]
+        ~col_dims:[| s_count * (q + 1); k * q |]
+        [| [| Some ss; Some st |]; [| Some ts; Some tt |] |]
+    end
+  in
+  (* Diagonal: negated exit rates, summed in the same order as
+     [transitions] builds each row (arrival, service, switch) so the
+     expanded operator matches [uniform_generator] bitwise. *)
+  let n = num_states sys in
+  let d = Array.make n 0.0 in
+  for kx = 0 to n - 1 do
+    match state_of_index sys kx with
+    | Stable (s, i) ->
+        let e = ref 0.0 in
+        if i < q then e := !e +. lam;
+        if Service_provider.is_active sp s && i >= 1 then
+          e := !e +. Service_provider.service_rate sp s;
+        if action <> s then e := !e +. Service_provider.switch_rate sp s action;
+        d.(kx) <- -. !e
+    | Transfer (s, i) ->
+        let e = ref 0.0 in
+        if i < q then e := !e +. lam;
+        e := !e +. switch_out_rate sys s action;
+        d.(kx) <- -. !e
+  done;
+  Operator.sum off (Operator.diag d)
+
+(* Queue-level-major update order for Gauss-Seidel sweeps: descending
+   levels, each level's stable states followed by the transfer states
+   that drain {e into the level below} it.  Probability flows down the
+   queue as Stable(s,i) -service-> Transfer(s,i) -resolve->
+   Stable(a,i-1); in flat index order those three states live in
+   different regions (stables are mode-major, transfers sit after all
+   stables), so an index-order sweep moves a draining cascade one
+   level per iteration.  This order chains the whole cascade inside a
+   single sweep; its reverse (the backward half of a symmetric sweep)
+   chains the arrival cascade the same way. *)
+let sweep_order sys =
+  let order = Array.make (num_states sys) 0 in
+  let k = ref 0 in
+  let push x =
+    order.(!k) <- index sys x;
+    incr k
+  in
+  for i = sys.queue_capacity downto 1 do
+    for s = 0 to num_modes sys - 1 do
+      push (Stable (s, i))
+    done;
+    Array.iter (fun s -> push (Transfer (s, i))) sys.active
+  done;
+  for s = 0 to num_modes sys - 1 do
+    push (Stable (s, 0))
+  done;
+  order
+
+(* The closed-loop queue under a uniform command is a birth-death
+   process in the queue coordinate (arrivals at lambda, departures at
+   mu(action)), so its marginal is geometric with ratio
+   rho = lambda / mu.  A Gauss-Seidel iterate started from this
+   product-form profile only has to correct the O(1)-level coupling
+   with the transfer states, whereas the uniform 1/n start plants
+   mass in the far tail that a sweep front drains one batch of levels
+   at a time — iteration counts then grow linearly with Q (measured
+   by the kron scaling bench). *)
+let stationary_hint sys ~action =
+  let n = num_states sys in
+  let q = sys.queue_capacity in
+  let p = Vec.create n in
+  let mu = Service_provider.service_rate sys.sp action in
+  let rho = if mu > 0.0 then sys.arrival_rate /. mu else infinity in
+  if rho <= 1.0 then begin
+    (* Underloaded: mass decays geometrically from the empty queue.
+       Underflow to zero deep in the tail is fine — the tail really
+       does hold no mass at machine precision. *)
+    let w = ref 1.0 in
+    for i = 0 to q do
+      p.(index sys (Stable (action, i))) <- !w;
+      w := !w *. rho
+    done
+  end
+  else begin
+    (* Overloaded (or no service): mass piles up at the full queue;
+       fill the profile from the top down with the reciprocal ratio. *)
+    let w = ref 1.0 in
+    for i = q downto 0 do
+      p.(index sys (Stable (action, i))) <- !w;
+      w := !w /. rho
+    done
+  end;
+  Vec.normalize1 p
+
 let pp_state sys ppf = function
   | Stable (s, i) ->
       Format.fprintf ppf "(%s, q%d)" (Service_provider.name sys.sp s) i

@@ -61,6 +61,9 @@ let lu_solve g =
 let iterative ?tol ?max_iter ?guard g =
   Iterative.gauss_seidel_steady ?tol ?max_iter ?guard (Generator.to_sparse g)
 
+let implicit ?tol ?max_iter ?guard ?init ?order op =
+  Operator.gauss_seidel_steady ?tol ?max_iter ?guard ?init ?order op
+
 let solve_irreducible ?guard g =
   if Generator.is_dense_backed g then gth ?guard g
   else begin

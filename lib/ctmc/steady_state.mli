@@ -47,6 +47,29 @@ val iterative :
 (** [iterative g] runs sparse Gauss-Seidel sweeps (see
     {!Dpm_linalg.Iterative.gauss_seidel_steady}). *)
 
+val implicit :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  ?init:Vec.t ->
+  ?order:int array ->
+  Operator.t ->
+  Iterative.result
+(** [implicit op] runs the same stationary Gauss-Seidel sweeps
+    directly on a lazy operator (see
+    {!Dpm_linalg.Operator.gauss_seidel_steady}) — the generator is
+    never materialized, so a composed SYS from
+    [Sys_model.operator] solves in O(stored factors) memory rather
+    than O(nnz).  [op] must be a square generator (rows summing to
+    zero); agreement with {!iterative} on the materialized form is
+    pinned by tests.  [init] is the starting iterate (default
+    uniform); a structure-informed guess such as
+    [Sys_model.stationary_hint] removes the depth-proportional
+    transient that draining the uniform iterate's tail mass costs.
+    [order] is the sweep permutation — pass a flow-aligned order
+    (e.g. [Sys_model.sweep_order]) to keep the per-sweep correction
+    transport independent of the chain's depth. *)
+
 val solve : ?check:bool -> ?guard:(unit -> unit) -> Generator.t -> Vec.t
 (** [solve g] computes the limiting distribution of any chain with a
     unique closed class: it classifies states (Tarjan), solves the

@@ -336,26 +336,214 @@ let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
           ~args:[ ("reason", Dpm_trace.Event.Str reason) ];
       evaluate_robust ~ref_state m p
 
-type eval_path = Dense | Sparse | Auto
+(* --- implicit (matrix-free) evaluation ------------------------------ *)
+
+module A1 = Bigarray.Array1
+
+(* The implicit path never materializes the policy's generator as a
+   matrix: the rows are flattened once into plain int/float arrays
+   (O(n + nnz) with a counting sort for column access — no triplet
+   lists, no polymorphic-compare sort, no CSR transpose, all of which
+   dominate [evaluate_sparse]'s cost on large models) and both
+   Gauss-Seidel stages sweep those arrays over Bigarray iterates, so a
+   sweep allocates nothing.  The numerical scheme is exactly the
+   sparse path's: stationary distribution -> gain, then the pinned
+   exit-rate-normalized bias system, then verification against the
+   exact relative-value equations at the same acceptance threshold. *)
+let evaluate_implicit_exn ~ref_state ~tol ~max_iter m p =
+  let n = Model.num_states m in
+  check_reaches_ref ~ref_state m p;
+  (* Flatten the policy's rows: costs, exit rates, out-edges. *)
+  let cost = Array.make n 0.0 and exit = Array.make n 0.0 in
+  let row_start = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    cost.(i) <- c.Model.cost;
+    exit.(i) <- exit_rate_of c;
+    if exit.(i) <= 0.0 then
+      raise (Sparse_failed "implicit: absorbing state (zero exit rate)");
+    row_start.(i + 1) <- row_start.(i) + List.length c.Model.rates
+  done;
+  let nnz = row_start.(n) in
+  let col = Array.make nnz 0 and rate = Array.make nnz 0.0 in
+  let fill = ref 0 in
+  for i = 0 to n - 1 do
+    let c = Model.choice m i (Policy.choice_index p i) in
+    List.iter
+      (fun (j, r) ->
+        col.(!fill) <- j;
+        rate.(!fill) <- r;
+        incr fill)
+      c.Model.rates
+  done;
+  (* Reverse (in-edge) adjacency by counting sort — the column access
+     stage 1 sweeps over, built without any comparison sort. *)
+  let rstart = Array.make (n + 1) 0 in
+  for e = 0 to nnz - 1 do
+    rstart.(col.(e) + 1) <- rstart.(col.(e) + 1) + 1
+  done;
+  for j = 1 to n do
+    rstart.(j) <- rstart.(j) + rstart.(j - 1)
+  done;
+  let rsrc = Array.make (max 1 nnz) 0 and rrate = Array.make (max 1 nnz) 0.0 in
+  let cursor = Array.sub rstart 0 n in
+  for i = 0 to n - 1 do
+    for e = row_start.(i) to row_start.(i + 1) - 1 do
+      let j = col.(e) in
+      rsrc.(cursor.(j)) <- i;
+      rrate.(cursor.(j)) <- rate.(e);
+      cursor.(j) <- cursor.(j) + 1
+    done
+  done;
+  let acc = ref 0.0 in
+  (* Stage 1: stationary distribution of the policy chain -> gain. *)
+  let pi = Bvec.make n (1.0 /. float_of_int n) in
+  let prev = Bvec.create n in
+  let sweeps = ref 0 and change = ref infinity in
+  while !change > tol && !sweeps < max_iter do
+    Bvec.blit ~src:pi ~dst:prev;
+    for j = 0 to n - 1 do
+      acc := 0.0;
+      for e = rstart.(j) to rstart.(j + 1) - 1 do
+        let i = rsrc.(e) in
+        if i <> j then acc := !acc +. (A1.unsafe_get pi i *. rrate.(e))
+      done;
+      A1.unsafe_set pi j (!acc /. exit.(j))
+    done;
+    let s = Bvec.sum pi in
+    if s = 0.0 || not (Float.is_finite s) then
+      raise (Sparse_failed "implicit: stationary iterate degenerated");
+    Bvec.scale_inplace (1.0 /. s) pi;
+    acc := 0.0;
+    for i = 0 to n - 1 do
+      acc := !acc +. Float.abs (A1.unsafe_get pi i -. A1.unsafe_get prev i)
+    done;
+    change := !acc;
+    incr sweeps
+  done;
+  if !change > tol then
+    raise (Sparse_failed "implicit: stationary sweep did not converge");
+  let gain = ref 0.0 in
+  for i = 0 to n - 1 do
+    gain := !gain +. (A1.unsafe_get pi i *. cost.(i))
+  done;
+  let gain = !gain in
+  (* Stage 2: the pinned bias system (v_ref = 0, gain known), rows
+     normalized by their exit rate — the same per-row-relative
+     residual test as the sparse path, with the same magnitude-scaled
+     tolerance.  Convergence here is advisory; acceptance is decided
+     by the exact-system verification below. *)
+  let v = Bvec.create n in
+  let b_inf = ref 0.0 in
+  for i = 0 to n - 1 do
+    if i <> ref_state then
+      b_inf := Float.max !b_inf (Float.abs ((gain -. cost.(i)) /. exit.(i)))
+  done;
+  let tol2 = tol *. Float.max 1.0 !b_inf in
+  let sweeps2 = ref 0 and residual = ref infinity in
+  while !residual > tol2 && !sweeps2 < max_iter do
+    for i = 0 to n - 1 do
+      if i <> ref_state then begin
+        acc := 0.0;
+        for e = row_start.(i) to row_start.(i + 1) - 1 do
+          let j = col.(e) in
+          if j <> ref_state then acc := !acc +. (rate.(e) *. A1.unsafe_get v j)
+        done;
+        A1.unsafe_set v i ((cost.(i) -. gain +. !acc) /. exit.(i))
+      end
+    done;
+    let r = ref 0.0 in
+    for i = 0 to n - 1 do
+      if i <> ref_state then begin
+        acc := 0.0;
+        for e = row_start.(i) to row_start.(i + 1) - 1 do
+          let j = col.(e) in
+          if j <> ref_state then acc := !acc +. (rate.(e) *. A1.unsafe_get v j)
+        done;
+        r :=
+          Float.max !r
+            (Float.abs
+               ((!acc +. cost.(i) -. gain -. (exit.(i) *. A1.unsafe_get v i))
+               /. exit.(i)))
+      end
+    done;
+    residual := !r;
+    incr sweeps2
+  done;
+  Dpm_obs.Probe.add "policy_iteration.implicit_sweeps" (!sweeps + !sweeps2);
+  (* Verify against the exact relative-value equations — the same
+     acceptance threshold as the sparse path's one-mat-vec check. *)
+  let b_norm = ref 0.0 in
+  for i = 0 to n - 1 do
+    b_norm := Float.max !b_norm (Float.abs cost.(i))
+  done;
+  let verr = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := 0.0;
+    for e = row_start.(i) to row_start.(i + 1) - 1 do
+      let j = col.(e) in
+      if j <> ref_state then acc := !acc +. (rate.(e) *. A1.unsafe_get v j)
+    done;
+    let diag = if i = ref_state then 0.0 else exit.(i) *. A1.unsafe_get v i in
+    verr := Float.max !verr (Float.abs (!acc -. diag -. gain +. cost.(i)))
+  done;
+  let accept = 1e-7 *. Float.max 1.0 !b_norm in
+  if !verr > accept then
+    raise
+      (Sparse_failed
+         (Printf.sprintf "implicit verification residual %g above %g" !verr
+            accept));
+  Dpm_trace.Provenance.note_residual !verr;
+  let bias =
+    Vec.init n (fun j -> if j = ref_state then 0.0 else A1.unsafe_get v j)
+  in
+  { gain; bias }
+
+let evaluate_implicit ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
+  check_ref_state m ref_state;
+  let max_iter =
+    match max_iter with
+    | Some k -> k
+    | None -> max 10_000 (50 * Model.num_states m)
+  in
+  match evaluate_implicit_exn ~ref_state ~tol ~max_iter m p with
+  | e ->
+      Dpm_obs.Probe.incr "policy_iteration.implicit_evals";
+      Dpm_obs.Probe.set "policy_iteration.eval_path" 2.0;
+      Dpm_trace.Provenance.note_eval_path "implicit";
+      e
+  | exception (Sparse_failed reason | Invalid_argument reason) ->
+      (* Multichain structure, absorbing states, non-convergence, or a
+         verification miss: fall through the existing ladder — the
+         sparse CSR reference first, dense LU behind it. *)
+      Logs.debug (fun k ->
+          k "implicit policy evaluation fell back to sparse: %s" reason);
+      Dpm_obs.Probe.incr "policy_iteration.implicit_fallbacks";
+      if Dpm_trace.Recorder.enabled () then
+        Dpm_trace.Recorder.instant "pi.implicit_fallback"
+          ~args:[ ("reason", Dpm_trace.Event.Str reason) ];
+      evaluate_sparse ~ref_state m p
+
+type eval_path = Dense | Sparse | Auto | Implicit
 
 (* Dense LU is O(n^3) but rock solid; the sparse sweeps win once the
    composed state space outgrows the paper's instances.  The crossover
-   on the queue-capacity ablation sits around a few hundred states. *)
+   on the queue-capacity ablation sits around a few hundred states.
+   [Auto] deliberately never selects [Implicit]: the CSR sweeps stay
+   the default reference until the implicit path has equivalent
+   burn-in (DESIGN.md decision 13); callers opt in explicitly. *)
 let sparse_auto_threshold = 192
 
 let evaluate_auto ?ref_state ~path m p =
-  let use_sparse =
-    match path with
-    | Dense -> false
-    | Sparse -> true
-    | Auto -> Model.num_states m >= sparse_auto_threshold
-  in
-  if use_sparse then evaluate_sparse ?ref_state m p
-  else begin
-    Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
-    Dpm_trace.Provenance.note_eval_path "dense";
-    evaluate_robust ?ref_state m p
-  end
+  match path with
+  | Implicit -> evaluate_implicit ?ref_state m p
+  | Sparse -> evaluate_sparse ?ref_state m p
+  | Auto when Model.num_states m >= sparse_auto_threshold ->
+      evaluate_sparse ?ref_state m p
+  | Dense | Auto ->
+      Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
+      Dpm_trace.Provenance.note_eval_path "dense";
+      evaluate_robust ?ref_state m p
 
 let test_quantity i (c : Model.choice) bias =
   (* c_i^a + sum_j s^a_ij v_j, with the diagonal folded in:

@@ -87,13 +87,40 @@ val evaluate_sparse :
     [policy_iteration.sparse_fallbacks], gauge
     [policy_iteration.eval_path] (1 sparse, 0 dense). *)
 
+val evaluate_implicit :
+  ?ref_state:int -> ?tol:float -> ?max_iter:int -> Model.t -> Policy.t -> evaluation
+(** Matrix-free counterpart of {!evaluate_sparse}: the policy's rows
+    are flattened once into flat index/rate arrays (no triplet sort,
+    no CSR transpose — the costs that dominate {!evaluate_sparse} on
+    large models) and the same two Gauss-Seidel stages sweep those
+    arrays over allocation-free Bigarray iterates: stationary
+    distribution first (gain = pi . c, in-edge access built by a
+    counting sort), then the bias from the [v_ref]-pinned system with
+    rows normalized by their exit rate.  The candidate is verified
+    against the exact relative-value equations at the same acceptance
+    threshold as the sparse path; any failure (multichain structure
+    detected by the same reverse reachability pass, a zero exit rate,
+    non-convergence, or a verification miss) falls back to
+    {!evaluate_sparse} — and through it to dense LU — so the result is
+    always within solver tolerance of the reference.  [tol] (default
+    1e-12) and [max_iter] (default [max 10_000 (50 n)]) tune the
+    sweeps.  Probe counters: [policy_iteration.implicit_evals],
+    [policy_iteration.implicit_fallbacks],
+    [policy_iteration.implicit_sweeps] (total sweeps across both
+    stages), gauge [policy_iteration.eval_path] (2 implicit). *)
+
 type eval_path =
   | Dense  (** always dense LU ({!evaluate_robust}) *)
   | Sparse  (** always {!evaluate_sparse} (with its dense fallback) *)
   | Auto
       (** dense below ~200 states (LU wins on the paper's instances),
           sparse above (the composed state space of large queue
-          capacities is >95% zeros) *)
+          capacities is >95% zeros).  Never selects {!Implicit}: the
+          CSR path stays the cross-checked default (DESIGN.md
+          decision 13). *)
+  | Implicit
+      (** always {!evaluate_implicit} (matrix-free sweeps, with the
+          sparse-then-dense fallback ladder behind it) *)
 
 val improve : Model.t -> evaluation -> incumbent:Policy.t -> Policy.t * int
 (** [improve m eval ~incumbent] returns the greedy policy with

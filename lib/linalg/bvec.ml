@@ -1,0 +1,86 @@
+open Bigarray
+
+type t = (float, float64_elt, c_layout) Array1.t
+
+let create n =
+  let v = Array1.create Float64 C_layout n in
+  Array1.fill v 0.0;
+  v
+
+let make n x =
+  let v = Array1.create Float64 C_layout n in
+  Array1.fill v x;
+  v
+
+let dim = Array1.dim
+let get v i = Array1.get v i
+let set v i x = Array1.set v i x
+let fill v x = Array1.fill v x
+
+let blit ~src ~dst =
+  if Array1.dim src <> Array1.dim dst then
+    invalid_arg
+      (Printf.sprintf "Bvec.blit: dimension mismatch (%d vs %d)"
+         (Array1.dim src) (Array1.dim dst));
+  Array1.blit src dst
+
+let copy v =
+  let w = Array1.create Float64 C_layout (Array1.dim v) in
+  Array1.blit v w;
+  w
+
+let of_vec a =
+  let n = Array.length a in
+  let v = Array1.create Float64 C_layout n in
+  for i = 0 to n - 1 do
+    Array1.unsafe_set v i (Array.unsafe_get a i)
+  done;
+  v
+
+let to_vec v =
+  let n = Array1.dim v in
+  Array.init n (fun i -> Array1.unsafe_get v i)
+
+let sum v =
+  let acc = ref 0.0 in
+  for i = 0 to Array1.dim v - 1 do
+    acc := !acc +. Array1.unsafe_get v i
+  done;
+  !acc
+
+let norm_inf v =
+  let m = ref 0.0 in
+  for i = 0 to Array1.dim v - 1 do
+    m := Float.max !m (Float.abs (Array1.unsafe_get v i))
+  done;
+  !m
+
+let norm1 v =
+  let acc = ref 0.0 in
+  for i = 0 to Array1.dim v - 1 do
+    acc := !acc +. Float.abs (Array1.unsafe_get v i)
+  done;
+  !acc
+
+let scale_inplace a v =
+  for i = 0 to Array1.dim v - 1 do
+    Array1.unsafe_set v i (a *. Array1.unsafe_get v i)
+  done
+
+let approx_equal ?(tol = 1e-9) u v =
+  Array1.dim u = Array1.dim v
+  &&
+  let ok = ref true in
+  for i = 0 to Array1.dim u - 1 do
+    if Float.abs (Array1.unsafe_get u i -. Array1.unsafe_get v i) > tol then
+      ok := false
+  done;
+  !ok
+
+let pp ppf v =
+  Format.fprintf ppf "[@[";
+  for i = 0 to Array1.dim v - 1 do
+    if i > 0 then Format.fprintf ppf ";@ ";
+    Format.fprintf ppf "%g" (Array1.get v i)
+  done;
+  Format.fprintf ppf "@]]"

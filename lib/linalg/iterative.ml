@@ -67,30 +67,51 @@ let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000)
     diag;
   (* Column access pattern: sweep over rows of the transpose. *)
   let qt = Sparse.transpose q in
-  let p = ref (Vec.normalize1 (default_init n init)) in
+  let p = Vec.normalize1 (default_init n init) in
+  (* Buffers are preallocated and the accumulator hoisted: a sweep
+     allocates nothing.  Arithmetic order matches the historical
+     copy/normalize1/sub version bitwise. *)
+  let prev = Vec.create n in
+  let acc = ref 0.0 in
   let iterations = ref 0 and change = ref infinity in
   while !change > tol && !iterations < max_iter do
     guard ();
-    let prev = Vec.copy !p in
+    Vec.blit ~src:p ~dst:prev;
     for j = 0 to n - 1 do
-      let acc = ref 0.0 in
-      Sparse.iter_row qt j (fun i qij -> if i <> j then acc := !acc +. (!p.(i) *. qij));
-      !p.(j) <- !acc /. -.diag.(j)
+      acc := 0.0;
+      Sparse.iter_row qt j (fun i qij -> if i <> j then acc := !acc +. (p.(i) *. qij));
+      p.(j) <- !acc /. -.diag.(j)
     done;
-    p := Vec.normalize1 !p;
-    change := Vec.norm1 (Vec.sub !p prev);
+    let s = Vec.sum p in
+    if s = 0.0 || not (Float.is_finite s) then
+      invalid_arg
+        "Iterative.gauss_seidel_steady: iterate sum is zero or not finite";
+    let inv = 1.0 /. s in
+    for j = 0 to n - 1 do
+      p.(j) <- inv *. p.(j)
+    done;
+    acc := 0.0;
+    for j = 0 to n - 1 do
+      acc := !acc +. Float.abs (p.(j) -. prev.(j))
+    done;
+    change := !acc;
     observe_residual !change;
     incr iterations
   done;
   count_sweeps !iterations;
-  let residual = Vec.norm_inf (Sparse.vec_mul !p q) in
+  let residual = Vec.norm_inf (Sparse.vec_mul p q) in
   {
-    solution = !p;
+    solution = p;
     iterations = !iterations;
     residual;
     converged = !change <= tol;
   }
 
+(* Updates write through preallocated buffers: [~src] is the current
+   iterate, [~dst] a scratch vector the update may use, and the
+   returned array is the new iterate (Jacobi returns [dst], the
+   in-place Gauss-Seidel returns [src]).  Iterate values are bitwise
+   those of the historical allocating versions. *)
 let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000)
     ?(guard = fun () -> ()) ?init a b =
   let n = Sparse.rows a in
@@ -100,11 +121,22 @@ let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000)
     invalid_arg (Printf.sprintf "Iterative.%s: rhs dimension mismatch" name);
   let diag = diagonal_of name a in
   let x = ref (match init with Some v -> Vec.copy v | None -> Vec.create n) in
+  let scratch = ref (Vec.create n) in
+  let ax = Vec.create n in
   let iterations = ref 0 and residual = ref infinity in
   while !residual > tol && !iterations < max_iter do
     guard ();
-    x := update a b diag !x;
-    residual := Vec.norm_inf (Vec.sub (Sparse.mul_vec a !x) b);
+    let next = update a b diag ~src:!x ~dst:!scratch in
+    if next != !x then begin
+      scratch := !x;
+      x := next
+    end;
+    Sparse.mul_vec_into a !x ~dst:ax;
+    let r = ref 0.0 in
+    for i = 0 to n - 1 do
+      r := Float.max !r (Float.abs (ax.(i) -. b.(i)))
+    done;
+    residual := !r;
     observe_residual !residual;
     incr iterations
   done;
@@ -116,22 +148,27 @@ let linear_sweep_solver name update ?(tol = 1e-10) ?(max_iter = 100_000)
     converged = !residual <= tol;
   }
 
-let jacobi_update a b diag x =
-  let n = Vec.dim x in
-  Vec.init n (fun i ->
-      let acc = ref b.(i) in
-      Sparse.iter_row a i (fun j aij -> if j <> i then acc := !acc -. (aij *. x.(j)));
-      !acc /. diag.(i))
-
-let gauss_seidel_update a b diag x =
-  let next = Vec.copy x in
-  for i = 0 to Vec.dim x - 1 do
-    let acc = ref b.(i) in
-    Sparse.iter_row a i (fun j aij ->
-        if j <> i then acc := !acc -. (aij *. next.(j)));
-    next.(i) <- !acc /. diag.(i)
+let jacobi_update a b diag ~src ~dst =
+  let acc = ref 0.0 in
+  for i = 0 to Vec.dim src - 1 do
+    acc := b.(i);
+    Sparse.iter_row a i (fun j aij -> if j <> i then acc := !acc -. (aij *. src.(j)));
+    dst.(i) <- !acc /. diag.(i)
   done;
-  next
+  dst
+
+(* In-place: reading [src.(j)] picks up updated values for [j < i] and
+   the previous sweep's for [j > i] — exactly what the historical
+   copy-then-update version computed. *)
+let gauss_seidel_update a b diag ~src ~dst:_ =
+  let acc = ref 0.0 in
+  for i = 0 to Vec.dim src - 1 do
+    acc := b.(i);
+    Sparse.iter_row a i (fun j aij ->
+        if j <> i then acc := !acc -. (aij *. src.(j)));
+    src.(i) <- !acc /. diag.(i)
+  done;
+  src
 
 let jacobi ?tol ?max_iter ?guard ?init a b =
   linear_sweep_solver "jacobi" jacobi_update ?tol ?max_iter ?guard ?init a b

@@ -1,0 +1,460 @@
+(* Lazy linear operators.  The representation is the expression tree
+   itself; every kernel below works off [iter_row], which may emit the
+   same column more than once (Kron_sum diagonals, overlapping sums) —
+   all consumers accumulate. *)
+
+open Bigarray
+
+type t =
+  | Dense of Matrix.t
+  | Csr of Sparse.t
+  | Diag of float array
+  | Kron_prod of t * t
+  | Kron_sum of t * t
+  | Scaled of float * t
+  | Shifted of t * float
+  | Sum of t * t
+  | Blocks of {
+      row_off : int array; (* cumulative, length #block-rows + 1 *)
+      col_off : int array;
+      cells : t option array array;
+    }
+  | Rows of { r : int; c : int; iter : int -> (int -> float -> unit) -> unit }
+
+let rec rows = function
+  | Dense m -> Matrix.rows m
+  | Csr s -> Sparse.rows s
+  | Diag d -> Array.length d
+  | Kron_prod (a, b) -> rows a * rows b
+  | Kron_sum (a, b) -> rows a * rows b
+  | Scaled (_, a) -> rows a
+  | Shifted (a, _) -> rows a
+  | Sum (a, _) -> rows a
+  | Blocks { row_off; _ } -> row_off.(Array.length row_off - 1)
+  | Rows { r; _ } -> r
+
+let rec cols = function
+  | Dense m -> Matrix.cols m
+  | Csr s -> Sparse.cols s
+  | Diag d -> Array.length d
+  | Kron_prod (a, b) -> cols a * cols b
+  | Kron_sum (a, b) -> cols a * cols b
+  | Scaled (_, a) -> cols a
+  | Shifted (a, _) -> cols a
+  | Sum (a, _) -> cols a
+  | Blocks { col_off; _ } -> col_off.(Array.length col_off - 1)
+  | Rows { c; _ } -> c
+
+(* --- constructors --------------------------------------------------- *)
+
+let dense m = Dense m
+let csr s = Csr s
+let diag d = Diag d
+let identity n = Diag (Array.make n 1.0)
+
+let of_rows ~rows ~cols iter =
+  if rows < 0 || cols < 0 then invalid_arg "Operator.of_rows: negative shape";
+  Rows { r = rows; c = cols; iter }
+
+let kron_prod a b = Kron_prod (a, b)
+
+let require_square name op =
+  if rows op <> cols op then
+    invalid_arg (Printf.sprintf "Operator.%s: operator is not square" name)
+
+let kron_sum a b =
+  require_square "kron_sum" a;
+  require_square "kron_sum" b;
+  Kron_sum (a, b)
+
+let scaled c a = Scaled (c, a)
+
+let shifted a c =
+  require_square "shifted" a;
+  Shifted (a, c)
+
+let sum a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg
+      (Printf.sprintf "Operator.sum: shape mismatch (%dx%d vs %dx%d)" (rows a)
+         (cols a) (rows b) (cols b));
+  Sum (a, b)
+
+let offsets_of dims =
+  let off = Array.make (Array.length dims + 1) 0 in
+  Array.iteri
+    (fun k d ->
+      if d < 0 then invalid_arg "Operator.blocks: negative block dimension";
+      off.(k + 1) <- off.(k) + d)
+    dims;
+  off
+
+let blocks ~row_dims ~col_dims cells =
+  if Array.length cells <> Array.length row_dims then
+    invalid_arg "Operator.blocks: cell grid height mismatch";
+  Array.iteri
+    (fun bi row ->
+      if Array.length row <> Array.length col_dims then
+        invalid_arg "Operator.blocks: ragged cell grid";
+      Array.iteri
+        (fun bj cell ->
+          match cell with
+          | None -> ()
+          | Some op ->
+              if rows op <> row_dims.(bi) || cols op <> col_dims.(bj) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Operator.blocks: cell (%d,%d) is %dx%d, expected %dx%d"
+                     bi bj (rows op) (cols op) row_dims.(bi) col_dims.(bj)))
+        row)
+    cells;
+  Blocks { row_off = offsets_of row_dims; col_off = offsets_of col_dims; cells }
+
+(* --- row access ----------------------------------------------------- *)
+
+let rec iter_row op i f =
+  match op with
+  | Dense m ->
+      for j = 0 to Matrix.cols m - 1 do
+        let x = Matrix.get m i j in
+        if x <> 0.0 then f j x
+      done
+  | Csr s -> Sparse.iter_row s i f
+  | Diag d ->
+      let x = d.(i) in
+      if x <> 0.0 then f i x
+  | Kron_prod (a, b) ->
+      let rb = rows b and cb = cols b in
+      let ia = i / rb and ib = i mod rb in
+      iter_row a ia (fun ja xa ->
+          let base = ja * cb in
+          iter_row b ib (fun jb xb -> f (base + jb) (xa *. xb)))
+  | Kron_sum (a, b) ->
+      let nb = rows b in
+      let ia = i / nb and ib = i mod nb in
+      iter_row a ia (fun ja xa -> f ((ja * nb) + ib) xa);
+      let base = ia * nb in
+      iter_row b ib (fun jb xb -> f (base + jb) xb)
+  | Scaled (c, a) -> iter_row a i (fun j x -> f j (c *. x))
+  | Shifted (a, c) ->
+      iter_row a i f;
+      if c <> 0.0 then f i c
+  | Sum (a, b) ->
+      iter_row a i f;
+      iter_row b i f
+  | Blocks { row_off; col_off; cells } ->
+      let bi = ref 0 in
+      while row_off.(!bi + 1) <= i do
+        incr bi
+      done;
+      let li = i - row_off.(!bi) in
+      Array.iteri
+        (fun bj cell ->
+          match cell with
+          | None -> ()
+          | Some op' ->
+              let c0 = col_off.(bj) in
+              iter_row op' li (fun j x -> f (c0 + j) x))
+        cells.(!bi)
+  | Rows { iter; _ } -> iter i f
+
+let get op i j =
+  if i < 0 || i >= rows op || j < 0 || j >= cols op then
+    invalid_arg "Operator.get: index out of shape";
+  let acc = ref 0.0 in
+  iter_row op i (fun j' x -> if j' = j then acc := !acc +. x);
+  !acc
+
+let diagonal op =
+  require_square "diagonal" op;
+  let n = rows op in
+  let d = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    iter_row op i (fun j x -> if j = i then d.(i) <- d.(i) +. x)
+  done;
+  d
+
+let rec transpose = function
+  | Dense m -> Dense (Matrix.transpose m)
+  | Csr s -> Csr (Sparse.transpose s)
+  | Diag d -> Diag d
+  | Kron_prod (a, b) -> Kron_prod (transpose a, transpose b)
+  | Kron_sum (a, b) -> Kron_sum (transpose a, transpose b)
+  | Scaled (c, a) -> Scaled (c, transpose a)
+  | Shifted (a, c) -> Shifted (transpose a, c)
+  | Sum (a, b) -> Sum (transpose a, transpose b)
+  | Blocks { row_off; col_off; cells } ->
+      let nr = Array.length cells
+      and nc = if Array.length cells = 0 then 0 else Array.length cells.(0) in
+      let cells' =
+        Array.init nc (fun bj ->
+            Array.init nr (fun bi -> Option.map transpose cells.(bi).(bj)))
+      in
+      Blocks { row_off = col_off; col_off = row_off; cells = cells' }
+  | Rows _ ->
+      invalid_arg "Operator.transpose: of_rows leaves carry no column structure"
+
+(* --- materialization and cost accounting ---------------------------- *)
+
+let to_dense op =
+  let m = Matrix.create (rows op) (cols op) in
+  for i = 0 to rows op - 1 do
+    iter_row op i (fun j x -> Matrix.update m i j (fun y -> y +. x))
+  done;
+  m
+
+let to_sparse op =
+  let ts = ref [] in
+  for i = rows op - 1 downto 0 do
+    iter_row op i (fun j x -> ts := (i, j, x) :: !ts)
+  done;
+  Sparse.of_triplets ~rows:(rows op) ~cols:(cols op) !ts
+
+let rec stored_floats = function
+  | Dense m -> Matrix.rows m * Matrix.cols m
+  | Csr s -> Sparse.nnz s
+  | Diag d -> Array.length d
+  | Kron_prod (a, b) | Kron_sum (a, b) | Sum (a, b) ->
+      stored_floats a + stored_floats b
+  | Scaled (_, a) | Shifted (a, _) -> stored_floats a
+  | Blocks { cells; _ } ->
+      Array.fold_left
+        (fun acc row ->
+          Array.fold_left
+            (fun acc cell ->
+              match cell with None -> acc | Some op -> acc + stored_floats op)
+            acc row)
+        0 cells
+  | Rows _ -> 0
+
+let count_dense_nnz m =
+  let n = ref 0 in
+  for i = 0 to Matrix.rows m - 1 do
+    for j = 0 to Matrix.cols m - 1 do
+      if Matrix.get m i j <> 0.0 then incr n
+    done
+  done;
+  !n
+
+let rec materialized_nnz = function
+  | Dense m -> count_dense_nnz m
+  | Csr s -> Sparse.nnz s
+  | Diag d -> Array.fold_left (fun acc x -> if x <> 0.0 then acc + 1 else acc) 0 d
+  | Kron_prod (a, b) -> materialized_nnz a * materialized_nnz b
+  | Kron_sum (a, b) ->
+      (materialized_nnz a * rows b) + (rows a * materialized_nnz b)
+  | Scaled (c, a) -> if c = 0.0 then 0 else materialized_nnz a
+  | Shifted (a, c) ->
+      materialized_nnz a + (if c = 0.0 then 0 else rows a)
+  | Sum (a, b) -> materialized_nnz a + materialized_nnz b
+  | Blocks { cells; _ } ->
+      Array.fold_left
+        (fun acc row ->
+          Array.fold_left
+            (fun acc cell ->
+              match cell with
+              | None -> acc
+              | Some op -> acc + materialized_nnz op)
+            acc row)
+        0 cells
+  | Rows ({ r; _ } as leaf) ->
+      let n = ref 0 in
+      for i = 0 to r - 1 do
+        leaf.iter i (fun _ _ -> incr n)
+      done;
+      !n
+
+(* --- kernels --------------------------------------------------------- *)
+
+let count_matvec () = Dpm_obs.Probe.incr "operator.matvecs"
+let count_sweeps n = Dpm_obs.Probe.add "operator.sweeps" n
+
+let matvec op x ~dst =
+  if Bvec.dim x <> cols op then
+    invalid_arg "Operator.matvec: vector dimension mismatch";
+  if Bvec.dim dst <> rows op then
+    invalid_arg "Operator.matvec: destination dimension mismatch";
+  count_matvec ();
+  (* One accumulator closure for the whole product: no per-row
+     allocation. *)
+  let acc = ref 0.0 in
+  let f j a = acc := !acc +. (a *. Array1.unsafe_get x j) in
+  for i = 0 to rows op - 1 do
+    acc := 0.0;
+    iter_row op i f;
+    Array1.unsafe_set dst i !acc
+  done
+
+(* Residual max_i |(op x)_i - b_i| off the live iterate; shares the
+   accumulator-closure pattern with [matvec] (not counted as one). *)
+let residual_against op x b =
+  let acc = ref 0.0 in
+  let f j a = acc := !acc +. (a *. Array1.unsafe_get x j) in
+  let r = ref 0.0 in
+  for i = 0 to rows op - 1 do
+    acc := 0.0;
+    iter_row op i f;
+    r := Float.max !r (Float.abs (!acc -. Array.unsafe_get b i))
+  done;
+  !r
+
+let nonzero_diagonal name op =
+  let d = diagonal op in
+  Array.iteri
+    (fun i x ->
+      if x = 0.0 then
+        invalid_arg
+          (Printf.sprintf "Operator.%s: zero accumulated diagonal at row %d"
+             name i))
+    d;
+  d
+
+(* A sweep order must visit every row exactly once. *)
+let check_order name n = function
+  | None -> Array.init n (fun i -> i)
+  | Some order ->
+      if Array.length order <> n then
+        invalid_arg
+          (Printf.sprintf "Operator.%s: sweep order has length %d, expected %d"
+             name (Array.length order) n);
+      let seen = Array.make n false in
+      Array.iter
+        (fun i ->
+          if i < 0 || i >= n || seen.(i) then
+            invalid_arg
+              (Printf.sprintf "Operator.%s: sweep order is not a permutation"
+                 name);
+          seen.(i) <- true)
+        order;
+      order
+
+let gauss_seidel ?(tol = 1e-10) ?(max_iter = 100_000) ?(guard = fun () -> ())
+    ?init ?order op b =
+  require_square "gauss_seidel" op;
+  let n = rows op in
+  if Vec.dim b <> n then
+    invalid_arg "Operator.gauss_seidel: rhs dimension mismatch";
+  let order = check_order "gauss_seidel" n order in
+  let d = nonzero_diagonal "gauss_seidel" op in
+  let x =
+    match init with
+    | Some v ->
+        if Vec.dim v <> n then
+          invalid_arg "Operator.gauss_seidel: init dimension mismatch";
+        Bvec.of_vec v
+    | None -> Bvec.create n
+  in
+  (* The row sum accumulates every emitted entry, including the
+     (possibly repeated) diagonal; subtracting [d_i * x_i] afterwards
+     recovers the off-diagonal sum Gauss-Seidel needs. *)
+  let acc = ref 0.0 in
+  let f j a = acc := !acc +. (a *. Array1.unsafe_get x j) in
+  let update i =
+    let xi = Array1.unsafe_get x i in
+    acc := 0.0;
+    iter_row op i f;
+    let off = !acc -. (Array.unsafe_get d i *. xi) in
+    Array1.unsafe_set x i ((Array.unsafe_get b i -. off) /. Array.unsafe_get d i)
+  in
+  let iterations = ref 0 and residual = ref infinity in
+  while !residual > tol && !iterations < max_iter do
+    guard ();
+    (* Symmetric sweep along [order] — see [gauss_seidel_steady]. *)
+    for k = 0 to n - 1 do
+      update (Array.unsafe_get order k)
+    done;
+    for k = n - 1 downto 0 do
+      update (Array.unsafe_get order k)
+    done;
+    residual := residual_against op x b;
+    incr iterations
+  done;
+  count_sweeps !iterations;
+  {
+    Iterative.solution = Bvec.to_vec x;
+    iterations = !iterations;
+    residual = !residual;
+    converged = !residual <= tol;
+  }
+
+let gauss_seidel_steady ?(tol = 1e-12) ?(max_iter = 100_000)
+    ?(guard = fun () -> ()) ?init ?order op =
+  require_square "gauss_seidel_steady" op;
+  let n = rows op in
+  let order = check_order "gauss_seidel_steady" n order in
+  let d = nonzero_diagonal "gauss_seidel_steady" op in
+  Array.iteri
+    (fun i x ->
+      if x >= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Operator.gauss_seidel_steady: nonnegative diagonal at row %d" i))
+    d;
+  (* Column access = rows of the structural transpose; stays lazy. *)
+  let tr = transpose op in
+  let p =
+    match init with
+    | Some v ->
+        if Vec.dim v <> n then
+          invalid_arg "Operator.gauss_seidel_steady: init dimension mismatch";
+        Bvec.of_vec v
+    | None -> Bvec.make n (1.0 /. float_of_int n)
+  in
+  let normalize () =
+    let s = Bvec.sum p in
+    if s = 0.0 || not (Float.is_finite s) then
+      invalid_arg
+        "Operator.gauss_seidel_steady: iterate sum is zero or not finite";
+    Bvec.scale_inplace (1.0 /. s) p
+  in
+  normalize ();
+  let prev = Bvec.create n in
+  let acc = ref 0.0 in
+  let f i a = acc := !acc +. (a *. Array1.unsafe_get p i) in
+  let update j =
+    let pj = Array1.unsafe_get p j in
+    acc := 0.0;
+    iter_row tr j f;
+    let inflow = !acc -. (Array.unsafe_get d j *. pj) in
+    Array1.unsafe_set p j (inflow /. -.Array.unsafe_get d j)
+  in
+  let iterations = ref 0 and change = ref infinity in
+  while !change > tol && !iterations < max_iter do
+    guard ();
+    Bvec.blit ~src:p ~dst:prev;
+    (* Symmetric sweep along [order], forward then backward.  On the
+       birth-death-like chains the Kronecker compositions produce,
+       probability cascades one position per sweep against the update
+       order; sweeping a flow-aligned order both ways propagates each
+       cascade across the whole chain every iteration, making the
+       iteration count essentially depth-independent (the default
+       index order only helps when it is itself flow-aligned). *)
+    for k = 0 to n - 1 do
+      update (Array.unsafe_get order k)
+    done;
+    for k = n - 1 downto 0 do
+      update (Array.unsafe_get order k)
+    done;
+    normalize ();
+    let c = ref 0.0 in
+    for i = 0 to n - 1 do
+      c := !c +. Float.abs (Array1.unsafe_get p i -. Array1.unsafe_get prev i)
+    done;
+    change := !c;
+    incr iterations
+  done;
+  count_sweeps !iterations;
+  (* residual = norm_inf (p op), computed column-wise off the
+     transpose. *)
+  let residual = ref 0.0 in
+  for j = 0 to n - 1 do
+    acc := 0.0;
+    iter_row tr j f;
+    residual := Float.max !residual (Float.abs !acc)
+  done;
+  {
+    Iterative.solution = Bvec.to_vec p;
+    iterations = !iterations;
+    residual = !residual;
+    converged = !change <= tol;
+  }

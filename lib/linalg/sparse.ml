@@ -123,12 +123,26 @@ let transpose s =
   of_triplets ~rows:s.cols ~cols:s.rows
     (List.map (fun (i, j, x) -> (j, i, x)) (triplets s))
 
+let mul_vec_into s v ~dst =
+  if Vec.dim v <> s.cols then
+    invalid_arg "Sparse.mul_vec_into: dimension mismatch";
+  if Vec.dim dst <> s.rows then
+    invalid_arg "Sparse.mul_vec_into: destination dimension mismatch";
+  (* Hoisted accumulator: the sweep allocates nothing. *)
+  let acc = ref 0.0 in
+  for i = 0 to s.rows - 1 do
+    acc := 0.0;
+    for k = s.row_start.(i) to s.row_start.(i + 1) - 1 do
+      acc := !acc +. (s.values.(k) *. v.(s.col_index.(k)))
+    done;
+    dst.(i) <- !acc
+  done
+
 let mul_vec s v =
   if Vec.dim v <> s.cols then invalid_arg "Sparse.mul_vec: dimension mismatch";
-  Vec.init s.rows (fun i ->
-      let acc = ref 0.0 in
-      iter_row s i (fun j x -> acc := !acc +. (x *. v.(j)));
-      !acc)
+  let dst = Vec.create s.rows in
+  mul_vec_into s v ~dst;
+  dst
 
 let vec_mul v s =
   if Vec.dim v <> s.rows then invalid_arg "Sparse.vec_mul: dimension mismatch";

@@ -220,6 +220,7 @@ let solve_paths_agree () =
       let dense = Dpm_ctmdp.Policy_iteration.solve ~eval:Dense m in
       let sparse = Dpm_ctmdp.Policy_iteration.solve ~eval:Sparse m in
       let auto = Dpm_ctmdp.Policy_iteration.solve ~eval:Auto m in
+      let implicit = Dpm_ctmdp.Policy_iteration.solve ~eval:Implicit m in
       Alcotest.(check bool)
         (Printf.sprintf "gain agrees (Q=%d)" q)
         true
@@ -230,13 +231,44 @@ let solve_paths_agree () =
         && Float.abs
              (dense.Dpm_ctmdp.Policy_iteration.gain
              -. auto.Dpm_ctmdp.Policy_iteration.gain)
+           < 1e-6
+        && Float.abs
+             (dense.Dpm_ctmdp.Policy_iteration.gain
+             -. implicit.Dpm_ctmdp.Policy_iteration.gain)
            < 1e-6);
       Alcotest.(check bool)
         (Printf.sprintf "policy agrees (Q=%d)" q)
         true
         (Dpm_ctmdp.Policy.actions m dense.Dpm_ctmdp.Policy_iteration.policy
-        = Dpm_ctmdp.Policy.actions m sparse.Dpm_ctmdp.Policy_iteration.policy))
+        = Dpm_ctmdp.Policy.actions m sparse.Dpm_ctmdp.Policy_iteration.policy
+        && Dpm_ctmdp.Policy.actions m sparse.Dpm_ctmdp.Policy_iteration.policy
+           = Dpm_ctmdp.Policy.actions m
+               implicit.Dpm_ctmdp.Policy_iteration.policy))
     [ 5; 40 ]
+
+let implicit_domains_bit_identical () =
+  (* Implicit-path solves fanned out over a domain pool must be
+     bit-identical to the sequential run — the Dpm_par determinism
+     contract extended to the new evaluation backend.  Cache capacity
+     0 so every domain count really solves. *)
+  let sys = Paper_instance.system () in
+  let weights = [| 0.1; 0.5; 1.0; 2.0; 5.0; 10.0 |] in
+  let run d =
+    Dpm_cache.Solve_cache.with_capacity 0 @@ fun () ->
+    Array.map Test_util.strip_provenance
+      (Dpm_par.parallel_map ~domains:d
+         (fun weight ->
+           Optimize.solve ~weight ~eval:Dpm_ctmdp.Policy_iteration.Implicit sys)
+         weights)
+  in
+  let reference = run 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical implicit solutions, %d domains" d)
+        true
+        (run d = reference))
+    [ 2; 4 ]
 
 let suite =
   [
@@ -258,4 +290,6 @@ let suite =
     t "sparse evaluation matches dense LU within 1e-6" `Quick
       sparse_matches_dense;
     t "solve agrees across eval backends" `Quick solve_paths_agree;
+    t "implicit solves: identical results under 1/2/4 domains" `Quick
+      implicit_domains_bit_identical;
   ]

@@ -180,6 +180,58 @@ let prop_tensor_builder_on_random_single_active =
         !ok
       end)
 
+let prop_operator_matvec =
+  Test_util.qtest ~count:60 "lazy Kron operator matvec matches the dense build"
+    sys_gen
+    (fun sys ->
+      let n = Sys_model.num_states sys in
+      let ok = ref true in
+      for a = 0 to Service_provider.num_modes (Sys_model.sp sys) - 1 do
+        let op = Sys_model.operator sys ~action:a in
+        let dense = Sys_model.uniform_generator sys ~action:a in
+        (* A deterministic non-trivial probe vector: every entry
+           distinct and sign-mixed, so block/offset mistakes in the
+           Kron walk cannot cancel. *)
+        let x = Vec.init n (fun i -> sin (float_of_int (((a + 1) * n) + i))) in
+        let y = Bvec.create n in
+        Operator.matvec op (Bvec.of_vec x) ~dst:y;
+        if not (Bvec.approx_equal ~tol:1e-8 y (Bvec.of_vec (Matrix.mul_vec dense x)))
+        then ok := false
+      done;
+      !ok)
+
+let prop_implicit_evaluation_agrees =
+  Test_util.qtest ~count:40
+    "implicit policy evaluation matches the sparse reference" sys_gen
+    (fun sys ->
+      let m = Sys_model.to_ctmdp sys ~weight:1.0 in
+      let p =
+        Dpm_ctmdp.Policy.of_actions m
+          (Policies.actions_array sys (Policies.greedy sys))
+      in
+      let s = Dpm_ctmdp.Policy_iteration.evaluate_sparse m p in
+      let i = Dpm_ctmdp.Policy_iteration.evaluate_implicit m p in
+      let gain_ok =
+        Float.abs (s.Dpm_ctmdp.Policy_iteration.gain -. i.Dpm_ctmdp.Policy_iteration.gain)
+        <= 1e-6 *. (1.0 +. Float.abs s.Dpm_ctmdp.Policy_iteration.gain)
+      in
+      let bias_ok =
+        Vec.norm_inf
+          (Vec.sub s.Dpm_ctmdp.Policy_iteration.bias
+             i.Dpm_ctmdp.Policy_iteration.bias)
+        <= 1e-6
+           *. (1.0 +. Vec.norm_inf s.Dpm_ctmdp.Policy_iteration.bias)
+      in
+      let full_ref = Optimize.solve ~weight:1.0 sys in
+      let full_imp =
+        Optimize.solve ~weight:1.0 ~eval:Dpm_ctmdp.Policy_iteration.Implicit sys
+      in
+      let solve_ok =
+        Float.abs (full_ref.Optimize.gain -. full_imp.Optimize.gain)
+        <= 1e-6 *. (1.0 +. Float.abs full_ref.Optimize.gain)
+      in
+      gain_ok && bias_ok && solve_ok)
+
 let suite =
   [
     prop_generator_invariants;
@@ -188,4 +240,6 @@ let suite =
     prop_optimal_policy_valid;
     prop_sim_tracks_model;
     prop_tensor_builder_on_random_single_active;
+    prop_operator_matvec;
+    prop_implicit_evaluation_agrees;
   ]

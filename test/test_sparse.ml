@@ -56,6 +56,44 @@ let algebra () =
   Test_util.check_vec "row_sums" [| 2.0; -1.0; 5.0 |] (Sparse.row_sums s);
   Alcotest.(check int) "identity nnz" 4 (Sparse.nnz (Sparse.identity 4))
 
+let zero_sum_dropping_regression () =
+  (* Pins the of_triplets invariant the implicit-operator fallback
+     paths rely on (see Sparse.of_triplets doc): duplicate triplets
+     that cancel to exactly 0. leave no stored entry — not a stored
+     explicit zero — so nnz, iter_row and row_sums all agree that the
+     coordinate is structurally absent. *)
+  let s =
+    Sparse.of_triplets ~rows:3 ~cols:3
+      [
+        (0, 0, 1.0); (0, 2, 4.0); (0, 2, -4.0);
+        (1, 1, 0.5); (1, 1, 0.5);
+        (2, 0, -7.0); (2, 0, 7.0); (2, 2, 3.0);
+      ]
+  in
+  Alcotest.(check int) "nnz counts only surviving entries" 3 (Sparse.nnz s);
+  Test_util.check_close "cancelled entry reads as zero" 0.0 (Sparse.get s 0 2);
+  Test_util.check_close "summed duplicate survives" 1.0 (Sparse.get s 1 1);
+  let visited = ref [] in
+  for i = 0 to 2 do
+    Sparse.iter_row s i (fun j _ -> visited := (i, j) :: !visited)
+  done;
+  Alcotest.(check (list (pair int int)))
+    "iter_row skips cancelled coordinates"
+    [ (0, 0); (1, 1); (2, 2) ]
+    (List.sort compare !visited)
+
+let mul_vec_into_matches () =
+  let s = s_example () in
+  let v = [| 0.5; -2.0; 3.0 |] in
+  let dst = Vec.create 3 in
+  Sparse.mul_vec_into s v ~dst;
+  (* Bitwise, not approximate: the doc promises the same accumulation
+     order as mul_vec, which the Iterative sweeps rely on. *)
+  Alcotest.(check bool) "bitwise equal to mul_vec" true
+    (dst = Sparse.mul_vec s v);
+  Test_util.check_raises_invalid "dst dimension mismatch" (fun () ->
+      Sparse.mul_vec_into s v ~dst:(Vec.create 2))
+
 let sparse_gen =
   QCheck2.Gen.(
     int_range 1 8 >>= fun n ->
@@ -94,6 +132,8 @@ let suite =
   [
     t "construction" `Quick construction;
     t "duplicates and zeros" `Quick duplicates_summed_zeros_dropped;
+    t "zero-sum dropping regression" `Quick zero_sum_dropping_regression;
+    t "mul_vec_into matches mul_vec" `Quick mul_vec_into_matches;
     t "dense roundtrip" `Quick dense_roundtrip;
     t "row iteration sorted" `Quick row_iteration_sorted;
     t "products match dense" `Quick products_match_dense;

@@ -1,0 +1,121 @@
+(* Serving-path benchmark: the daemon engine under load and under
+   injected failure, measured in-process (the process-level kill -9
+   drill lives in tools/serve_chaos.ml; this section produces the
+   regression-gated series for bench_metrics.json).
+
+   Three scenarios on the paper instance:
+   - ingest: arrivals offered/pumped through the bounded queue and the
+     estimator at full speed -> bench.serve.throughput (events/s);
+   - query: O(1) decide calls over the whole state space ->
+     bench.serve.p99_latency_us;
+   - chaos: a stall fault plan plus a zero watchdog budget makes every
+     re-solve fail, then a checkpoint/restore cycle stands a fresh
+     engine up -> bench.serve.degraded_fraction (must stay below 1:
+     the engine kept serving) and bench.serve.recovery_ms
+     (checkpoint-load-to-first-answer).
+
+   Gauges land in bench_metrics.json under bench.serve.*:
+     bench.serve.throughput        (events/s, higher better)
+     bench.serve.p99_latency_us    (decide round-trip, lower better)
+     bench.serve.recovery_ms       (restore to first answer)
+     bench.serve.degraded_fraction (sim-time not Healthy under faults)
+     bench.serve.ok                (1 = engine answered everything) *)
+
+open Dpm_core
+module Engine = Dpm_serve.Engine
+
+let line = String.make 78 '-'
+let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
+let events = 20_000
+let queries = 50_000
+
+let p99 latencies =
+  let a = Array.copy latencies in
+  Array.sort compare a;
+  a.(min (Array.length a - 1) (int_of_float (0.99 *. float_of_int (Array.length a))))
+
+let all () =
+  header
+    "SERVE  daemon engine: ingest throughput, decide latency, and the\n\
+     degrade/checkpoint/restore cycle under a stall-fault storm";
+  let sys = Paper_instance.system () in
+  let ok = ref true in
+
+  (* Ingest throughput: offer + pump in batches of the queue size. *)
+  let engine = Engine.create ~weight:1.0 ~queue_capacity:1024 sys in
+  let t0 = Unix.gettimeofday () in
+  let at = ref 0.0 in
+  let remaining = ref events in
+  while !remaining > 0 do
+    let batch = min 1024 !remaining in
+    for _ = 1 to batch do
+      at := !at +. 0.1;
+      ignore (Engine.offer_arrival engine ~at:!at : bool)
+    done;
+    Engine.pump engine;
+    remaining := !remaining - batch
+  done;
+  let ingest_s = Unix.gettimeofday () -. t0 in
+  let throughput = float_of_int events /. ingest_s in
+
+  (* Decide latency: cycle the whole state space. *)
+  let states = Sys_model.states sys in
+  let lat = Array.make queries 0.0 in
+  for i = 0 to queries - 1 do
+    let st = states.(i mod Array.length states) in
+    let q0 = Unix.gettimeofday () in
+    ignore (Engine.decide engine st : int);
+    lat.(i) <- (Unix.gettimeofday () -. q0) *. 1e6
+  done;
+  let p99_us = p99 lat in
+
+  (* Chaos: every re-solve dies by watchdog; the engine must degrade,
+     not fail, and still answer every state. *)
+  let ck = Filename.temp_file "bench_serve_ck" ".json" in
+  let chaos =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0
+      ~deadline_s:0.0
+      ~faults:(Dpm_robust.Fault.plan [ Dpm_robust.Fault.Stall ])
+      ~checkpoint_path:ck sys
+  in
+  for i = 1 to 500 do
+    ignore (Engine.offer_arrival chaos ~at:(float_of_int i) : bool)
+  done;
+  Engine.pump chaos;
+  Array.iter
+    (fun st ->
+      let a = Engine.decide chaos st in
+      if not (List.mem a (Sys_model.valid_actions sys st)) then ok := false)
+    states;
+  let s = Engine.stats chaos in
+  if s.Engine.resolves = 0 || s.Engine.resolve_failures <> s.Engine.resolves
+  then ok := false;
+  let degraded = Engine.degraded_fraction chaos in
+  if degraded <= 0.0 || degraded >= 1.0 then ok := false;
+
+  (* Recovery: checkpoint, then stand a fresh engine up from it and
+     answer one query. *)
+  (match Engine.checkpoint chaos with Ok _ -> () | Error _ -> ok := false);
+  let r0 = Unix.gettimeofday () in
+  let restoredE =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0
+      ~checkpoint_path:ck sys
+  in
+  ignore (Engine.decide restoredE states.(0) : int);
+  let recovery_ms = (Unix.gettimeofday () -. r0) *. 1e3 in
+  if not (Engine.restored restoredE) then ok := false;
+  (try Sys.remove ck with Sys_error _ -> ());
+
+  Printf.printf
+    "ingest: %d events in %.3f s (%.0f events/s)\n\
+     decide: %d queries, p99 %.2f us\n\
+     chaos:  %d/%d re-solves failed by watchdog, degraded fraction %.3f\n\
+     restore: %.2f ms to first answer  -> %s\n"
+    events ingest_s throughput queries p99_us s.Engine.resolve_failures
+    s.Engine.resolves degraded recovery_ms
+    (if !ok then "OK" else "FAIL");
+  Dpm_obs.Probe.set "bench.serve.throughput" throughput;
+  Dpm_obs.Probe.set "bench.serve.p99_latency_us" p99_us;
+  Dpm_obs.Probe.set "bench.serve.recovery_ms" recovery_ms;
+  Dpm_obs.Probe.set "bench.serve.degraded_fraction" degraded;
+  Dpm_obs.Probe.set "bench.serve.ok" (if !ok then 1.0 else 0.0)

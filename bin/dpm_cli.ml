@@ -11,8 +11,16 @@
      dpm_cli simulate    -- event-driven simulation of a controller
      dpm_cli adapt       -- adaptive vs static vs oracle on a drifting
                             workload (online re-optimization)
+     dpm_cli serve       -- supervised policy daemon: line protocol on
+                            stdin/stdout, checkpoint/restore, degraded
+                            modes (Dpm_serve)
      dpm_cli dot         -- DOT graphs of the SP / SQ / SYS chains
-                            (regenerates Figures 1 and 2 of the paper) *)
+                            (regenerates Figures 1 and 2 of the paper)
+
+   Exit codes: 0 success; 1 generic failure (bad flags, unknown
+   device, ...); 2 infeasible constrained problem; then one code per
+   Dpm_robust.Error class: 3 deadline-exceeded, 4 singular,
+   5 nonconvergent, 6 cycling, 7 invalid-model, 8 non-finite. *)
 
 open Cmdliner
 open Dpm_core
@@ -222,23 +230,32 @@ let deadline_arg =
 let pp_diag d = Format.eprintf "%a@." Dpm_robust.Diagnostic.pp d
 
 (* Pre-solve validation: report every finding (warnings included) on
-   stderr; error-severity findings are fatal unless --no-validate. *)
+   stderr; error-severity findings are fatal unless --no-validate,
+   exiting with the invalid-model code of the error-class contract
+   below. *)
 let validate_or_die sys ~no_validate =
   if not no_validate then begin
     let diags = Dpm_robust.Validate.system sys in
     List.iter pp_diag diags;
-    if Dpm_robust.Diagnostic.errors diags <> [] then begin
-      prerr_endline "model validation failed (use --no-validate to bypass)";
-      exit 1
-    end
+    match Dpm_robust.Diagnostic.errors diags with
+    | [] -> ()
+    | errs ->
+        prerr_endline "model validation failed (use --no-validate to bypass)";
+        exit (Dpm_robust.Error.exit_code (Dpm_robust.Error.Invalid_model errs))
   end
 
-let die_on_deadline = function
-  | Dpm_robust.Error.Deadline_signal { budget_s; elapsed_s } ->
-      Format.eprintf "solve aborted: %a@." Dpm_robust.Error.pp
-        (Dpm_robust.Error.Deadline_exceeded { budget_s; elapsed_s });
-      exit 3
-  | exn -> raise exn
+(* The exit-code contract (also in the README): every solver failure
+   maps through Dpm_robust.Error to one code per error class —
+   3 deadline-exceeded, 4 singular, 5 nonconvergent, 6 cycling,
+   7 invalid-model, 8 non-finite — with 1 reserved for generic CLI
+   failures and 2 for an infeasible constrained problem.  Exceptions
+   the taxonomy refuses (Out_of_memory, ...) keep unwinding. *)
+let die_on_solver_error exn =
+  match Dpm_robust.Error.of_exn exn with
+  | Some e ->
+      Format.eprintf "solve aborted: %a@." Dpm_robust.Error.pp e;
+      exit (Dpm_robust.Error.exit_code e)
+  | None -> raise exn
 
 (* --- info ----------------------------------------------------------- *)
 
@@ -390,7 +407,7 @@ let solve_cmd =
         if provenance then
           print_endline
             (Dpm_trace.Provenance.to_json sol.Optimize.provenance)
-    | exception exn -> die_on_deadline exn
+    | exception exn -> die_on_solver_error exn
   in
   Cmd.v
     (Cmd.info "solve"
@@ -479,7 +496,17 @@ let sweep_cmd =
     in
     if ok = [] then begin
       prerr_endline "sweep: every grid point failed";
-      exit (if deadline_hit then 3 else 1)
+      (* Deadline keeps precedence (the historical sweep contract);
+         otherwise the earliest failure picks the class code. *)
+      if deadline_hit then exit 3
+      else
+        exit
+          (match failures with
+          | (_, exn) :: _ -> (
+              match Dpm_robust.Error.of_exn exn with
+              | Some e -> Dpm_robust.Error.exit_code e
+              | None -> 1)
+          | [] -> 1)
     end;
     Printf.printf "weight,power_w,waiting_requests,waiting_time_s,loss_probability\n";
     List.iter
@@ -798,6 +825,95 @@ let adapt_cmd =
       $ weight_arg $ segments_arg $ horizon_arg $ window_arg $ cooldown_arg
       $ resolve_deadline_arg $ seed_arg)
 
+(* --- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let checkpoint_arg =
+    let doc =
+      "Checkpoint file.  On startup, a readable checkpoint whose fingerprint \
+       matches the configured system restores the deployed policy, health \
+       state and estimator; a mismatched or corrupt one pins the safe \
+       policy (safe-mode).  While serving, the daemon re-saves atomically \
+       every $(b,--checkpoint-every) arrivals and on exit."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Arrivals between automatic checkpoints." in
+    Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc = "Sliding window of the arrival-rate estimator, in gaps." in
+    Arg.(value & opt int 50 & info [ "window" ] ~docv:"GAPS" ~doc)
+  in
+  let min_observations_arg =
+    let doc = "Gaps required before drift detection may re-solve." in
+    Arg.(value & opt int 30 & info [ "min-observations" ] ~docv:"N" ~doc)
+  in
+  let cooldown_arg =
+    let doc = "Minimum simulated seconds between re-solve attempts." in
+    Arg.(value & opt float 100.0 & info [ "cooldown" ] ~docv:"SECONDS" ~doc)
+  in
+  let resolve_deadline_arg =
+    let doc =
+      "Wall-clock watchdog budget per online re-solve, in seconds.  A \
+       wedged re-solve is aborted at the next solver iteration past the \
+       budget, counts as a failed attempt (health degrades, backoff \
+       grows), and the incumbent policy keeps answering."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "resolve-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let ingest_capacity_arg =
+    let doc =
+      "Bounded ingestion queue capacity; arrival events beyond it are \
+       dropped and counted (see the $(b,stats) command of the protocol)."
+    in
+    Arg.(value & opt int 1024 & info [ "ingest-capacity" ] ~docv:"N" ~doc)
+  in
+  let run runtime device rate capacity weight no_validate checkpoint_path
+      checkpoint_every window min_observations cooldown deadline_s
+      queue_capacity =
+    with_runtime runtime @@ fun () ->
+    let serve () =
+      let sys = or_die (build_system device rate capacity) in
+      validate_or_die sys ~no_validate;
+      let estimator = Dpm_adapt.Estimator.sliding_window ~window () in
+      let engine =
+        Dpm_serve.Engine.create ~weight ~estimator ~min_observations ~cooldown
+          ?deadline_s ?checkpoint_path ~checkpoint_every ~queue_capacity sys
+      in
+      Format.eprintf "dpm_cli serve: ready device=%s health=%s restored=%b@."
+        device
+        (Dpm_serve.Health.state_to_string (Dpm_serve.Engine.health engine))
+        (Dpm_serve.Engine.restored engine);
+      Dpm_serve.Server.run engine ~input:stdin ~output:stdout
+    in
+    (* The protocol's [metrics] command needs a live registry even
+       without --metrics; install a private one in that case. *)
+    if Dpm_obs.Probe.enabled () then serve ()
+    else Dpm_obs.Probe.with_active (Dpm_obs.Metrics.create ()) serve
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the supervised policy daemon: ingest arrival events and \
+          answer state-to-action queries over a newline-delimited protocol \
+          on stdin/stdout (arrival times, $(b,decide), $(b,health), \
+          $(b,stats), $(b,metrics), $(b,provenance), $(b,checkpoint), \
+          $(b,quit)).  Policies are re-solved online under a watchdog \
+          deadline with exponential backoff; every failure keeps the \
+          incumbent policy deployed, and an untrusted checkpoint pins the \
+          always-on safe policy — the daemon answers every query in any \
+          health state.")
+    Term.(
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
+      $ weight_arg $ no_validate_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ window_arg $ min_observations_arg $ cooldown_arg
+      $ resolve_deadline_arg $ ingest_capacity_arg)
+
 (* --- dot --------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -943,6 +1059,7 @@ let () =
             constrained_cmd;
             simulate_cmd;
             adapt_cmd;
+            serve_cmd;
             dot_cmd;
             report_cmd;
           ]))

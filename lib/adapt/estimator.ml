@@ -115,6 +115,102 @@ let rate t =
       end
   | Ewma e -> if t.total > 0 && e.mean > 0.0 then Some (1.0 /. e.mean) else None
 
+(* --- checkpoint serialization --------------------------------------
+
+   The serving daemon checkpoints its estimator so a crash loses no
+   workload knowledge.  The encoding captures the *exact* mutable
+   state — ring contents, cursor positions, EWMA moments, the pending
+   last-arrival time — so a restore is bit-identical: the restored
+   estimator produces the same rate, band, and future evolution as
+   the original (pinned by round-trip property tests). *)
+
+let to_json t =
+  let open Dpm_trace.Json in
+  let opt_float = function Some x -> Num x | None -> Null in
+  let common =
+    [
+      ("z", Num t.z);
+      ("last_arrival", opt_float t.last_arrival);
+      ("total", Num (float_of_int t.total));
+    ]
+  in
+  match t.kind with
+  | Window w ->
+      Obj
+        (("kind", Str "window")
+        :: ("gaps", Arr (Array.to_list (Array.map (fun g -> Num g) w.gaps)))
+        :: ("filled", Num (float_of_int w.filled))
+        :: ("next", Num (float_of_int w.next))
+        :: common)
+  | Ewma e ->
+      Obj
+        (("kind", Str "ewma")
+        :: ("alpha", Num e.alpha)
+        :: ("mean", Num e.mean)
+        :: ("sq_mean", Num e.sq_mean)
+        :: common)
+
+let of_json j =
+  let open Dpm_trace.Json in
+  let ( let* ) = Result.bind in
+  let field name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Estimator.of_json: missing field %S" name)
+  in
+  let num name =
+    let* v = field name (member name j) in
+    field name (to_float v)
+  in
+  let int name =
+    let* v = num name in
+    Ok (int_of_float v)
+  in
+  let* kind = field "kind" (Option.bind (member "kind" j) to_str) in
+  let* z = num "z" in
+  let* total = int "total" in
+  let last_arrival =
+    match member "last_arrival" j with
+    | Some (Num x) -> Some x
+    | Some _ | None -> None
+  in
+  let* kind =
+    match kind with
+    | "window" ->
+        let* gaps = field "gaps" (member "gaps" j) in
+        let* gaps =
+          match gaps with
+          | Arr xs ->
+              let rec collect acc = function
+                | [] -> Ok (Array.of_list (List.rev acc))
+                | Num x :: rest -> collect (x :: acc) rest
+                | _ -> Error "Estimator.of_json: non-numeric gap"
+              in
+              collect [] xs
+          | _ -> Error "Estimator.of_json: gaps must be an array"
+        in
+        let* filled = int "filled" in
+        let* next = int "next" in
+        let window = Array.length gaps in
+        if window < 2 then Error "Estimator.of_json: window below 2"
+        else if filled < 0 || filled > window then
+          Error "Estimator.of_json: filled out of range"
+        else if next < 0 || next >= window then
+          Error "Estimator.of_json: next out of range"
+        else Ok (Window { gaps; filled; next })
+    | "ewma" ->
+        let* alpha = num "alpha" in
+        let* mean = num "mean" in
+        let* sq_mean = num "sq_mean" in
+        if alpha <= 0.0 || alpha >= 1.0 then
+          Error "Estimator.of_json: alpha out of (0, 1)"
+        else Ok (Ewma { alpha; mean; sq_mean })
+    | other -> Error (Printf.sprintf "Estimator.of_json: unknown kind %S" other)
+  in
+  if z <= 0.0 || not (Float.is_finite z) then
+    Error "Estimator.of_json: z must be positive and finite"
+  else if total < 0 then Error "Estimator.of_json: negative total"
+  else Ok { kind; z; last_arrival; total }
+
 let band t =
   match gap_stats t with
   | None -> None

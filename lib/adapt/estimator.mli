@@ -50,6 +50,18 @@ val rate : t -> float option
 (** The current rate estimate [1 / mean-gap]; [None] before the first
     gap. *)
 
+val to_json : t -> Dpm_trace.Json.t
+(** Serialize the estimator's {e exact} mutable state (ring contents
+    and cursors, or EWMA moments, plus the pending last-arrival time)
+    for a daemon checkpoint.  Floats are encoded round-trippably, so
+    {!of_json} restores a bit-identical estimator: same rate, band,
+    and future evolution. *)
+
+val of_json : Dpm_trace.Json.t -> (t, string) result
+(** Rebuild an estimator from {!to_json} output.  [Error] on a
+    missing or malformed field, or on parameters no constructor would
+    accept (window below 2, alpha outside (0, 1), ...). *)
+
 val band : t -> (float * float) option
 (** [band t] is the [(lo, hi)] rate band obtained by inverting the
     [z]-scaled confidence interval on the mean gap; [hi] is

@@ -266,12 +266,12 @@ let check_reaches_ref ~ref_state m p =
              state"
             (n - !count) n))
 
-let evaluate_sparse_exn ~ref_state ~tol ~max_iter m p =
+let evaluate_sparse_exn ~ref_state ~tol ~max_iter ~guard m p =
   let n = Model.num_states m in
   check_reaches_ref ~ref_state m p;
   (* Stage 1: stationary distribution of the policy chain -> gain. *)
   let g = sparse_generator m p in
-  let pi = Iterative.gauss_seidel_steady ~tol ~max_iter g in
+  let pi = Iterative.gauss_seidel_steady ~tol ~max_iter ~guard g in
   if not pi.Iterative.converged then
     raise (Sparse_failed "stationary sweep did not converge");
   let gain = ref 0.0 in
@@ -291,7 +291,7 @@ let evaluate_sparse_exn ~ref_state ~tol ~max_iter m p =
      1e4 on deep queues, putting the attainable floor near eps*|bias|;
      an unscaled 1e-12 would spin to max_iter on converged iterates. *)
   let tol = tol *. Float.max 1.0 (Vec.norm_inf b) in
-  let sol = Iterative.gauss_seidel ~tol ~max_iter a b in
+  let sol = Iterative.gauss_seidel ~tol ~max_iter ~guard a b in
   (* Verify against the exact relative-value equations: one sparse
      mat-vec.  This also catches multichain policies, where the
      stationary sweep converges to the wrong chain's gain. *)
@@ -309,14 +309,15 @@ let evaluate_sparse_exn ~ref_state ~tol ~max_iter m p =
   Dpm_trace.Provenance.note_residual residual;
   evaluation_of ~ref_state x
 
-let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
+let evaluate_sparse ?(ref_state = 0) ?(tol = 1e-12) ?max_iter
+    ?(guard = fun () -> ()) m p =
   check_ref_state m ref_state;
   let max_iter =
     match max_iter with
     | Some k -> k
     | None -> max 10_000 (50 * Model.num_states m)
   in
-  match evaluate_sparse_exn ~ref_state ~tol ~max_iter m p with
+  match evaluate_sparse_exn ~ref_state ~tol ~max_iter ~guard m p with
   | e ->
       Dpm_obs.Probe.incr "policy_iteration.sparse_evals";
       Dpm_obs.Probe.set "policy_iteration.eval_path" 1.0;
@@ -350,7 +351,7 @@ module A1 = Bigarray.Array1
    sparse path's: stationary distribution -> gain, then the pinned
    exit-rate-normalized bias system, then verification against the
    exact relative-value equations at the same acceptance threshold. *)
-let evaluate_implicit_exn ~ref_state ~tol ~max_iter m p =
+let evaluate_implicit_exn ~ref_state ~tol ~max_iter ~guard m p =
   let n = Model.num_states m in
   check_reaches_ref ~ref_state m p;
   (* Flatten the policy's rows: costs, exit rates, out-edges. *)
@@ -401,6 +402,10 @@ let evaluate_implicit_exn ~ref_state ~tol ~max_iter m p =
   let prev = Bvec.create n in
   let sweeps = ref 0 and change = ref infinity in
   while !change > tol && !sweeps < max_iter do
+    (* One guard tick per sweep — the same granularity as the
+       materialized Gauss-Seidel loops, so wall-clock deadlines and
+       injected stalls cover the matrix-free path too. *)
+    guard ();
     Bvec.blit ~src:pi ~dst:prev;
     for j = 0 to n - 1 do
       acc := 0.0;
@@ -442,6 +447,7 @@ let evaluate_implicit_exn ~ref_state ~tol ~max_iter m p =
   let tol2 = tol *. Float.max 1.0 !b_inf in
   let sweeps2 = ref 0 and residual = ref infinity in
   while !residual > tol2 && !sweeps2 < max_iter do
+    guard ();
     for i = 0 to n - 1 do
       if i <> ref_state then begin
         acc := 0.0;
@@ -499,14 +505,15 @@ let evaluate_implicit_exn ~ref_state ~tol ~max_iter m p =
   in
   { gain; bias }
 
-let evaluate_implicit ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
+let evaluate_implicit ?(ref_state = 0) ?(tol = 1e-12) ?max_iter
+    ?(guard = fun () -> ()) m p =
   check_ref_state m ref_state;
   let max_iter =
     match max_iter with
     | Some k -> k
     | None -> max 10_000 (50 * Model.num_states m)
   in
-  match evaluate_implicit_exn ~ref_state ~tol ~max_iter m p with
+  match evaluate_implicit_exn ~ref_state ~tol ~max_iter ~guard m p with
   | e ->
       Dpm_obs.Probe.incr "policy_iteration.implicit_evals";
       Dpm_obs.Probe.set "policy_iteration.eval_path" 2.0;
@@ -522,7 +529,7 @@ let evaluate_implicit ?(ref_state = 0) ?(tol = 1e-12) ?max_iter m p =
       if Dpm_trace.Recorder.enabled () then
         Dpm_trace.Recorder.instant "pi.implicit_fallback"
           ~args:[ ("reason", Dpm_trace.Event.Str reason) ];
-      evaluate_sparse ~ref_state m p
+      evaluate_sparse ~ref_state ~guard m p
 
 type eval_path = Dense | Sparse | Auto | Implicit
 
@@ -534,12 +541,12 @@ type eval_path = Dense | Sparse | Auto | Implicit
    burn-in (DESIGN.md decision 13); callers opt in explicitly. *)
 let sparse_auto_threshold = 192
 
-let evaluate_auto ?ref_state ~path m p =
+let evaluate_auto ?ref_state ?guard ~path m p =
   match path with
-  | Implicit -> evaluate_implicit ?ref_state m p
-  | Sparse -> evaluate_sparse ?ref_state m p
+  | Implicit -> evaluate_implicit ?ref_state ?guard m p
+  | Sparse -> evaluate_sparse ?ref_state ?guard m p
   | Auto when Model.num_states m >= sparse_auto_threshold ->
-      evaluate_sparse ?ref_state m p
+      evaluate_sparse ?ref_state ?guard m p
   | Dense | Auto ->
       Dpm_obs.Probe.set "policy_iteration.eval_path" 0.0;
       Dpm_trace.Provenance.note_eval_path "dense";
@@ -593,7 +600,7 @@ let solve ?ref_state ?(max_iter = 1000) ?init ?(eval = Auto)
            max_iter);
     let evaluation =
       Dpm_obs.Probe.time "policy_iteration.eval_time_seconds" (fun () ->
-          evaluate_auto ?ref_state ~path:eval m policy)
+          evaluate_auto ?ref_state ~guard ~path:eval m policy)
     in
     let next, changed =
       Dpm_obs.Probe.time "policy_iteration.improve_time_seconds" (fun () ->

@@ -67,7 +67,13 @@ val evaluate_robust : ?ref_state:int -> Model.t -> Policy.t -> evaluation
     gauge [policy_iteration.tikhonov_exact_residual]. *)
 
 val evaluate_sparse :
-  ?ref_state:int -> ?tol:float -> ?max_iter:int -> Model.t -> Policy.t -> evaluation
+  ?ref_state:int ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  Model.t ->
+  Policy.t ->
+  evaluation
 (** Sparse counterpart of {!evaluate_robust}: assembles the policy's
     generator as a {!Dpm_linalg.Sparse.t} straight from the
     [Model.choice] rate lists (no O(n{^2}) dense scan) and solves the
@@ -83,12 +89,22 @@ val evaluate_sparse :
     so the result is always within solver tolerance of the dense
     answer.  [tol] (default 1e-12, internally scaled to the system's
     magnitude) and [max_iter] (default [max 10_000 (50 n)]) tune the
-    sweeps.  Probe counters: [policy_iteration.sparse_evals],
+    sweeps.  [guard] (default no-op) is ticked once per Gauss-Seidel
+    sweep in both stages and may raise to abort — the [Dpm_robust]
+    deadline/fault hook; its signal propagates out rather than
+    triggering the dense fallback.  Probe counters:
+    [policy_iteration.sparse_evals],
     [policy_iteration.sparse_fallbacks], gauge
     [policy_iteration.eval_path] (1 sparse, 0 dense). *)
 
 val evaluate_implicit :
-  ?ref_state:int -> ?tol:float -> ?max_iter:int -> Model.t -> Policy.t -> evaluation
+  ?ref_state:int ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?guard:(unit -> unit) ->
+  Model.t ->
+  Policy.t ->
+  evaluation
 (** Matrix-free counterpart of {!evaluate_sparse}: the policy's rows
     are flattened once into flat index/rate arrays (no triplet sort,
     no CSR transpose — the costs that dominate {!evaluate_sparse} on
@@ -104,7 +120,11 @@ val evaluate_implicit :
     {!evaluate_sparse} — and through it to dense LU — so the result is
     always within solver tolerance of the reference.  [tol] (default
     1e-12) and [max_iter] (default [max 10_000 (50 n)]) tune the
-    sweeps.  Probe counters: [policy_iteration.implicit_evals],
+    sweeps.  [guard] (default no-op) is ticked once per sweep in both
+    matrix-free stages — the same granularity as the materialized
+    paths — so wall-clock deadlines and injected faults cover the
+    implicit path too; its signal propagates out instead of falling
+    back.  Probe counters: [policy_iteration.implicit_evals],
     [policy_iteration.implicit_fallbacks],
     [policy_iteration.implicit_sweeps] (total sweeps across both
     stages), gauge [policy_iteration.eval_path] (2 implicit). *)
@@ -144,7 +164,9 @@ val solve :
     {!eval_path} docs; every backend agrees to solver tolerance, so
     the returned policy and gain do not depend on the choice.
     [guard] (default no-op) is invoked at the top of every iteration
-    and may raise to abort — the [Dpm_robust] deadline hook. *)
+    {e and} threaded into the sparse/implicit evaluation sweeps, so a
+    deadline fires mid-evaluation rather than only between policies —
+    the [Dpm_robust] deadline hook. *)
 
 val brute_force : Model.t -> Policy.t * float
 (** [brute_force m] evaluates every stationary policy and returns a

@@ -27,6 +27,27 @@ let pp ppf = function
 
 let to_string e = Format.asprintf "%a" pp e
 
+(* One process exit code per error class — the contract between
+   dpm_cli, the serve daemon's supervisor, and CI.  3 predates this
+   mapping (the sweep deadline path documented it first); the rest
+   extend the sequence.  1 and 2 stay reserved for generic failures
+   and infeasibility respectively. *)
+let exit_code = function
+  | Deadline_exceeded _ -> 3
+  | Singular -> 4
+  | Nonconvergent _ -> 5
+  | Cycling -> 6
+  | Invalid_model _ -> 7
+  | Non_finite _ -> 8
+
+let class_name = function
+  | Singular -> "singular"
+  | Nonconvergent _ -> "nonconvergent"
+  | Cycling -> "cycling"
+  | Invalid_model _ -> "invalid-model"
+  | Deadline_exceeded _ -> "deadline-exceeded"
+  | Non_finite _ -> "non-finite"
+
 (* First integer embedded in a message — recovers the iteration count
    from [Failure "...: no convergence after %d iterations"]. *)
 let first_int msg =

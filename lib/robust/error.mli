@@ -53,3 +53,19 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 (** {!pp} rendered to a string. *)
+
+val exit_code : t -> int
+(** The process exit code for this error class — one code per
+    constructor, stable across releases, shared by every [dpm_cli]
+    subcommand and relied on by the serve daemon's supervisor and CI:
+    {!Deadline_exceeded} 3 (the historical sweep contract),
+    {!Singular} 4, {!Nonconvergent} 5, {!Cycling} 6,
+    {!Invalid_model} 7, {!Non_finite} 8.  Codes 1 (generic failure)
+    and 2 (infeasible constrained problem) are reserved by the CLI
+    and never returned here. *)
+
+val class_name : t -> string
+(** Stable one-word slug of the error class ([singular],
+    [nonconvergent], [cycling], [invalid-model], [deadline-exceeded],
+    [non-finite]) — used in logs and the serve daemon's health
+    telemetry. *)

@@ -1,0 +1,47 @@
+type t = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+  rng : Dpm_prob.Rng.t;
+  mutable failures : int;
+  mutable delay : float;
+}
+
+let create ?(base = 1.0) ?(factor = 2.0) ?(max_delay = 64.0) ?(jitter = 0.1)
+    ?(seed = 0xB0FFL) () =
+  if base <= 0.0 || not (Float.is_finite base) then
+    invalid_arg "Backoff.create: base must be positive and finite";
+  if factor <= 0.0 || not (Float.is_finite factor) then
+    invalid_arg "Backoff.create: factor must be positive and finite";
+  if max_delay <= 0.0 || not (Float.is_finite max_delay) then
+    invalid_arg "Backoff.create: max_delay must be positive and finite";
+  if jitter < 0.0 || jitter >= 1.0 then
+    invalid_arg "Backoff.create: jitter must be in [0, 1)";
+  {
+    base;
+    factor;
+    max_delay;
+    jitter;
+    rng = Dpm_prob.Rng.create seed;
+    failures = 0;
+    delay = 0.0;
+  }
+
+let note_failure t =
+  t.failures <- t.failures + 1;
+  let raw =
+    Float.min t.max_delay
+      (t.base *. (t.factor ** float_of_int (t.failures - 1)))
+  in
+  let scale =
+    1.0 +. (t.jitter *. ((2.0 *. Dpm_prob.Rng.float t.rng) -. 1.0))
+  in
+  t.delay <- raw *. scale
+
+let note_success t =
+  t.failures <- 0;
+  t.delay <- 0.0
+
+let delay t = t.delay
+let failures t = t.failures

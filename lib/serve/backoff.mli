@@ -1,0 +1,45 @@
+(** Exponential backoff with deterministic jitter for re-solve
+    retries.
+
+    A persistently failing re-solve (a wedged solver caught by the
+    watchdog deadline, an injected fault storm) must not be retried on
+    every arrival: each attempt burns a full deadline budget while the
+    daemon should be answering queries.  The engine therefore spaces
+    attempts by [cooldown + delay], where [delay] grows geometrically
+    with consecutive failures and resets on the first success.
+
+    Jitter is drawn from a seeded {!Dpm_prob.Rng} stream, so a fleet
+    of restarting daemons does not retry in lockstep while any single
+    configuration remains bit-for-bit reproducible. *)
+
+type t
+
+val create :
+  ?base:float ->
+  ?factor:float ->
+  ?max_delay:float ->
+  ?jitter:float ->
+  ?seed:int64 ->
+  unit ->
+  t
+(** [base] (default 1.0, sim-time units) is the delay after the first
+    failure; each further consecutive failure multiplies it by
+    [factor] (default 2.0) up to [max_delay] (default 64.0); the
+    result is then scaled by a uniform factor in
+    [[1 - jitter, 1 + jitter]] (default [jitter] 0.1).  Raises
+    [Invalid_argument] on a non-positive [base]/[factor]/[max_delay]
+    or a [jitter] outside [[0, 1)]. *)
+
+val note_failure : t -> unit
+(** Record a failed attempt: the current delay becomes
+    [min max_delay (base * factor^(failures-1))], jittered. *)
+
+val note_success : t -> unit
+(** Reset: consecutive failures and delay return to zero. *)
+
+val delay : t -> float
+(** The extra wait (beyond the engine's cooldown) before the next
+    attempt; 0 when the last attempt succeeded. *)
+
+val failures : t -> int
+(** Consecutive failures since the last success. *)

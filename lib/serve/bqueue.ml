@@ -1,0 +1,28 @@
+type 'a t = {
+  capacity : int;
+  q : 'a Queue.t;
+  mutable accepted : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  { capacity; q = Queue.create (); accepted = 0; dropped = 0 }
+
+let push t x =
+  if Queue.length t.q >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    Dpm_obs.Probe.incr "serve.queue_drops";
+    false
+  end
+  else begin
+    Queue.push x t.q;
+    t.accepted <- t.accepted + 1;
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+let length t = Queue.length t.q
+let capacity t = t.capacity
+let accepted t = t.accepted
+let dropped t = t.dropped

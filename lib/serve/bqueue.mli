@@ -1,0 +1,38 @@
+(** Bounded FIFO ingestion queues with drop accounting.
+
+    The serving daemon slurps arrival events in bursts (everything the
+    transport has buffered) before it answers the next query.  An
+    unbounded buffer would turn a misbehaving client into unbounded
+    memory growth; this queue instead caps the burst and {e counts}
+    what it sheds, so backpressure is visible in the daemon's stats
+    rather than silent.
+
+    Drop policy is drop-newest: a push against a full queue rejects
+    the incoming element (the caller sees [false] and can propagate
+    backpressure) and leaves the already-accepted elements intact —
+    the estimator keeps the oldest evidence, which is the right bias
+    for a rate estimator fed in arrival order. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] on a capacity below 1. *)
+
+val push : 'a t -> 'a -> bool
+(** [push q x] appends [x] and returns [true], or — when the queue
+    already holds [capacity] elements — counts a drop and returns
+    [false] without storing [x]. *)
+
+val pop : 'a t -> 'a option
+(** Oldest element, or [None] when empty. *)
+
+val length : 'a t -> int
+(** Elements currently held. *)
+
+val capacity : 'a t -> int
+
+val accepted : 'a t -> int
+(** Total elements ever accepted by {!push}. *)
+
+val dropped : 'a t -> int
+(** Total elements ever rejected by {!push} against a full queue. *)

@@ -1,0 +1,138 @@
+type t = {
+  saved_at : float;
+  fingerprint : int64;
+  deployed_rate : float;
+  weight : float;
+  actions : int array;
+  health : Health.state;
+  estimator : Dpm_trace.Json.t;
+  events_ingested : int;
+  drops : int;
+}
+
+let version = 1
+
+let to_json t =
+  let open Dpm_trace.Json in
+  Obj
+    [
+      ("version", Num (float_of_int version));
+      ("saved_at", Num t.saved_at);
+      ("fingerprint", Str (Printf.sprintf "%016Lx" t.fingerprint));
+      ("deployed_rate", Num t.deployed_rate);
+      ("weight", Num t.weight);
+      ( "actions",
+        Arr
+          (Array.to_list
+             (Array.map (fun a -> Num (float_of_int a)) t.actions)) );
+      ("health", Str (Health.state_to_string t.health));
+      ("estimator", t.estimator);
+      ("events_ingested", Num (float_of_int t.events_ingested));
+      ("drops", Num (float_of_int t.drops));
+    ]
+
+let of_json j =
+  let open Dpm_trace.Json in
+  let ( let* ) = Result.bind in
+  let field name =
+    match member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Checkpoint.of_json: missing field %S" name)
+  in
+  let num name =
+    let* v = field name in
+    match to_float v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "Checkpoint.of_json: field %S not a number" name)
+  in
+  let int name =
+    let* x = num name in
+    Ok (int_of_float x)
+  in
+  let str name =
+    let* v = field name in
+    match to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "Checkpoint.of_json: field %S not a string" name)
+  in
+  let* v = int "version" in
+  if v <> version then
+    Error (Printf.sprintf "Checkpoint.of_json: unknown version %d" v)
+  else
+    let* saved_at = num "saved_at" in
+    let* fp_hex = str "fingerprint" in
+    let* fingerprint =
+      match Int64.of_string_opt ("0x" ^ fp_hex) with
+      | Some fp when String.length fp_hex = 16 -> Ok fp
+      | _ -> Error "Checkpoint.of_json: malformed fingerprint"
+    in
+    let* deployed_rate = num "deployed_rate" in
+    let* weight = num "weight" in
+    let* actions_json = field "actions" in
+    let* actions =
+      match actions_json with
+      | Arr xs ->
+          let rec collect acc = function
+            | [] -> Ok (Array.of_list (List.rev acc))
+            | Num x :: rest when Float.is_integer x ->
+                collect (int_of_float x :: acc) rest
+            | _ -> Error "Checkpoint.of_json: non-integer action"
+          in
+          collect [] xs
+      | _ -> Error "Checkpoint.of_json: actions must be an array"
+    in
+    let* health_slug = str "health" in
+    let* health =
+      match Health.state_of_string health_slug with
+      | Some h -> Ok h
+      | None ->
+          Error (Printf.sprintf "Checkpoint.of_json: unknown health %S" health_slug)
+    in
+    let* estimator = field "estimator" in
+    let* events_ingested = int "events_ingested" in
+    let* drops = int "drops" in
+    if events_ingested < 0 || drops < 0 then
+      Error "Checkpoint.of_json: negative counter"
+    else
+      Ok
+        {
+          saved_at;
+          fingerprint;
+          deployed_rate;
+          weight;
+          actions;
+          health;
+          estimator;
+          events_ingested;
+          drops;
+        }
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Dpm_trace.Json.to_string (to_json t));
+        output_char oc '\n';
+        flush oc);
+    Sys.rename tmp path
+  with
+  | () ->
+      Dpm_obs.Probe.incr "serve.checkpoints";
+      Ok ()
+  | exception Sys_error msg -> Error msg
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> (
+      match Dpm_trace.Json.parse contents with
+      | Ok j -> of_json j
+      | Error e -> Error (Printf.sprintf "Checkpoint.load: parse error: %s" e))
+  | exception Sys_error msg -> Error msg

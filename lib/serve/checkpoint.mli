@@ -1,0 +1,56 @@
+(** Versioned, atomic daemon checkpoints.
+
+    A checkpoint captures everything the daemon cannot recompute after
+    a crash: the exact estimator state (ring contents / EWMA moments —
+    the accumulated workload knowledge), the deployed policy table and
+    the rate it was solved at, the health state, and the ingestion
+    counters.  It deliberately does {e not} capture the solve cache —
+    that is a performance artifact the restarted daemon rebuilds.
+
+    {2 Format}
+
+    One JSON object, guarded by a [version] field (readers reject
+    versions they do not know) and a [fingerprint]: the structural
+    hash of the configured system's CTMDP
+    ({!Dpm_cache.Fingerprint.model_hash} at the nominal rate and
+    serving weight, as 16 hex digits).  A restore only trusts the
+    deployed policy when the fingerprint matches the system the daemon
+    was started with — a checkpoint from a different SP or queue
+    capacity would index actions against the wrong state space.
+    Floats are encoded round-trippably ({!Dpm_trace.Json.float_str}),
+    so a restore is bit-identical.
+
+    {2 Atomicity}
+
+    {!save} writes to a [<path>.tmp] sibling, flushes, then renames
+    over [path] — a crash mid-write leaves the previous checkpoint
+    intact, never a torn file.  (Rename within one directory is atomic
+    on POSIX.) *)
+
+type t = {
+  saved_at : float;  (** sim-time of the save *)
+  fingerprint : int64;  (** structural hash of the configured system *)
+  deployed_rate : float;  (** arrival rate the policy was solved at *)
+  weight : float;  (** serving weight (Eqn. 3.1 [w]) *)
+  actions : int array;  (** deployed policy table, by state index *)
+  health : Health.state;
+  estimator : Dpm_trace.Json.t;
+      (** opaque {!Dpm_adapt.Estimator.to_json} payload; the engine
+          decodes it so the checkpoint layer stays estimator-agnostic *)
+  events_ingested : int;
+  drops : int;
+}
+
+val version : int
+(** Current format version (1). *)
+
+val to_json : t -> Dpm_trace.Json.t
+val of_json : Dpm_trace.Json.t -> (t, string) result
+(** [Error] on an unknown version or a missing/malformed field. *)
+
+val save : path:string -> t -> (unit, string) result
+(** Atomic write-to-temp-and-rename; [Error] carries the system error
+    message. *)
+
+val load : path:string -> (t, string) result
+(** Read and parse; [Error] on I/O failure or {!of_json} rejection. *)

@@ -1,0 +1,74 @@
+type state = Healthy | Degraded | Safe_mode
+type outcome = Resolve_ok | Resolve_failed | Checkpoint_invalid
+
+let transition state outcome =
+  match (state, outcome) with
+  | _, Checkpoint_invalid -> Safe_mode
+  | _, Resolve_ok -> Healthy
+  | Healthy, Resolve_failed -> Degraded
+  | (Degraded | Safe_mode), Resolve_failed -> state
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Safe_mode -> "safe-mode"
+
+let state_of_string = function
+  | "healthy" -> Some Healthy
+  | "degraded" -> Some Degraded
+  | "safe-mode" -> Some Safe_mode
+  | _ -> None
+
+let severity = function Healthy -> 0 | Degraded -> 1 | Safe_mode -> 2
+
+let outcome_to_string = function
+  | Resolve_ok -> "resolve-ok"
+  | Resolve_failed -> "resolve-failed"
+  | Checkpoint_invalid -> "checkpoint-invalid"
+
+type t = {
+  mutable state : state;
+  mutable last_stamp : float;
+  time_in : float array;  (* indexed by severity *)
+  mutable transitions : int;
+}
+
+let create ?(now = 0.0) state =
+  Dpm_obs.Probe.set "serve.health" (float_of_int (severity state));
+  { state; last_stamp = now; time_in = Array.make 3 0.0; transitions = 0 }
+
+let state t = t.state
+
+let observe t ~now =
+  if now > t.last_stamp then begin
+    t.time_in.(severity t.state) <-
+      t.time_in.(severity t.state) +. (now -. t.last_stamp);
+    t.last_stamp <- now
+  end
+
+let apply t outcome ~now =
+  observe t ~now;
+  let next = transition t.state outcome in
+  if next <> t.state then begin
+    t.transitions <- t.transitions + 1;
+    Dpm_obs.Probe.incr "serve.health_transitions";
+    if Dpm_trace.Recorder.enabled () then
+      Dpm_trace.Recorder.instant "serve.health"
+        ~args:
+          [
+            ("from", Dpm_trace.Event.Str (state_to_string t.state));
+            ("to", Dpm_trace.Event.Str (state_to_string next));
+            ("outcome", Dpm_trace.Event.Str (outcome_to_string outcome));
+            ("sim_time", Dpm_trace.Event.Float now);
+          ]
+  end;
+  t.state <- next;
+  Dpm_obs.Probe.set "serve.health" (float_of_int (severity next))
+
+let time_in t state = t.time_in.(severity state)
+
+let degraded_fraction t =
+  let total = t.time_in.(0) +. t.time_in.(1) +. t.time_in.(2) in
+  if total <= 0.0 then 0.0 else (t.time_in.(1) +. t.time_in.(2)) /. total
+
+let transitions t = t.transitions

@@ -1,0 +1,75 @@
+(** The daemon's explicit health state machine.
+
+    Three states order the daemon's degradation ladder:
+
+    - [Healthy]: the deployed policy came from a successful solve at
+      the current rate estimate;
+    - [Degraded]: a re-solve failed, so the daemon is answering off a
+      {e stale} incumbent policy — still optimal for some recent rate,
+      just not re-validated against the latest estimate;
+    - [Safe_mode]: the incumbent itself was invalidated (a checkpoint
+      that does not match the configured system, or a failed cold
+      solve), so the daemon pinned the always-on safe policy —
+      conservative on power, but it answers every query.
+
+    Transitions are driven by re-solve {!outcome}s; the pure
+    {!transition} function is exported so tests can pin the whole
+    matrix.  The machine also accounts wall-in-state sim-time, which
+    is what the chaos bench reports as [degraded_fraction]. *)
+
+type state = Healthy | Degraded | Safe_mode
+
+type outcome =
+  | Resolve_ok  (** a guarded re-solve deployed a fresh policy *)
+  | Resolve_failed  (** the re-solve errored; incumbent policy held *)
+  | Checkpoint_invalid
+      (** the restored state could not be trusted (fingerprint
+          mismatch, invalid action table); safe policy pinned *)
+
+val transition : state -> outcome -> state
+(** The full transition matrix: [Checkpoint_invalid] forces
+    [Safe_mode] from anywhere; [Resolve_ok] restores [Healthy] from
+    anywhere; [Resolve_failed] degrades [Healthy] to [Degraded] and
+    leaves [Degraded]/[Safe_mode] where they are ([Safe_mode] only
+    exits on a {e success} — a failure must not promote it to the
+    milder [Degraded]). *)
+
+val state_to_string : state -> string
+(** ["healthy"], ["degraded"], ["safe-mode"] — stable slugs used by
+    the protocol, checkpoints and telemetry. *)
+
+val state_of_string : string -> state option
+
+val severity : state -> int
+(** 0, 1, 2 in ladder order — the value of the [serve.health]
+    gauge. *)
+
+type t
+(** A stateful machine: current state plus per-state sim-time
+    accounting. *)
+
+val create : ?now:float -> state -> t
+(** Start in the given state at sim-time [now] (default 0). *)
+
+val state : t -> state
+
+val apply : t -> outcome -> now:float -> unit
+(** Advance the sim-clock to [now] (crediting the elapsed interval to
+    the {e outgoing} state), then take the {!transition}.  A state
+    change emits a [serve.health] timeline instant (when tracing is
+    active) and updates the [serve.health] gauge. *)
+
+val observe : t -> now:float -> unit
+(** Advance the sim-clock without an outcome, so time-in-state stays
+    current between re-solve attempts.  [now] values below the last
+    stamp are ignored (the clock never runs backwards). *)
+
+val time_in : t -> state -> float
+(** Accumulated sim-time credited to [state] so far. *)
+
+val degraded_fraction : t -> float
+(** Fraction of accumulated sim-time spent {e not} [Healthy]; 0 when
+    no time has accumulated. *)
+
+val transitions : t -> int
+(** Number of state {e changes} so far (self-loops not counted). *)

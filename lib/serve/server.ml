@@ -1,0 +1,134 @@
+open Dpm_core
+
+let respond out fmt =
+  Printf.ksprintf
+    (fun line ->
+      output_string out line;
+      output_char out '\n';
+      flush out)
+    fmt
+
+(* [mode] operand: an index or an SP mode name. *)
+let parse_mode sys token =
+  match int_of_string_opt token with
+  | Some m -> Some m
+  | None -> (
+      match Service_provider.mode_of_name (Sys_model.sp sys) token with
+      | m -> Some m
+      | exception Not_found -> None)
+
+let answer_decide engine out state =
+  let sys = Engine.sys engine in
+  match Engine.decide engine state with
+  | action ->
+      respond out "action %d %s" action
+        (Service_provider.name (Sys_model.sp sys) action)
+  | exception Invalid_argument _ -> respond out "error invalid state"
+
+let answer_health engine out =
+  let fails = Engine.consecutive_failures engine in
+  let err =
+    match Engine.last_error engine with
+    | Some e -> " last_error=" ^ Dpm_robust.Error.class_name e
+    | None -> ""
+  in
+  respond out "health %s failures=%d deployed_rate=%s degraded_fraction=%s%s"
+    (Health.state_to_string (Engine.health engine))
+    fails
+    (Dpm_trace.Json.float_str (Engine.deployed_rate engine))
+    (Dpm_trace.Json.float_str (Engine.degraded_fraction engine))
+    err
+
+let answer_stats engine out =
+  let s = Engine.stats engine in
+  respond out
+    "stats events=%d drops=%d decisions=%d resolves=%d resolve_failures=%d \
+     switches=%d checkpoints=%d checkpoint_failures=%d health_transitions=%d \
+     health=%s restored=%b"
+    s.Engine.events_ingested s.Engine.queue_drops s.Engine.decisions
+    s.Engine.resolves s.Engine.resolve_failures s.Engine.policy_switches
+    s.Engine.checkpoints s.Engine.checkpoint_failures
+    s.Engine.health_transitions
+    (Health.state_to_string (Engine.health engine))
+    (Engine.restored engine)
+
+let answer_metrics out =
+  (match Dpm_obs.Probe.current () with
+  | Some registry -> output_string out (Dpm_obs.Report.to_prometheus registry)
+  | None -> output_string out "# metrics disabled (no active registry)\n");
+  output_string out ".\n";
+  flush out
+
+let answer_provenance engine out =
+  match Engine.last_provenance engine with
+  | Some p -> respond out "%s" (Dpm_trace.Provenance.to_json p)
+  | None -> respond out "none"
+
+let final_checkpoint engine =
+  match Engine.checkpoint engine with
+  | Ok _ | Error _ -> ()
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let run engine ~input ~output =
+  let sys = Engine.sys engine in
+  let continue = ref true in
+  while !continue do
+    match input_line input with
+    | exception End_of_file ->
+        Engine.pump engine;
+        final_checkpoint engine;
+        continue := false
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          match split_words line with
+          | [ t ] when float_of_string_opt t <> None ->
+              ignore
+                (Engine.offer_arrival engine ~at:(float_of_string t) : bool)
+          | [ "arrival"; t ] -> (
+              match float_of_string_opt t with
+              | Some at -> ignore (Engine.offer_arrival engine ~at : bool)
+              | None -> respond output "error malformed arrival time %s" t)
+          | [ "decide"; mode; queue ] -> (
+              Engine.pump engine;
+              match (parse_mode sys mode, int_of_string_opt queue) with
+              | Some m, Some q ->
+                  answer_decide engine output (Sys_model.Stable (m, q))
+              | None, _ -> respond output "error unknown mode %s" mode
+              | _, None -> respond output "error malformed queue %s" queue)
+          | [ "decide-transfer"; mode; i ] -> (
+              Engine.pump engine;
+              match (parse_mode sys mode, int_of_string_opt i) with
+              | Some m, Some i ->
+                  answer_decide engine output (Sys_model.Transfer (m, i))
+              | None, _ -> respond output "error unknown mode %s" mode
+              | _, None -> respond output "error malformed level %s" i)
+          | [ "health" ] ->
+              Engine.pump engine;
+              answer_health engine output
+          | [ "stats" ] ->
+              Engine.pump engine;
+              answer_stats engine output
+          | [ "metrics" ] ->
+              Engine.pump engine;
+              answer_metrics output
+          | [ "provenance" ] ->
+              Engine.pump engine;
+              answer_provenance engine output
+          | [ "checkpoint" ] -> (
+              Engine.pump engine;
+              match Engine.checkpoint engine with
+              | Ok path -> respond output "ok %s" path
+              | Error msg ->
+                  respond output "error %s" (String.map (function '\n' -> ' ' | c -> c) msg))
+          | [ "quit" ] ->
+              Engine.pump engine;
+              respond output "bye";
+              final_checkpoint engine;
+              continue := false
+          | cmd :: _ -> respond output "error unknown command %s" cmd
+          | [] -> ())
+  done

@@ -1,0 +1,41 @@
+(** The daemon's line protocol: newline-delimited commands over an
+    input/output channel pair (stdin/stdout under [dpm_cli serve], or
+    pipes under the chaos harness and tests).
+
+    {2 Grammar}
+
+    Arrival ingestion reuses the {!Dpm_sim.Workload.load_trace}
+    grammar — one absolute arrival time per line, [#] comments and
+    blank lines ignored — so a recorded trace file can be piped
+    straight in; [arrival <t>] is an explicit synonym.  Ingestion
+    lines get {e no} response (they are a stream, not RPCs); events
+    beyond the engine's bounded queue are dropped and counted.
+
+    Queries (each answered with exactly one line, except [metrics]):
+
+    - [decide <mode> <queue>] — the deployed action for the stable
+      state ([mode] is an index or an SP mode name):
+      [action <idx> <name>];
+    - [decide-transfer <mode> <i>] — likewise for a transfer state;
+    - [health] — [health <state> failures=<n> deployed_rate=<r>
+      degraded_fraction=<f>];
+    - [stats] — one [key=value] line of the engine's {!Engine.stats};
+    - [metrics] — the Prometheus text exposition of the active
+      {!Dpm_obs} registry, terminated by a lone [.] sentinel line;
+    - [provenance] — the deployed policy's solve provenance as one
+      JSON line, or [none];
+    - [checkpoint] — force a save: [ok <path>] or [error <msg>];
+    - [quit] — [bye], then a final checkpoint and a clean return.
+
+    Malformed commands answer [error <reason>] and the loop
+    continues: a protocol error must never take the daemon down.
+    Every query is answered off the deployed table even in
+    [Safe_mode] — the availability contract the chaos harness
+    checks.  All pending arrivals are pumped before a query is
+    answered, so answers reflect everything offered so far.
+
+    EOF behaves like [quit] (minus the [bye]): final checkpoint,
+    clean return. *)
+
+val run : Engine.t -> input:in_channel -> output:out_channel -> unit
+(** Serve until [quit] or EOF.  Responses are flushed per command. *)

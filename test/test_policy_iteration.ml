@@ -180,9 +180,64 @@ let prop_bias_equations_hold =
       done;
       !ok)
 
+(* --- guard threading through the evaluation sweeps ------------------
+
+   The ?guard hook must reach the matrix-free and sparse Gauss-Seidel
+   loops themselves — not just the policy-improvement loop — so a
+   wall-clock deadline (or an injected stall) can abort a wedged
+   evaluation mid-sweep.  A guard that raises Deadline_signal must
+   propagate out as-is, never be swallowed into the fallback ladder. *)
+let signal = Dpm_robust.Error.Deadline_signal { budget_s = 0.0; elapsed_s = 0.0 }
+
+let guard_reaches_evaluation_sweeps () =
+  let m = speed_control ~holding:1.0 ~fast_cost:3.0 in
+  let p = Policy.uniform_first m in
+  List.iter
+    (fun (name, eval) ->
+      let ticks = ref 0 in
+      let guard () =
+        incr ticks;
+        if !ticks > 1 then raise signal
+      in
+      (match eval ~guard m p with
+      | (_ : Policy_iteration.evaluation) ->
+          Alcotest.failf "%s: guard signal swallowed" name
+      | exception Dpm_robust.Error.Deadline_signal _ -> ());
+      Alcotest.(check bool)
+        (name ^ ": guard ticked inside the sweeps")
+        true (!ticks > 1))
+    [
+      ("sparse", fun ~guard m p -> Policy_iteration.evaluate_sparse ~guard m p);
+      ( "implicit",
+        fun ~guard m p -> Policy_iteration.evaluate_implicit ~guard m p );
+    ]
+
+let solve_deadline_covers_implicit_eval () =
+  (* An expired deadline entering through solve must abort the
+     implicit evaluation path with the typed error, not hang or fall
+     back. *)
+  let m = speed_control ~holding:1.0 ~fast_cost:3.0 in
+  let fired = ref false in
+  let guard () =
+    fired := true;
+    raise signal
+  in
+  match
+    Dpm_robust.Guard.run (fun () ->
+        Policy_iteration.solve ~eval:Policy_iteration.Implicit ~guard m)
+  with
+  | Ok _ -> Alcotest.fail "deadline ignored by the implicit path"
+  | Error (Dpm_robust.Error.Deadline_exceeded _) ->
+      Alcotest.(check bool) "guard fired" true !fired
+  | Error e ->
+      Alcotest.failf "unexpected error class: %s"
+        (Dpm_robust.Error.to_string e)
+
 let suite =
   [
     t "evaluation hand-checked" `Quick evaluation_matches_hand_solution;
+    t "guard reaches evaluation sweeps" `Quick guard_reaches_evaluation_sweeps;
+    t "deadline covers implicit eval" `Quick solve_deadline_covers_implicit_eval;
     t "matches brute force" `Quick solve_matches_brute_force;
     t "dominant action chosen" `Quick cheap_fast_service_always_chosen;
     t "trace monotone, terminates" `Quick trace_is_monotone_and_terminates;

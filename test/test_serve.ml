@@ -1,0 +1,505 @@
+(* Dpm_serve: bounded ingestion, the health state machine, retry
+   backoff, checkpoint round-trips, and the engine's supervise-and-
+   degrade contract.
+
+   The central claims pinned here:
+   - a checkpoint save -> crash -> restore is bit-identical: the
+     restored engine answers the same decisions and evolves its
+     estimator exactly like the original;
+   - the engine answers every query in every health state (failures
+     hold the incumbent; untrusted checkpoints pin the safe policy);
+   - the bounded queue sheds excess load with exact drop accounting. *)
+
+open Dpm_core
+module Bqueue = Dpm_serve.Bqueue
+module Health = Dpm_serve.Health
+module Backoff = Dpm_serve.Backoff
+module Checkpoint = Dpm_serve.Checkpoint
+module Engine = Dpm_serve.Engine
+module Estimator = Dpm_adapt.Estimator
+
+let t = Alcotest.test_case
+
+(* --- bounded queue -------------------------------------------------- *)
+
+let bqueue_overflow_drops_and_accounts () =
+  let q = Bqueue.create ~capacity:3 in
+  Alcotest.(check bool) "accepts below capacity" true
+    (Bqueue.push q 1 && Bqueue.push q 2 && Bqueue.push q 3);
+  Alcotest.(check bool) "rejects at capacity" false (Bqueue.push q 4);
+  Alcotest.(check bool) "rejects again" false (Bqueue.push q 5);
+  Alcotest.(check int) "drop count" 2 (Bqueue.dropped q);
+  Alcotest.(check int) "accepted count" 3 (Bqueue.accepted q);
+  (* Drop-newest: the accepted elements survive in FIFO order. *)
+  Alcotest.(check (list int)) "FIFO, oldest kept" [ 1; 2; 3 ]
+    (List.filter_map (fun () -> Bqueue.pop q) [ (); (); () ]);
+  Alcotest.(check (option int)) "drained" None (Bqueue.pop q);
+  (* Draining frees capacity; accounting keeps the history. *)
+  Alcotest.(check bool) "accepts after drain" true (Bqueue.push q 6);
+  Alcotest.(check int) "drops persist" 2 (Bqueue.dropped q)
+
+let bqueue_rejects_degenerate_capacity () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Bqueue.create: capacity must be >= 1")
+    (fun () -> ignore (Bqueue.create ~capacity:0 : int Bqueue.t))
+
+(* --- health state machine ------------------------------------------- *)
+
+let health_transition_matrix () =
+  let open Health in
+  List.iter
+    (fun (from, outcome, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s + %s" (state_to_string from)
+           (match outcome with
+           | Resolve_ok -> "ok"
+           | Resolve_failed -> "failed"
+           | Checkpoint_invalid -> "invalid"))
+        (state_to_string expected)
+        (state_to_string (transition from outcome)))
+    [
+      (Healthy, Resolve_ok, Healthy);
+      (Healthy, Resolve_failed, Degraded);
+      (Healthy, Checkpoint_invalid, Safe_mode);
+      (Degraded, Resolve_ok, Healthy);
+      (Degraded, Resolve_failed, Degraded);
+      (Degraded, Checkpoint_invalid, Safe_mode);
+      (Safe_mode, Resolve_ok, Healthy);
+      (* a failure must not promote Safe_mode to the milder Degraded *)
+      (Safe_mode, Resolve_failed, Safe_mode);
+      (Safe_mode, Checkpoint_invalid, Safe_mode);
+    ]
+
+let health_time_accounting () =
+  let h = Health.create Health.Healthy in
+  Health.apply h Health.Resolve_failed ~now:10.0;
+  (* healthy 0..10 *)
+  Health.apply h Health.Resolve_ok ~now:15.0;
+  (* degraded 10..15 *)
+  Health.observe h ~now:25.0;
+  (* healthy 15..25 *)
+  Alcotest.(check (float 1e-9)) "healthy time" 20.0 (Health.time_in h Health.Healthy);
+  Alcotest.(check (float 1e-9)) "degraded time" 5.0 (Health.time_in h Health.Degraded);
+  Alcotest.(check (float 1e-9)) "degraded fraction" 0.2 (Health.degraded_fraction h);
+  Alcotest.(check int) "transitions" 2 (Health.transitions h);
+  (* The clock never runs backwards. *)
+  Health.observe h ~now:1.0;
+  Alcotest.(check (float 1e-9)) "stale stamp ignored" 20.0
+    (Health.time_in h Health.Healthy)
+
+let health_slugs_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Health.state_to_string s) true
+        (Health.state_of_string (Health.state_to_string s) = Some s))
+    [ Health.Healthy; Health.Degraded; Health.Safe_mode ];
+  Alcotest.(check bool) "unknown slug" true (Health.state_of_string "bad" = None)
+
+(* --- backoff -------------------------------------------------------- *)
+
+let backoff_grows_caps_and_resets () =
+  let b = Backoff.create ~base:1.0 ~factor:2.0 ~max_delay:8.0 ~jitter:0.25 () in
+  Alcotest.(check (float 0.0)) "no delay before failures" 0.0 (Backoff.delay b);
+  let expect_near nominal =
+    let d = Backoff.delay b in
+    Alcotest.(check bool)
+      (Printf.sprintf "delay %.3f within 25%% of %g" d nominal)
+      true
+      (d >= 0.75 *. nominal && d <= 1.25 *. nominal)
+  in
+  Backoff.note_failure b;
+  expect_near 1.0;
+  Backoff.note_failure b;
+  expect_near 2.0;
+  Backoff.note_failure b;
+  expect_near 4.0;
+  Backoff.note_failure b;
+  expect_near 8.0;
+  Backoff.note_failure b;
+  (* capped *)
+  expect_near 8.0;
+  Alcotest.(check int) "failure streak" 5 (Backoff.failures b);
+  Backoff.note_success b;
+  Alcotest.(check int) "streak reset" 0 (Backoff.failures b);
+  Alcotest.(check (float 0.0)) "delay reset" 0.0 (Backoff.delay b)
+
+let backoff_deterministic_for_seed () =
+  let run () =
+    let b = Backoff.create ~seed:99L () in
+    List.init 5 (fun _ ->
+        Backoff.note_failure b;
+        Backoff.delay b)
+  in
+  Alcotest.(check (list (float 0.0))) "same seed, same jitter" (run ()) (run ())
+
+(* --- estimator checkpoint round-trip -------------------------------- *)
+
+(* Bit-identical restore: same rate and band now, and the same future
+   evolution after further shared observations. *)
+let estimator_roundtrip_exact est feed_more =
+  let restored =
+    match Estimator.of_json (Estimator.to_json est) with
+    | Ok e -> e
+    | Error m -> Alcotest.failf "of_json rejected to_json output: %s" m
+  in
+  let check_equal stage =
+    Alcotest.(check bool)
+      (stage ^ ": rate identical") true
+      (Estimator.rate est = Estimator.rate restored);
+    Alcotest.(check bool)
+      (stage ^ ": band identical") true
+      (Estimator.band est = Estimator.band restored);
+    Alcotest.(check int)
+      (stage ^ ": observations")
+      (Estimator.observations est)
+      (Estimator.observations restored)
+  in
+  check_equal "restored";
+  feed_more est;
+  feed_more restored;
+  check_equal "after shared evolution"
+
+let estimator_checkpoint_roundtrip () =
+  let rng = Dpm_prob.Rng.create 11L in
+  List.iter
+    (fun (name, est) ->
+      let now = ref 0.0 in
+      for _ = 1 to 37 do
+        now := !now +. (0.5 +. Dpm_prob.Rng.float rng);
+        Estimator.observe_arrival est ~now:!now
+      done;
+      let gaps = List.init 20 (fun i -> 0.25 +. (0.1 *. float_of_int i)) in
+      estimator_roundtrip_exact est (fun e ->
+          List.iter (Estimator.observe_gap e) gaps);
+      Alcotest.(check pass) name () ())
+    [
+      ("window", Estimator.sliding_window ~window:16 ());
+      ("ewma", Estimator.ewma ~alpha:0.2 ());
+    ]
+
+let prop_estimator_roundtrip =
+  (* Arbitrary positive gap streams through an arbitrary window size:
+     to_json/of_json must reproduce rate, band and count exactly. *)
+  let gen =
+    QCheck2.Gen.(
+      pair (int_range 2 12)
+        (list_size (int_range 0 40) (float_range 0.001 100.0)))
+  in
+  let print (w, gaps) =
+    Printf.sprintf "window=%d gaps=[%s]" w
+      (String.concat ";" (List.map string_of_float gaps))
+  in
+  Test_util.qtest ~count:100 ~print "estimator checkpoint round-trips exactly"
+    gen (fun (window, gaps) ->
+      let est = Estimator.sliding_window ~window () in
+      List.iter (Estimator.observe_gap est) gaps;
+      match Estimator.of_json (Estimator.to_json est) with
+      | Error _ -> false
+      | Ok restored ->
+          Estimator.rate est = Estimator.rate restored
+          && Estimator.band est = Estimator.band restored
+          && Estimator.observations est = Estimator.observations restored)
+
+let estimator_of_json_validates () =
+  let open Dpm_trace.Json in
+  let reject name j =
+    match Estimator.of_json j with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error _ -> ()
+  in
+  reject "not an object" (Num 3.0);
+  reject "unknown kind"
+    (Obj [ ("kind", Str "nonsense"); ("z", Num 1.0); ("total", Num 0.0) ]);
+  reject "alpha out of range"
+    (Obj
+       [
+         ("kind", Str "ewma");
+         ("alpha", Num 1.5);
+         ("mean", Num 1.0);
+         ("sq_mean", Num 1.0);
+         ("z", Num 1.96);
+         ("last_arrival", Null);
+         ("total", Num 2.0);
+       ])
+
+(* --- checkpoint codec and atomicity --------------------------------- *)
+
+let sample_checkpoint () =
+  {
+    Checkpoint.saved_at = 123.5;
+    fingerprint = 0xDEADBEEF01234567L;
+    deployed_rate = 0.25;
+    weight = 1.0;
+    actions = [| 0; 1; 2; 1; 0 |];
+    health = Health.Degraded;
+    estimator = Estimator.to_json (Estimator.sliding_window ~window:4 ());
+    events_ingested = 42;
+    drops = 3;
+  }
+
+let checkpoint_json_roundtrip () =
+  let cp = sample_checkpoint () in
+  match Checkpoint.of_json (Checkpoint.to_json cp) with
+  | Error m -> Alcotest.failf "round-trip rejected: %s" m
+  | Ok cp' ->
+      Alcotest.(check bool) "fingerprint" true
+        (cp'.Checkpoint.fingerprint = cp.Checkpoint.fingerprint);
+      Alcotest.(check (float 0.0)) "saved_at" cp.Checkpoint.saved_at
+        cp'.Checkpoint.saved_at;
+      Alcotest.(check (array int)) "actions" cp.Checkpoint.actions
+        cp'.Checkpoint.actions;
+      Alcotest.(check bool) "health" true
+        (cp'.Checkpoint.health = Health.Degraded);
+      Alcotest.(check int) "events" 42 cp'.Checkpoint.events_ingested;
+      Alcotest.(check int) "drops" 3 cp'.Checkpoint.drops
+
+let checkpoint_version_gate () =
+  let open Dpm_trace.Json in
+  match
+    Checkpoint.of_json
+      (match Checkpoint.to_json (sample_checkpoint ()) with
+      | Obj fields ->
+          Obj
+            (List.map
+               (function
+                 | "version", _ -> ("version", Num 999.0) | kv -> kv)
+               fields)
+      | j -> j)
+  with
+  | Ok _ -> Alcotest.fail "unknown version accepted"
+  | Error _ -> ()
+
+let checkpoint_file_roundtrip_atomic () =
+  let path = Filename.temp_file "dpm_serve_ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let cp = sample_checkpoint () in
+      (match Checkpoint.save ~path cp with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "save failed: %s" m);
+      Alcotest.(check bool) "no temp file left" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* A second save overwrites via rename: the previous checkpoint
+         is never visible half-written. *)
+      (match Checkpoint.save ~path { cp with Checkpoint.saved_at = 200.0 } with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "re-save failed: %s" m);
+      match Checkpoint.load ~path with
+      | Error m -> Alcotest.failf "load failed: %s" m
+      | Ok cp' ->
+          Alcotest.(check (float 0.0)) "latest save wins" 200.0
+            cp'.Checkpoint.saved_at)
+
+(* --- engine --------------------------------------------------------- *)
+
+let paper_sys () = Paper_instance.system ()
+
+(* Feed evenly spaced arrivals (rate 1.0 — far above the nominal 1/6,
+   so drift triggers) and pump. *)
+let feed engine ~from ~n =
+  for i = 1 to n do
+    assert (Engine.offer_arrival engine ~at:(from +. float_of_int i))
+  done;
+  Engine.pump engine
+
+let all_states_answered engine sys =
+  Array.iter
+    (fun st ->
+      let a = Engine.decide engine st in
+      Alcotest.(check bool) "action valid" true
+        (List.mem a (Sys_model.valid_actions sys st)))
+    (Sys_model.states sys)
+
+let engine_cold_start_matches_static_optimum () =
+  let sys = paper_sys () in
+  let engine = Engine.create ~weight:1.0 sys in
+  Alcotest.(check bool) "healthy" true (Engine.health engine = Health.Healthy);
+  let solution = Optimize.solve ~weight:1.0 sys in
+  Alcotest.(check (array int)) "cold incumbent = static optimum"
+    solution.Optimize.actions
+    (Engine.deployed_actions engine);
+  all_states_answered engine sys
+
+let engine_degrades_and_recovers () =
+  let sys = paper_sys () in
+  (* Stall every guard tick and give the watchdog no budget: every
+     re-solve attempt dies by deadline, deterministically. *)
+  let engine =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0
+      ~deadline_s:0.0
+      ~faults:(Dpm_robust.Fault.plan [ Dpm_robust.Fault.Stall ])
+      sys
+  in
+  let incumbent = Engine.deployed_actions engine in
+  feed engine ~from:0.0 ~n:20;
+  let s = Engine.stats engine in
+  Alcotest.(check bool) "attempted" true (s.Engine.resolves >= 1);
+  Alcotest.(check int) "all attempts failed" s.Engine.resolves
+    s.Engine.resolve_failures;
+  Alcotest.(check bool) "degraded" true (Engine.health engine = Health.Degraded);
+  Alcotest.(check bool) "backoff armed" true
+    (Engine.consecutive_failures engine >= 1);
+  (match Engine.last_error engine with
+  | Some (Dpm_robust.Error.Deadline_exceeded _) -> ()
+  | Some e ->
+      Alcotest.failf "wrong error class: %s" (Dpm_robust.Error.to_string e)
+  | None -> Alcotest.fail "no error recorded");
+  Alcotest.(check (array int)) "incumbent held on every failure" incumbent
+    (Engine.deployed_actions engine);
+  (* Degraded, not dead: every state still answers. *)
+  all_states_answered engine sys
+
+let engine_recovers_without_faults () =
+  let sys = paper_sys () in
+  let engine =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0 sys
+  in
+  feed engine ~from:0.0 ~n:20;
+  Alcotest.(check bool) "healthy after clean re-solve" true
+    (Engine.health engine = Health.Healthy);
+  let s = Engine.stats engine in
+  Alcotest.(check bool) "switched to the drifted rate" true
+    (s.Engine.policy_switches >= 1);
+  Alcotest.(check (float 1e-9)) "deployed near rate 1"
+    1.0 (Engine.deployed_rate engine);
+  Alcotest.(check bool) "provenance present" true
+    (Engine.last_provenance engine <> None)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "dpm_serve_engine" ".json" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".tmp" ])
+    (fun () -> f path)
+
+let engine_checkpoint_crash_restore_bit_identical () =
+  with_temp_checkpoint @@ fun path ->
+  let sys = paper_sys () in
+  let original =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0
+      ~checkpoint_path:path sys
+  in
+  feed original ~from:0.0 ~n:20;
+  (match Engine.checkpoint original with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "checkpoint failed: %s" m);
+  (* "Crash": build a fresh engine from the same path — nothing else
+     is carried over. *)
+  let restored =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0
+      ~checkpoint_path:path sys
+  in
+  Alcotest.(check bool) "restore taken" true (Engine.restored restored);
+  Alcotest.(check bool) "health restored" true
+    (Engine.health restored = Engine.health original);
+  Alcotest.(check (array int)) "policy table restored"
+    (Engine.deployed_actions original)
+    (Engine.deployed_actions restored);
+  Alcotest.(check (float 0.0)) "deployed rate restored"
+    (Engine.deployed_rate original)
+    (Engine.deployed_rate restored);
+  (* Identical future evolution: same further arrivals, same
+     decisions and the same estimator state on both sides. *)
+  feed original ~from:30.0 ~n:15;
+  feed restored ~from:30.0 ~n:15;
+  Alcotest.(check (array int)) "same deployed table after evolution"
+    (Engine.deployed_actions original)
+    (Engine.deployed_actions restored);
+  Alcotest.(check (float 0.0)) "same deployed rate after evolution"
+    (Engine.deployed_rate original)
+    (Engine.deployed_rate restored)
+
+let engine_rejects_foreign_checkpoint () =
+  with_temp_checkpoint @@ fun path ->
+  (* Checkpoint a differently configured system (other queue
+     capacity), then start an engine on the paper system against the
+     same path: the fingerprint must not match, and the engine must
+     pin the always-on safe policy in Safe_mode. *)
+  let other =
+    Sys_model.create
+      ~sp:(Paper_instance.service_provider ())
+      ~queue_capacity:2 ~arrival_rate:(1.0 /. 6.0) ()
+  in
+  let foreign = Engine.create ~weight:1.0 ~checkpoint_path:path other in
+  (match Engine.checkpoint foreign with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "foreign checkpoint failed: %s" m);
+  let sys = paper_sys () in
+  let engine = Engine.create ~weight:1.0 ~checkpoint_path:path sys in
+  Alcotest.(check bool) "safe mode" true
+    (Engine.health engine = Health.Safe_mode);
+  Alcotest.(check bool) "not restored" false (Engine.restored engine);
+  Alcotest.(check (array int)) "always-on table pinned"
+    (Policies.actions_array sys (Policies.always_on sys))
+    (Engine.deployed_actions engine);
+  all_states_answered engine sys
+
+let engine_safe_mode_recovers_on_resolve () =
+  with_temp_checkpoint @@ fun path ->
+  let other =
+    Sys_model.create
+      ~sp:(Paper_instance.service_provider ())
+      ~queue_capacity:2 ~arrival_rate:(1.0 /. 6.0) ()
+  in
+  let foreign = Engine.create ~weight:1.0 ~checkpoint_path:path other in
+  ignore (Engine.checkpoint foreign : (string, string) result);
+  let sys = paper_sys () in
+  let engine =
+    Engine.create ~weight:1.0 ~min_observations:10 ~cooldown:5.0
+      ~checkpoint_path:path sys
+  in
+  Alcotest.(check bool) "starts in safe mode" true
+    (Engine.health engine = Health.Safe_mode);
+  (* Safe mode re-solves on cooldown without waiting for drift; a
+     success promotes back to Healthy. *)
+  feed engine ~from:0.0 ~n:20;
+  Alcotest.(check bool) "recovered to healthy" true
+    (Engine.health engine = Health.Healthy);
+  Alcotest.(check bool) "health transitions recorded" true
+    ((Engine.stats engine).Engine.health_transitions >= 2)
+
+let engine_bounded_queue_backpressure () =
+  let sys = paper_sys () in
+  let engine = Engine.create ~weight:1.0 ~queue_capacity:4 sys in
+  let accepted = ref 0 and rejected = ref 0 in
+  for i = 1 to 10 do
+    if Engine.offer_arrival engine ~at:(float_of_int i) then incr accepted
+    else incr rejected
+  done;
+  Alcotest.(check int) "accepted up to capacity" 4 !accepted;
+  Alcotest.(check int) "rejected the rest" 6 !rejected;
+  Alcotest.(check int) "drops accounted" 6 (Engine.stats engine).Engine.queue_drops;
+  Engine.pump engine;
+  Alcotest.(check int) "ingested after pump" 4
+    (Engine.stats engine).Engine.events_ingested;
+  Alcotest.(check bool) "non-finite arrival rejected" false
+    (Engine.offer_arrival engine ~at:Float.nan)
+
+let suite =
+  [
+    t "bqueue overflow accounting" `Quick bqueue_overflow_drops_and_accounts;
+    t "bqueue degenerate capacity" `Quick bqueue_rejects_degenerate_capacity;
+    t "health transition matrix" `Quick health_transition_matrix;
+    t "health time accounting" `Quick health_time_accounting;
+    t "health slugs round-trip" `Quick health_slugs_roundtrip;
+    t "backoff grows, caps, resets" `Quick backoff_grows_caps_and_resets;
+    t "backoff deterministic" `Quick backoff_deterministic_for_seed;
+    t "estimator checkpoint round-trip" `Quick estimator_checkpoint_roundtrip;
+    prop_estimator_roundtrip;
+    t "estimator of_json validates" `Quick estimator_of_json_validates;
+    t "checkpoint json round-trip" `Quick checkpoint_json_roundtrip;
+    t "checkpoint version gate" `Quick checkpoint_version_gate;
+    t "checkpoint file atomic" `Quick checkpoint_file_roundtrip_atomic;
+    t "engine cold start" `Quick engine_cold_start_matches_static_optimum;
+    t "engine degrades, holds incumbent" `Quick engine_degrades_and_recovers;
+    t "engine re-solves on drift" `Quick engine_recovers_without_faults;
+    t "engine crash restore bit-identical" `Quick
+      engine_checkpoint_crash_restore_bit_identical;
+    t "engine rejects foreign checkpoint" `Quick
+      engine_rejects_foreign_checkpoint;
+    t "engine safe mode recovers" `Quick engine_safe_mode_recovers_on_resolve;
+    t "engine bounded queue" `Quick engine_bounded_queue_backpressure;
+  ]

@@ -1,0 +1,237 @@
+(* serve_chaos: process-level chaos drill for the serving daemon.
+
+   Usage:  serve_chaos DPM_CLI_EXE
+
+   Two rounds against a real `dpm_cli serve` child process over
+   stdin/stdout pipes, sharing one checkpoint file:
+
+   - Round 1 (fault storm): DPM_FAULTS=stall plus a 1 ms watchdog
+     budget makes every re-solve fail by deadline.  The drill streams
+     arrivals interleaved with decide queries; every query must be
+     answered with an action while the daemon degrades.  The round
+     ends with SIGKILL mid-run -- no quit, no final checkpoint beyond
+     the periodic/explicit ones already taken.
+
+   - Round 2 (recovery): a fresh daemon on the same checkpoint path,
+     no faults.  It must report restored=true, answer every query,
+     and exit 0 on quit.
+
+   Measured and printed (the bench_metrics.json series of the same
+   names are produced in-process by `bench/main.exe serve`):
+     throughput        commands per wall-second across both rounds
+     p99_latency_us    decide round-trip, 99th percentile
+     recovery_ms       respawn to first answered command
+     degraded_fraction sim-time not Healthy, from round 1's health line
+
+   Exit 0 when every invariant held; 1 otherwise, with a diagnostic on
+   stderr. *)
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "serve_chaos: FAIL %s\n%!" msg)
+    fmt
+
+type daemon = {
+  pid : int;
+  to_child : out_channel;
+  from_child : in_channel;
+}
+
+let spawn exe ~faults args =
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:false () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:false () in
+  let env = Array.to_list (Unix.environment ()) in
+  let env = List.filter (fun kv -> not (String.length kv >= 11 && String.sub kv 0 11 = "DPM_FAULTS=")) env in
+  let env = if faults then "DPM_FAULTS=stall" :: env else env in
+  let pid =
+    Unix.create_process_env exe
+      (Array.of_list (exe :: args))
+      (Array.of_list env) stdin_r stdout_w Unix.stderr
+  in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  {
+    pid;
+    to_child = Unix.out_channel_of_descr stdin_w;
+    from_child = Unix.in_channel_of_descr stdout_r;
+  }
+
+let send d fmt =
+  Printf.ksprintf
+    (fun line ->
+      output_string d.to_child line;
+      output_char d.to_child '\n';
+      flush d.to_child)
+    fmt
+
+let recv d =
+  match input_line d.from_child with
+  | line -> Some line
+  | exception End_of_file -> None
+
+(* One decide round-trip; returns the latency in microseconds. *)
+let decide d ~mode ~queue =
+  let t0 = Unix.gettimeofday () in
+  send d "decide %d %d" mode queue;
+  let dt = ref 0.0 in
+  (match recv d with
+  | Some line when String.length line >= 7 && String.sub line 0 7 = "action " ->
+      dt := (Unix.gettimeofday () -. t0) *. 1e6
+  | Some line -> fail "decide %d %d answered %S" mode queue line
+  | None -> fail "decide %d %d: daemon hung up" mode queue);
+  !dt
+
+(* key=value scrape out of a health/stats response line. *)
+let field line key =
+  let prefix = key ^ "=" in
+  List.find_map
+    (fun w ->
+      let n = String.length prefix in
+      if String.length w > n && String.sub w 0 n = prefix then
+        Some (String.sub w n (String.length w - n))
+      else None)
+    (String.split_on_char ' ' line)
+
+let serve_args ~checkpoint ~deadline =
+  [ "serve"; "--checkpoint"; checkpoint; "--checkpoint-every"; "16";
+    "--cooldown"; "5"; "--min-observations"; "10"; "--weight"; "1" ]
+  @ (match deadline with
+    | Some d -> [ "--resolve-deadline"; string_of_float d ]
+    | None -> [])
+
+let () =
+  let exe =
+    match Sys.argv with
+    | [| _; exe |] -> exe
+    | _ ->
+        prerr_endline "usage: serve_chaos DPM_CLI_EXE";
+        exit 2
+  in
+  let checkpoint = Filename.temp_file "serve_chaos_ck" ".json" in
+  Sys.remove checkpoint;
+  let latencies = ref [] in
+  let commands = ref 0 in
+  let t_start = Unix.gettimeofday () in
+
+  (* --- Round 1: fault storm, killed mid-run ------------------------ *)
+  let d = spawn exe ~faults:true (serve_args ~checkpoint ~deadline:(Some 0.001)) in
+  for i = 1 to 400 do
+    send d "arrival %d" i;
+    incr commands;
+    if i mod 10 = 0 then begin
+      let lat = decide d ~mode:(i / 10 mod 3) ~queue:(i / 30 mod 3) in
+      incr commands;
+      latencies := lat :: !latencies
+    end
+  done;
+  send d "health";
+  incr commands;
+  let degraded_fraction =
+    match recv d with
+    | Some line ->
+        (match field line "failures" with
+        | Some f when int_of_string_opt f <> None && int_of_string f >= 1 -> ()
+        | _ -> fail "no re-solve failures under the fault storm: %S" line);
+        if not (String.length line >= 15 && String.sub line 7 8 = "degraded") then
+          fail "daemon not degraded under the fault storm: %S" line;
+        (match Option.bind (field line "degraded_fraction") float_of_string_opt with
+        | Some f when f > 0.0 && f < 1.0 -> f
+        | _ ->
+            fail "implausible degraded_fraction: %S" line;
+            0.0)
+    | None ->
+        fail "health: daemon hung up";
+        0.0
+  in
+  send d "checkpoint";
+  incr commands;
+  (match recv d with
+  | Some line when String.length line >= 3 && String.sub line 0 3 = "ok " -> ()
+  | Some line -> fail "checkpoint refused: %S" line
+  | None -> fail "checkpoint: daemon hung up");
+  (* kill -9, mid-conversation: no quit, no graceful teardown. *)
+  Unix.kill d.pid Sys.sigkill;
+  (match Unix.waitpid [] d.pid with
+  | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+  | _, status ->
+      fail "round 1 daemon ended oddly (%s)"
+        (match status with
+        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+        | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+        | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+  close_out_noerr d.to_child;
+  close_in_noerr d.from_child;
+
+  (* --- Round 2: recovery from the checkpoint, no faults ------------ *)
+  let t_respawn = Unix.gettimeofday () in
+  let d = spawn exe ~faults:false (serve_args ~checkpoint ~deadline:None) in
+  send d "stats";
+  incr commands;
+  let recovery_ms =
+    match recv d with
+    | Some line ->
+        let ms = (Unix.gettimeofday () -. t_respawn) *. 1e3 in
+        (match field line "restored" with
+        | Some "true" -> ()
+        | _ -> fail "respawned daemon did not restore: %S" line);
+        (match Option.bind (field line "events") int_of_string_opt with
+        | Some n when n >= 400 -> ()
+        | _ -> fail "restored counters lost the ingestion history: %S" line);
+        ms
+    | None ->
+        fail "stats after respawn: daemon hung up";
+        0.0
+  in
+  for i = 401 to 600 do
+    send d "arrival %d" i;
+    incr commands;
+    if i mod 10 = 0 then begin
+      let lat = decide d ~mode:(i / 10 mod 3) ~queue:(i / 30 mod 3) in
+      incr commands;
+      latencies := lat :: !latencies
+    end
+  done;
+  send d "health";
+  incr commands;
+  (match recv d with
+  | Some line ->
+      if not (String.length line >= 14 && String.sub line 7 7 = "healthy") then
+        fail "daemon not healthy after fault-free recovery: %S" line
+  | None -> fail "health after recovery: daemon hung up");
+  send d "quit";
+  incr commands;
+  (match recv d with
+  | Some "bye" -> ()
+  | Some line -> fail "quit answered %S" line
+  | None -> fail "quit: daemon hung up");
+  (match Unix.waitpid [] d.pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c -> fail "round 2 daemon exited %d" c
+  | _, _ -> fail "round 2 daemon killed unexpectedly");
+  close_out_noerr d.to_child;
+  close_in_noerr d.from_child;
+  (try Sys.remove checkpoint with Sys_error _ -> ());
+
+  (* --- Report ------------------------------------------------------ *)
+  let wall = Unix.gettimeofday () -. t_start in
+  let lats = Array.of_list !latencies in
+  Array.sort compare lats;
+  let p99 =
+    if Array.length lats = 0 then 0.0
+    else lats.(min (Array.length lats - 1)
+                (int_of_float (0.99 *. float_of_int (Array.length lats))))
+  in
+  Printf.printf
+    "serve_chaos: %d commands in %.3f s (%.0f/s), %d decides answered\n\
+     serve_chaos: p99_latency_us=%.1f recovery_ms=%.1f degraded_fraction=%.3f\n\
+     serve_chaos: %s\n"
+    !commands wall
+    (float_of_int !commands /. wall)
+    (Array.length lats) p99 recovery_ms degraded_fraction
+    (if !failures = 0 then "OK (survived fault storm + kill -9, restored, healthy)"
+     else Printf.sprintf "FAILED (%d invariant violations)" !failures);
+  exit (if !failures = 0 then 0 else 1)

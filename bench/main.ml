@@ -3,7 +3,7 @@
    Usage:  dune exec bench/main.exe [--domains N] [sections...]
 
    Sections: fig4 modelcheck tab1 fig5 npolicy2 ablations extensions
-   scaling kron cache adapt serve perf all
+   scaling kron cache adapt serve fleet perf all
    (default: all).  The experiment sections regenerate the paper's
    tables/figures (see EXPERIMENTS.md); the scaling section measures
    Dpm_par speedup at several domain counts; the perf section runs one
@@ -134,6 +134,7 @@ let sections =
     ("cache", Cache.all);
     ("adapt", Adapt.all);
     ("serve", Serve.all);
+    ("fleet", Fleet.all);
     ("perf", perf);
   ]
 

@@ -649,6 +649,15 @@ let simulate_cmd =
     Cmdliner.Arg.(
       value & opt (some string) None & info [ "csv-trace" ] ~docv:"FILE" ~doc)
   in
+  let csv_server_id_arg =
+    let doc =
+      "Tag every $(b,--csv-trace) row with this fleet server id (appends a \
+       $(b,server) column), so per-server traces from a fleet run can be \
+       concatenated into one file.  Without it the CSV shape is unchanged."
+    in
+    Cmdliner.Arg.(
+      value & opt (some int) None & info [ "csv-server-id" ] ~docv:"ID" ~doc)
+  in
   let workload_arg =
     let doc =
       "Workload: poisson (at --rate), \
@@ -669,7 +678,7 @@ let simulate_cmd =
     Arg.(value & opt int 1 & info [ "replications" ] ~docv:"R" ~doc)
   in
   let run runtime device rate capacity spec workload_spec requests seed
-      replications trace_file =
+      replications trace_file csv_server_id =
     with_runtime runtime @@ fun () ->
     let sys = or_die (build_system device rate capacity) in
     if replications < 1 then begin
@@ -720,7 +729,7 @@ let simulate_cmd =
       (match trace_file with
       | Some file ->
           let oc = open_out file in
-          output_string oc (Dpm_sim.Trace.to_csv trace);
+          output_string oc (Dpm_sim.Trace.to_csv ?server:csv_server_id trace);
           close_out oc;
           Format.printf "trace: %d events written to %s (%d dropped)@."
             (Dpm_sim.Trace.length trace) file
@@ -748,7 +757,7 @@ let simulate_cmd =
     Term.(
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ controller_arg $ workload_arg $ requests_arg $ seed_arg
-      $ replications_arg $ csv_trace_arg)
+      $ replications_arg $ csv_trace_arg $ csv_server_id_arg)
 
 (* --- adapt -------------------------------------------------------------- *)
 
@@ -914,6 +923,116 @@ let serve_cmd =
       $ window_arg $ min_observations_arg $ cooldown_arg
       $ resolve_deadline_arg $ ingest_capacity_arg)
 
+(* --- fleet -------------------------------------------------------------- *)
+
+let fleet_cmd =
+  let servers_arg =
+    let doc = "Total server count." in
+    Arg.(value & opt int 12 & info [ "servers" ] ~docv:"N" ~doc)
+  in
+  let distinct_arg =
+    let doc =
+      "Number of heterogeneous groups (distinct per-server models: the \
+       device's SP with queue capacities $(b,--capacity), \
+       $(b,--capacity)+1, ...).  Servers are spread evenly across groups."
+    in
+    Arg.(value & opt int 2 & info [ "distinct" ] ~docv:"K" ~doc)
+  in
+  let fleet_rate_arg =
+    let doc = "Fleet-wide arrival rate (requests/s), used when --segments is not given." in
+    Arg.(value & opt float 1.0 & info [ "rate"; "r" ] ~docv:"LAMBDA" ~doc)
+  in
+  let segments_arg =
+    let doc =
+      "Fleet-wide arrival plan: comma-separated RATE@UNTIL entries closed \
+       by a bare final RATE (the $(b,adapt) grammar), e.g. \
+       $(b,2@800,0.8@1400,1.5).  Defaults to a flat plan at --rate."
+    in
+    Arg.(value & opt (some string) None & info [ "segments" ] ~docv:"SPEC" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Simulated seconds (every server runs the whole horizon)." in
+    Arg.(value & opt float 2_000.0 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+  in
+  let min_active_arg =
+    let doc = "The cluster never deactivates below this many servers." in
+    Arg.(value & opt int 1 & info [ "min-active" ] ~docv:"K" ~doc)
+  in
+  let loss_penalty_arg =
+    let doc =
+      "Cluster-level cost (J) per rejected request.  Zero reproduces the \
+       loss-blind Eqn. (3.1) economics, under which shedding overload can \
+       beat scaling out."
+    in
+    Arg.(value & opt float 100.0 & info [ "loss-penalty" ] ~docv:"J" ~doc)
+  in
+  let run runtime device rate capacity weight servers distinct segments_spec
+      horizon min_active loss_penalty seed =
+    with_runtime runtime @@ fun () ->
+    if servers < 1 then begin
+      prerr_endline "--servers must be >= 1";
+      exit 1
+    end;
+    if distinct < 1 || distinct > servers then begin
+      prerr_endline "--distinct must be within [1, --servers]";
+      exit 1
+    end;
+    let segments, final_rate =
+      match segments_spec with
+      | None -> ([], rate)
+      | Some spec -> or_die (Dpm_sim.Workload.segments_of_spec spec)
+    in
+    (* The device argument fixes the SP; groups differ by queue depth. *)
+    let sp_of () =
+      match Presets.find device with
+      | sp -> sp
+      | exception Not_found ->
+          prerr_endline
+            (Printf.sprintf "unknown device %S (try: %s)" device
+               (String.concat ", " (List.map fst (Presets.all ()))));
+          exit 1
+    in
+    let spec =
+      let base = servers / distinct and extra = servers mod distinct in
+      Dpm_fleet.Spec.create ~weight ~min_active ~loss_penalty
+        ~boot_rate:0.5 ~boot_energy:20.0 ~shutdown_rate:1.0
+        ~shutdown_energy:5.0
+        (List.init distinct (fun i ->
+             Dpm_fleet.Spec.group
+               ~name:(Printf.sprintf "%s-q%d" device (capacity + i))
+               ~sp:(sp_of ())
+               ~queue_capacity:(capacity + i)
+               ~count:(base + if i < extra then 1 else 0)
+               ~off_power:0.1 ()))
+    in
+    let r =
+      Dpm_fleet.Fleet_sim.run ~seed:(Int64.of_int seed) spec ~segments
+        ~final_rate ~horizon
+    in
+    Format.printf "%a" Dpm_fleet.Fleet_sim.pp r;
+    let m = Dpm_fleet.Cluster.measures r.Dpm_fleet.Fleet_sim.cluster in
+    Format.printf
+      "cluster stationary: E[active]=%.2f power=%.2f W throughput=%.4f \
+       req/s wait=%.4f s@."
+      m.Dpm_fleet.Cluster.expected_active m.Dpm_fleet.Cluster.fleet_power
+      m.Dpm_fleet.Cluster.fleet_throughput
+      m.Dpm_fleet.Cluster.fleet_waiting_time;
+    if r.Dpm_fleet.Fleet_sim.resolve_failures > 0 then
+      Format.printf "WARNING: %d per-server solves degraded to incumbents@."
+        r.Dpm_fleet.Fleet_sim.resolve_failures
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate a hierarchical multi-server fleet: a cluster CTMDP picks \
+          the active server count per load phase, deduplicated per-server \
+          CTMDP solves supply the power policies, and every server is \
+          simulated over the full horizon with per-tier energy accounting.")
+    Term.(
+      const run $ runtime_args $ device_arg $ fleet_rate_arg $ capacity_arg
+      $ weight_arg $ servers_arg $ distinct_arg $ segments_arg $ horizon_arg
+      $ min_active_arg $ loss_penalty_arg $ seed_arg)
+
 (* --- dot --------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -1060,6 +1179,7 @@ let () =
             simulate_cmd;
             adapt_cmd;
             serve_cmd;
+            fleet_cmd;
             dot_cmd;
             report_cmd;
           ]))

@@ -1,0 +1,66 @@
+(** Per-server policy deployment for a fixed active set.
+
+    [resolve] solves one CTMDP per {e active} server — sharded over
+    the {!Dpm_par} domain pool and deduplicated by the
+    {!Dpm_cache.Solve_cache} structural fingerprint, so a fleet of
+    [N] servers with [k] distinct (group, routed-rate) models costs
+    [k] solves and [N - k] cache hits — and degrades gracefully: a
+    server whose solve fails (deadline, injected fault, numerical
+    breakdown) keeps its incumbent policy from [?prev] when one
+    exists, or falls back to always-on, and the failure is tallied
+    with its {!Dpm_robust.Error} class.  The same semantics as
+    {!Dpm_core.Optimize.sweep_r}: no global abort, ever. *)
+
+open Dpm_core
+
+type server = {
+  server : int;  (** flat server index *)
+  group : int;  (** group index *)
+  sys : Sys_model.t;  (** the SYS at this server's routed rate *)
+  actions : int array;  (** deployed policy, by state index *)
+  solution : Optimize.solution option;
+      (** the fresh solve behind [actions]; [None] for a carried-over
+          incumbent or an always-on fallback *)
+  fresh : bool;  (** [true] iff this deployment solved it just now *)
+}
+(** One powered-on server and its deployed policy. *)
+
+type t = {
+  spec : Spec.t;
+  total_rate : float;  (** fleet-wide arrival rate the solves used *)
+  active : int;  (** size of the active prefix *)
+  servers : server option array;
+      (** length {!Spec.num_servers}; [None] = deactivated *)
+  failures : (int * Dpm_robust.Error.t) list;
+      (** per-server solve failures, ascending server index *)
+}
+(** A deployment: every active server carries a policy even when its
+    solve failed. *)
+
+val resolve :
+  ?domains:int ->
+  ?guard:(unit -> unit) ->
+  ?prev:t ->
+  Spec.t ->
+  total_rate:float ->
+  active:int ->
+  t
+(** [resolve spec ~total_rate ~active] routes [total_rate] over the
+    active prefix ({!Spec.server_rate}) and solves every active
+    server's CTMDP at its routed rate on the domain pool ([domains]
+    defaults to {!Dpm_par.default_domains}; results are bit-identical
+    at any domain count).  [guard] is threaded into each solve.  On a
+    per-server failure the incumbent from [?prev] (same server index,
+    if it was deployed) survives unchanged; without one the server
+    gets the always-on policy.  Raises [Invalid_argument] on a
+    non-positive rate or [active] outside
+    [[spec.min_active, num_servers]]. *)
+
+val active_servers : t -> server array
+(** The powered-on servers, ascending index. *)
+
+val gain : t -> float
+(** Sum of per-server optimal gains over servers with a fresh or
+    carried solution; fallback servers contribute their always-on
+    analytic cost.  This is the hierarchical estimate the flat joint
+    oracle ({!Joint.gain}) must match on tiny fleets. *)

@@ -1,0 +1,270 @@
+open Dpm_core
+module Power_sim = Dpm_sim.Power_sim
+module Workload = Dpm_sim.Workload
+module Controller = Dpm_sim.Controller
+
+type plan_segment = {
+  seg_from : float;
+  seg_until : float;
+  seg_rate : float;
+  seg_active : int;
+}
+
+type result = {
+  horizon : float;
+  num_servers : int;
+  plan : plan_segment array;
+  generated : int;
+  accepted : int;
+  lost : int;
+  completed : int;
+  switches : int;
+  events : int;
+  avg_active_servers : float;
+  server_energy_j : float;
+  off_energy_j : float;
+  cluster_energy_j : float;
+  avg_power_w : float;
+  avg_waiting_time_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  resolve_failures : int;
+  cluster : Cluster.t;
+  server_results : Power_sim.result option array;
+}
+
+let rate_after segments final_rate t =
+  let rec scan = function
+    | [] -> final_rate
+    | (until, rate) :: rest -> if t < until then rate else scan rest
+  in
+  scan segments
+
+let run ?domains ?(seed = 1L) ?guard spec ~segments ~final_rate ~horizon =
+  if (not (Float.is_finite horizon)) || horizon <= 0.0 then
+    invalid_arg "Dpm_fleet.Fleet_sim.run: horizon must be positive and finite";
+  let check_rate r =
+    if (not (Float.is_finite r)) || r <= 0.0 then
+      invalid_arg
+        (Printf.sprintf "Dpm_fleet.Fleet_sim.run: plan rates must be positive (got %g)" r)
+  in
+  check_rate final_rate;
+  let rec check_bounds prev = function
+    | [] -> ()
+    | (until, rate) :: rest ->
+        check_rate rate;
+        if until <= prev then
+          invalid_arg "Dpm_fleet.Fleet_sim.run: plan boundaries must increase";
+        check_bounds until rest
+  in
+  check_bounds 0.0 segments;
+  let n = Spec.num_servers spec in
+  (* 1. The plan skeleton: one segment per rate stretch inside the
+     horizon. *)
+  let bounds =
+    List.filter (fun u -> u < horizon) (List.map fst segments)
+  in
+  let starts = 0.0 :: bounds in
+  let ends = bounds @ [ horizon ] in
+  let seg_rates =
+    List.map (fun s -> rate_after segments final_rate s) starts
+  in
+  (* 2. The cluster CTMDP over the plan's phases (dwell = segment
+     width) picks how many servers each segment keeps on. *)
+  let load =
+    Cluster.cyclic_load
+      (List.map2 (fun r (s, e) -> (r, e -. s)) seg_rates
+         (List.combine starts ends))
+  in
+  let cluster = Cluster.solve ?domains ?guard spec ~load in
+  let nseg = List.length starts in
+  let seg_rates = Array.of_list seg_rates in
+  let seg_starts = Array.of_list starts in
+  let seg_ends = Array.of_list ends in
+  let actives = Array.make nseg 0 in
+  for j = 0 to nseg - 1 do
+    (* cyclic_load collapses a single phase, so clamp the phase
+       index; with one segment the settle point is phase 0's. *)
+    let phase = if Cluster.num_phases cluster = 1 then 0 else j in
+    let from =
+      if j = 0 then Cluster.static_best cluster ~phase else actives.(j - 1)
+    in
+    actives.(j) <- Cluster.settle cluster ~phase ~from
+  done;
+  let plan =
+    Array.init nseg (fun j ->
+        {
+          seg_from = seg_starts.(j);
+          seg_until = seg_ends.(j);
+          seg_rate = seg_rates.(j);
+          seg_active = actives.(j);
+        })
+  in
+  (* 3. Deploy per-server policies per segment.  Every solve goes
+     through the solve cache (the cluster table above already warmed
+     all distinct (group, rate) jobs); the stats delta is the
+     dedup-effectiveness measurement the bench gates on. *)
+  let stats0 = Dpm_cache.Solve_cache.stats () in
+  let deployments = Array.make nseg None in
+  for j = 0 to nseg - 1 do
+    let prev = if j = 0 then None else deployments.(j - 1) in
+    deployments.(j) <-
+      Some
+        (Deploy.resolve ?domains ?guard ?prev spec ~total_rate:seg_rates.(j)
+           ~active:actives.(j))
+  done;
+  let deployments = Array.map Option.get deployments in
+  let stats1 = Dpm_cache.Solve_cache.stats () in
+  let cache_hits = stats1.Dpm_cache.Lru.hits - stats0.Dpm_cache.Lru.hits in
+  let cache_misses = stats1.Dpm_cache.Lru.misses - stats0.Dpm_cache.Lru.misses in
+  let resolve_failures =
+    Array.fold_left
+      (fun acc (d : Deploy.t) -> acc + List.length d.Deploy.failures)
+      0 deployments
+  in
+  (* 4. One full-horizon simulation per server. *)
+  let interior = Array.to_list (Array.sub seg_ends 0 (nseg - 1)) in
+  let seg_index t =
+    let j = ref 0 in
+    while !j < nseg - 1 && t >= seg_ends.(!j) do
+      incr j
+    done;
+    !j
+  in
+  let seeds = Array.of_list (Dpm_prob.Rng.seed_stream ~base:seed n) in
+  let simulate i =
+    let ever_on = Array.exists (fun k -> i < k) actives in
+    if not ever_on then None
+    else begin
+      let g = Spec.group_of_server spec i in
+      let sys = Spec.base_system spec g in
+      let sp = Sys_model.sp sys in
+      let park =
+        match Service_provider.deepest_sleep sp with
+        | m -> m
+        | exception Not_found -> Service_provider.fastest_active sp
+      in
+      let server_rate j =
+        if i < actives.(j) then
+          Spec.server_rate spec ~total_rate:seg_rates.(j) ~active:actives.(j)
+            ~server:i
+        else 0.0
+      in
+      (* Routed piecewise rates; final rate 0 ends the stream at the
+         horizon boundary instead of thinning forever. *)
+      let workload =
+        Workload.piecewise
+          ~segments:(List.init nseg (fun j -> (seg_ends.(j), server_rate j)))
+          ~final_rate:0.0
+      in
+      let policy t state =
+        let j = seg_index t in
+        if i < actives.(j) then
+          let s = Option.get deployments.(j).Deploy.servers.(i) in
+          s.Deploy.actions.(Sys_model.index sys state)
+        else park
+      in
+      let controller =
+        Controller.of_time_policy ~name:(Printf.sprintf "fleet-server-%d" i)
+          ~wake:(interior @ [ horizon ])
+          sys ~policy
+      in
+      let initial_mode =
+        if i < actives.(0) then Service_provider.fastest_active sp else park
+      in
+      Some
+        (Power_sim.run ~seed:seeds.(i) ~initial_mode ~sys ~workload ~controller
+           ~segments:interior ~stop:(Power_sim.Sim_time horizon) ())
+    end
+  in
+  let server_results =
+    Dpm_par.parallel_map ?domains simulate (Array.init n (fun i -> i))
+  in
+  (* 5. Aggregate the tiers. *)
+  let generated = ref 0 and accepted = ref 0 and lost = ref 0 in
+  let completed = ref 0 and switches = ref 0 in
+  let sojourn_weighted = ref 0.0 in
+  let server_energy = ref 0.0 and off_energy = ref 0.0 in
+  Array.iteri
+    (fun i res ->
+      let off_w = spec.Spec.groups.(Spec.group_of_server spec i).Spec.off_power in
+      match res with
+      | None -> off_energy := !off_energy +. (off_w *. horizon)
+      | Some (r : Power_sim.result) ->
+          generated := !generated + r.Power_sim.generated;
+          accepted := !accepted + r.Power_sim.accepted;
+          lost := !lost + r.Power_sim.lost;
+          completed := !completed + r.Power_sim.completed;
+          switches := !switches + r.Power_sim.switch_count;
+          sojourn_weighted :=
+            !sojourn_weighted
+            +. (float_of_int r.Power_sim.completed *. r.Power_sim.avg_waiting_time);
+          Array.iteri
+            (fun j (sg : Power_sim.segment) ->
+              let width = sg.Power_sim.seg_end -. sg.Power_sim.seg_start in
+              if width > 0.0 then
+                if i < actives.(j) then
+                  server_energy := !server_energy +. (sg.Power_sim.seg_power *. width)
+                else off_energy := !off_energy +. (off_w *. width))
+            r.Power_sim.segments)
+    server_results;
+  let cluster_energy = ref 0.0 in
+  for j = 1 to nseg - 1 do
+    let d = actives.(j) - actives.(j - 1) in
+    if d > 0 then
+      cluster_energy :=
+        !cluster_energy +. (float_of_int d *. spec.Spec.boot_energy)
+    else if d < 0 then
+      cluster_energy :=
+        !cluster_energy +. (float_of_int (-d) *. spec.Spec.shutdown_energy)
+  done;
+  let avg_active =
+    Array.fold_left ( +. ) 0.0
+      (Array.init nseg (fun j ->
+           float_of_int actives.(j) *. (seg_ends.(j) -. seg_starts.(j))))
+    /. horizon
+  in
+  {
+    horizon;
+    num_servers = n;
+    plan;
+    generated = !generated;
+    accepted = !accepted;
+    lost = !lost;
+    completed = !completed;
+    switches = !switches;
+    events = !generated + !completed + !switches;
+    avg_active_servers = avg_active;
+    server_energy_j = !server_energy;
+    off_energy_j = !off_energy;
+    cluster_energy_j = !cluster_energy;
+    avg_power_w = (!server_energy +. !off_energy +. !cluster_energy) /. horizon;
+    avg_waiting_time_s =
+      (if !completed > 0 then !sojourn_weighted /. float_of_int !completed
+       else 0.0);
+    cache_hits;
+    cache_misses;
+    resolve_failures;
+    cluster;
+    server_results;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "fleet: %d servers, horizon %gs, %d segments@." r.num_servers r.horizon
+    (Array.length r.plan);
+  Array.iter
+    (fun s ->
+      Format.fprintf fmt "  [%g, %g) rate=%g active=%d@." s.seg_from s.seg_until
+        s.seg_rate s.seg_active)
+    r.plan;
+  Format.fprintf fmt
+    "  arrivals=%d accepted=%d lost=%d completed=%d switches=%d@." r.generated
+    r.accepted r.lost r.completed r.switches;
+  Format.fprintf fmt
+    "  energy: servers=%.1fJ off=%.1fJ cluster=%.1fJ (avg %.2fW)@."
+    r.server_energy_j r.off_energy_j r.cluster_energy_j r.avg_power_w;
+  Format.fprintf fmt "  mean sojourn=%.4fs mean active=%.2f@."
+    r.avg_waiting_time_s r.avg_active_servers;
+  Format.fprintf fmt "  cache: %d hits / %d misses; solve failures=%d@."
+    r.cache_hits r.cache_misses r.resolve_failures

@@ -1,0 +1,80 @@
+(** Fleet-scale event-driven simulation.
+
+    [run] absorbs a piecewise fleet-wide arrival plan: it solves the
+    cluster CTMDP over the plan's phases ({!Cluster.solve}), settles
+    an active count per segment, deploys per-server policies per
+    segment ({!Deploy.resolve}, all solves deduplicated through the
+    solve cache), and then simulates {e every} server over the full
+    horizon with one {!Dpm_sim.Power_sim} run each — per-server
+    piecewise routed rates (rate 0 while deactivated), a
+    time-indexed controller that parks deactivated servers at the
+    segment boundaries ({!Dpm_sim.Controller.of_time_policy}), and
+    exact per-segment accounting via the PR-5 segment summaries.
+    Server runs are sharded over {!Dpm_par} with per-server seeds
+    from the splitmix64 stream, so results are bit-identical at any
+    domain count.
+
+    Per-tier accounting: the {e server} tier integrates each active
+    server's simulated power (switch impulses included) over its
+    active segments; the {e off} tier charges the spec's per-group
+    off-power for deactivated server-seconds (set it to the SP's
+    sleep power to make the two tiers consistent); the {e cluster}
+    tier charges boot/shutdown energy for the count changes between
+    segments. *)
+
+type plan_segment = {
+  seg_from : float;  (** segment start (s) *)
+  seg_until : float;  (** segment end (s) *)
+  seg_rate : float;  (** fleet-wide arrival rate over the segment *)
+  seg_active : int;  (** active server count the cluster settled at *)
+}
+(** One segment of the executed plan. *)
+
+type result = {
+  horizon : float;  (** simulated seconds (every server runs it all) *)
+  num_servers : int;
+  plan : plan_segment array;  (** covers [0, horizon] exactly *)
+  generated : int;  (** arrivals drawn across the fleet *)
+  accepted : int;
+  lost : int;
+  completed : int;
+  switches : int;  (** completed per-server mode switches *)
+  events : int;  (** generated + completed + switches *)
+  avg_active_servers : float;  (** time-weighted mean of the plan *)
+  server_energy_j : float;  (** active-tier energy (J) *)
+  off_energy_j : float;  (** deactivated-tier energy (J) *)
+  cluster_energy_j : float;  (** boot/shutdown transition energy (J) *)
+  avg_power_w : float;  (** all three tiers divided by the horizon *)
+  avg_waiting_time_s : float;
+      (** completion-weighted mean sojourn across servers *)
+  cache_hits : int;  (** solve-cache hits during the deploy phase *)
+  cache_misses : int;  (** solve-cache misses during the deploy phase *)
+  resolve_failures : int;
+      (** per-server solve failures absorbed by incumbents/fallbacks *)
+  cluster : Cluster.t;  (** the solved cluster controller *)
+  server_results : Dpm_sim.Power_sim.result option array;
+      (** per flat server; [None] = never active (not simulated,
+          charged to the off tier for the whole horizon) *)
+}
+(** Aggregated fleet simulation result. *)
+
+val run :
+  ?domains:int ->
+  ?seed:int64 ->
+  ?guard:(unit -> unit) ->
+  Spec.t ->
+  segments:(float * float) list ->
+  final_rate:float ->
+  horizon:float ->
+  result
+(** [run spec ~segments ~final_rate ~horizon] simulates the fleet
+    under the piecewise plan [(until, rate), ..., final_rate] (the
+    {!Dpm_sim.Workload.piecewise} grammar) up to [horizon].  All
+    rates must be positive and finite and the boundaries strictly
+    increasing below the horizon.  [seed] (default 1) drives every
+    stream; [guard] is threaded into all cluster and per-server
+    solves (a failure degrades that server, never the run).  Raises
+    [Invalid_argument] on a malformed plan. *)
+
+val pp : Format.formatter -> result -> unit
+(** Multi-line human summary (plan table + totals). *)

@@ -1,0 +1,58 @@
+(** The flat joint CTMDP oracle for tiny fleets.
+
+    For a fixed fully-active deployment, the per-server closed-loop
+    chains are independent (Poisson thinning), so the exact joint
+    generator is the Kronecker {e sum} of the per-server closed-loop
+    generators — assembled lazily through
+    {!Dpm_linalg.Operator.kron_sum} and solved flat.  The
+    hierarchical decomposition must agree with this joint solve
+    exactly (up to solver tolerance): joint stationary = product of
+    per-server marginals, joint gain = sum of per-server gains.
+    This is the cross-method oracle the fleet test suite pins, in
+    the same discipline as the PI=VI=LP property tests. *)
+
+type t
+(** A built joint model over every server of a deployment. *)
+
+val max_states : int
+(** Joint state-space cap (the oracle solves dense). *)
+
+val build : Deploy.t -> t
+(** [build d] assembles the joint generator of a deployment in which
+    {e every} server is active.  Raises [Invalid_argument] when some
+    server is off or the joint state space exceeds {!max_states}. *)
+
+val num_states : t -> int
+(** Product state-space size. *)
+
+val dims : t -> int array
+(** Per-server state-space sizes, server 0 major in the flat joint
+    index. *)
+
+val operator : t -> Dpm_linalg.Operator.t
+(** The lazy Kronecker-sum joint generator. *)
+
+val stationary : ?guard:(unit -> unit) -> t -> Dpm_linalg.Vec.t
+(** Exact stationary distribution of the flat joint chain:
+    materializes the operator and runs the classified GTH solve
+    ({!Dpm_ctmc.Steady_state.solve}). *)
+
+val stationary_implicit : ?tol:float -> ?guard:(unit -> unit) -> t -> Dpm_linalg.Vec.t
+(** Same distribution via matrix-free Gauss-Seidel sweeps on the
+    lazy operator ({!Dpm_ctmc.Steady_state.implicit}) — the joint
+    generator is never materialized.  Raises [Failure] when the
+    sweeps do not converge. *)
+
+val product_stationary : t -> Dpm_linalg.Vec.t
+(** The hierarchical prediction: the product of the per-server
+    stationary distributions. *)
+
+val marginal : t -> Dpm_linalg.Vec.t -> server:int -> Dpm_linalg.Vec.t
+(** [marginal t pi ~server] sums a joint distribution down to one
+    server's state space. *)
+
+val gain : t -> Dpm_linalg.Vec.t -> float
+(** [gain t pi] is the stationary weighted cost rate of the joint
+    chain under distribution [pi] — Eqn. (3.1) summed over servers.
+    With the exact {!stationary} it must equal the sum of per-server
+    gains ({!Deploy.gain}). *)

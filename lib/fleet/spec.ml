@@ -1,0 +1,141 @@
+open Dpm_core
+
+type group = {
+  name : string;
+  sp : Service_provider.t;
+  queue_capacity : int;
+  count : int;
+  routing_weight : float;
+  off_power : float;
+}
+
+type t = {
+  groups : group array;
+  weight : float;
+  boot_rate : float;
+  boot_energy : float;
+  shutdown_rate : float;
+  shutdown_energy : float;
+  min_active : int;
+  loss_penalty : float;
+}
+
+let check_finite ctx v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Dpm_fleet.Spec: %s must be finite (got %g)" ctx v)
+
+let check_pos ctx v =
+  check_finite ctx v;
+  if v <= 0.0 then
+    invalid_arg (Printf.sprintf "Dpm_fleet.Spec: %s must be positive (got %g)" ctx v)
+
+let check_nonneg ctx v =
+  check_finite ctx v;
+  if v < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Dpm_fleet.Spec: %s must be nonnegative (got %g)" ctx v)
+
+let group ?(routing_weight = 1.0) ?(off_power = 0.0) ~name ~sp ~queue_capacity
+    ~count () =
+  if count < 1 then
+    invalid_arg (Printf.sprintf "Dpm_fleet.Spec: group %S count must be >= 1" name);
+  if queue_capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Dpm_fleet.Spec: group %S queue capacity must be >= 1" name);
+  check_pos (Printf.sprintf "group %S routing_weight" name) routing_weight;
+  check_nonneg (Printf.sprintf "group %S off_power" name) off_power;
+  { name; sp; queue_capacity; count; routing_weight; off_power }
+
+let create ?(weight = 1.0) ?(boot_rate = 1.0) ?(boot_energy = 0.0)
+    ?(shutdown_rate = 1.0) ?(shutdown_energy = 0.0) ?(min_active = 1)
+    ?(loss_penalty = 0.0) groups =
+  if groups = [] then invalid_arg "Dpm_fleet.Spec.create: empty group list";
+  check_nonneg "weight" weight;
+  check_pos "boot_rate" boot_rate;
+  check_nonneg "boot_energy" boot_energy;
+  check_pos "shutdown_rate" shutdown_rate;
+  check_nonneg "shutdown_energy" shutdown_energy;
+  check_nonneg "loss_penalty" loss_penalty;
+  let groups = Array.of_list groups in
+  let names = Hashtbl.create 7 in
+  Array.iter
+    (fun g ->
+      if Hashtbl.mem names g.name then
+        invalid_arg
+          (Printf.sprintf "Dpm_fleet.Spec.create: duplicate group name %S" g.name);
+      Hashtbl.add names g.name ())
+    groups;
+  let n = Array.fold_left (fun acc g -> acc + g.count) 0 groups in
+  if min_active < 1 || min_active > n then
+    invalid_arg
+      (Printf.sprintf "Dpm_fleet.Spec.create: min_active %d outside [1, %d]"
+         min_active n);
+  { groups; weight; boot_rate; boot_energy; shutdown_rate; shutdown_energy;
+    min_active; loss_penalty }
+
+let num_servers t = Array.fold_left (fun acc g -> acc + g.count) 0 t.groups
+let num_groups t = Array.length t.groups
+
+let group_of_server t i =
+  let n = num_servers t in
+  if i < 0 || i >= n then
+    invalid_arg
+      (Printf.sprintf "Dpm_fleet.Spec.group_of_server: %d outside [0, %d)" i n);
+  let rec go g base =
+    if i < base + t.groups.(g).count then g else go (g + 1) (base + t.groups.(g).count)
+  in
+  go 0 0
+
+(* Number of servers of [group] inside the active flat prefix [0..active-1]. *)
+let active_in_group t ~active ~group =
+  if group < 0 || group >= num_groups t then
+    invalid_arg "Dpm_fleet.Spec.active_in_group: bad group index";
+  let base = ref 0 in
+  for g = 0 to group - 1 do
+    base := !base + t.groups.(g).count
+  done;
+  max 0 (min t.groups.(group).count (active - !base))
+
+let total_active_weight t ~active =
+  let acc = ref 0.0 in
+  for g = 0 to num_groups t - 1 do
+    acc :=
+      !acc
+      +. float_of_int (active_in_group t ~active ~group:g)
+         *. t.groups.(g).routing_weight
+  done;
+  !acc
+
+let group_rate t ~total_rate ~active ~group =
+  let n = num_servers t in
+  if active < 1 || active > n then
+    invalid_arg
+      (Printf.sprintf "Dpm_fleet.Spec.group_rate: active %d outside [1, %d]"
+         active n);
+  if active_in_group t ~active ~group = 0 then 0.0
+  else
+    (* share first, then scale: a single active server yields exactly
+       [total_rate] (w /. w = 1.0), which the degenerate-fleet golden
+       reduction relies on. *)
+    total_rate *. (t.groups.(group).routing_weight /. total_active_weight t ~active)
+
+let server_rate t ~total_rate ~active ~server =
+  let g = group_of_server t server in
+  if server >= active then 0.0
+  else group_rate t ~total_rate ~active ~group:g
+
+let base_system t g =
+  let gr = t.groups.(g) in
+  Sys_model.create ~sp:gr.sp ~queue_capacity:gr.queue_capacity ~arrival_rate:1.0 ()
+
+let max_power t g =
+  let sp = t.groups.(g).sp in
+  let acc = ref neg_infinity in
+  for s = 0 to Service_provider.num_modes sp - 1 do
+    acc := Float.max !acc (Service_provider.power sp s)
+  done;
+  !acc
+
+let pp fmt t =
+  Format.fprintf fmt "%d servers in %d groups (w=%g, min_active=%d)"
+    (num_servers t) (num_groups t) t.weight t.min_active

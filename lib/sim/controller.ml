@@ -22,20 +22,51 @@ type t = { name : string; decide : observation -> reason -> decision }
 
 let no_change = { target = None; timer = None }
 
-let of_dynamic_policy ?(name = "ctmdp-policy") sys ~policy =
+(* During the whole transfer period (service done, next not started)
+   the model state is q_{i -> i-1} with i - 1 = current queue length;
+   arrivals inside the transfer move between transfer states, so the
+   lookup stays there. *)
+let state_of_observation sys obs =
   let q_cap = Sys_model.queue_capacity sys in
   let sp = Sys_model.sp sys in
+  if obs.in_transfer && Service_provider.is_active sp obs.mode then
+    Sys_model.Transfer (obs.mode, max 1 (min (obs.queue_length + 1) q_cap))
+  else Sys_model.Stable (obs.mode, min obs.queue_length q_cap)
+
+let of_dynamic_policy ?(name = "ctmdp-policy") sys ~policy =
   let decide obs _reason =
-    let state =
-      (* During the whole transfer period (service done, next not
-         started) the model state is q_{i -> i-1} with
-         i - 1 = current queue length; arrivals inside the transfer
-         move between transfer states, so the lookup stays there. *)
-      if obs.in_transfer && Service_provider.is_active sp obs.mode then
-        Sys_model.Transfer (obs.mode, max 1 (min (obs.queue_length + 1) q_cap))
-      else Sys_model.Stable (obs.mode, min obs.queue_length q_cap)
+    { target = Some ((policy ()) (state_of_observation sys obs)); timer = None }
+  in
+  { name; decide }
+
+let of_time_policy ?(name = "time-policy") ?(wake = []) sys ~policy =
+  List.iter
+    (fun t ->
+      if t < 0.0 || not (Float.is_finite t) then
+        invalid_arg "Controller.of_time_policy: wake times must be >= 0 and finite")
+    wake;
+  let remaining = ref (List.sort_uniq compare wake) in
+  let decide obs reason =
+    let timer =
+      (* Chain one timer through the wake list: Init requests the
+         first boundary, each fired timer the next — so the policy is
+         re-consulted at every boundary even during quiet stretches
+         (a fleet plan parks or wakes servers there), and the heap
+         carries at most one wake timer at a time. *)
+      match reason with
+      | Init | Timer ->
+          let rec pop () =
+            match !remaining with
+            | t :: rest when t <= obs.time +. 1e-12 ->
+                remaining := rest;
+                pop ()
+            | t :: _ -> Some (t -. obs.time)
+            | [] -> None
+          in
+          pop ()
+      | Arrival | Arrival_lost | Service_completed _ | Switch_completed -> None
     in
-    { target = Some ((policy ()) state); timer = None }
+    { target = Some (policy obs.time (state_of_observation sys obs)); timer }
   in
   { name; decide }
 

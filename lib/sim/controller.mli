@@ -60,6 +60,24 @@ val of_dynamic_policy :
     whatever [policy] reads.  The observation-to-state mapping is
     identical to {!of_policy}. *)
 
+val of_time_policy :
+  ?name:string ->
+  ?wake:float list ->
+  Dpm_core.Sys_model.t ->
+  policy:(float -> Dpm_core.Sys_model.state -> int) ->
+  t
+(** [of_time_policy sys ~policy] executes a {e time-indexed} family
+    of stationary policies: [policy time state] is consulted at every
+    event with the current clock, so a piecewise deployment plan (the
+    fleet simulator's per-segment policies) runs inside one
+    simulation.  [wake] lists absolute times at which the policy must
+    be re-consulted even if no event occurs — plan segment
+    boundaries, where a server may be parked or woken during a quiet
+    stretch; the controller chains a single timer through them.  The
+    observation-to-state mapping is identical to {!of_policy}.
+    Raises [Invalid_argument] on a negative or non-finite wake
+    time. *)
+
 val of_policy : Dpm_core.Sys_model.t -> (Dpm_core.Sys_model.state -> int) -> t
 (** [of_policy sys policy] executes a stationary Markov policy: on a
     service completion with [i] requests present it consults

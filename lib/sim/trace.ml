@@ -44,21 +44,30 @@ let mode_intervals t =
       walk first.Power_sim.snap_time first.Power_sim.snap_mode
         first.Power_sim.snap_time [] rest
 
-let to_csv t =
+let to_csv ?server t =
   let buf = Buffer.create 4096 in
   (* Truncation marker: plots can tell a clipped ring from a short
      run without counting rows. *)
   Buffer.add_string buf
     (Printf.sprintf "# length=%d dropped=%d\n" (length t) (dropped t));
-  Buffer.add_string buf "time,event,mode,queue,switching_to,in_transfer\n";
+  (* The server column is opt-in: single-server golden CSVs stay
+     byte-identical. *)
+  let server_header, server_cell =
+    match server with
+    | None -> ("", "")
+    | Some id -> (",server", Printf.sprintf ",%d" id)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "time,event,mode,queue,switching_to,in_transfer%s\n"
+       server_header);
   List.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "%.6f,%s,%d,%d,%s,%b\n" s.Power_sim.snap_time
+        (Printf.sprintf "%.6f,%s,%d,%d,%s,%b%s\n" s.Power_sim.snap_time
            s.Power_sim.snap_event s.Power_sim.snap_mode s.Power_sim.snap_queue
            (match s.Power_sim.snap_switching_to with
            | Some m -> string_of_int m
            | None -> "")
-           s.Power_sim.snap_in_transfer))
+           s.Power_sim.snap_in_transfer server_cell))
     (snapshots t);
   Buffer.contents buf

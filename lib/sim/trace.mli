@@ -27,9 +27,12 @@ val mode_intervals : t -> (float * float * int) list
 (** [(start, stop, mode)] runs of constant SP mode over the retained
     window — the data behind a power-state timeline plot. *)
 
-val to_csv : t -> string
+val to_csv : ?server:int -> t -> string
 (** CSV rendering: [time,event,mode,queue,switching_to,in_transfer].
     The first line is a comment, [# length=N dropped=M], so a
     downstream plot can detect ring-buffer truncation ([dropped > 0]
     means the file starts mid-run) instead of silently rendering a
-    clipped trace. *)
+    clipped trace.  [server], when given, appends a [server] column
+    carrying that fleet server id on every row (the CLI's
+    [--csv-server-id]); without it the shape is unchanged, keeping
+    existing golden CSVs byte-identical. *)

@@ -18,16 +18,22 @@ let check_rate r =
   if r <= 0.0 || not (Float.is_finite r) then
     invalid_arg "Workload: rates must be positive and finite"
 
+(* Piecewise segments may be silent: a fleet dispatcher routes rate 0
+   to a server while it is deactivated. *)
+let check_rate_nonneg r =
+  if r < 0.0 || not (Float.is_finite r) then
+    invalid_arg "Workload: rates must be nonnegative and finite"
+
 let poisson ~rate =
   check_rate rate;
   { kind = Poisson rate; last_now = neg_infinity }
 
 let piecewise ~segments ~final_rate =
-  check_rate final_rate;
+  check_rate_nonneg final_rate;
   let rec check_boundaries prev = function
     | [] -> ()
     | (until, rate) :: rest ->
-        check_rate rate;
+        check_rate_nonneg rate;
         if until <= prev then
           invalid_arg "Workload.piecewise: boundaries must increase";
         check_boundaries until rest
@@ -211,16 +217,28 @@ let next_arrival w rng ~now =
   | Poisson rate -> Some (now +. Dist.exponential_sample rng ~rate)
   | Piecewise { segments; final_rate } ->
       (* Thinning against the maximum rate keeps the stream exact for
-         the inhomogeneous process. *)
+         the inhomogeneous process.  Zero-rate segments reject every
+         candidate ([ratio > 0.0] — [Rng.float] can return exactly 0,
+         which must not sneak an arrival through), and once the
+         clock passes the last boundary of an all-quiet tail the
+         stream ends instead of thinning forever. *)
       let max_rate =
         List.fold_left (fun acc (_, r) -> Float.max acc r) final_rate segments
       in
-      let rec draw t =
-        let t = t +. Dist.exponential_sample rng ~rate:max_rate in
-        if Rng.float rng <= rate_at segments final_rate t /. max_rate then t
-        else draw t
-      in
-      Some (draw now)
+      if max_rate <= 0.0 then None
+      else begin
+        let last_boundary =
+          List.fold_left (fun _ (until, _) -> until) 0.0 segments
+        in
+        let rec draw t =
+          let t = t +. Dist.exponential_sample rng ~rate:max_rate in
+          if final_rate <= 0.0 && t >= last_boundary then None
+          else
+            let ratio = rate_at segments final_rate t /. max_rate in
+            if ratio > 0.0 && Rng.float rng <= ratio then Some t else draw t
+        in
+        draw now
+      end
   | Mmpp m ->
       (* Race the next arrival (at the phase's rate) against the next
          phase switch; iterate across switches until an arrival wins. *)

@@ -18,8 +18,11 @@ val piecewise : segments:(float * float) list -> final_rate:float -> t
 (** [piecewise ~segments ~final_rate] changes rate over time:
     [(until, rate)] pairs with strictly increasing [until] apply
     [rate] up to each boundary; [final_rate] applies afterwards.
-    Rates must be positive.  Sampling is by thinning against the
-    maximum rate, so boundaries need not align with arrivals. *)
+    Rates must be nonnegative (a zero-rate segment is silent — a
+    fleet dispatcher routes rate 0 to a deactivated server); with a
+    zero [final_rate] the stream {e ends} after the last boundary.
+    Sampling is by thinning against the maximum rate, so boundaries
+    need not align with arrivals. *)
 
 val mmpp : rates:float array -> switch_rate:float array array -> t
 (** A Markov-modulated Poisson process: [rates.(k)] while the

@@ -178,6 +178,55 @@ let prop_segmented_stationary_containment =
           per_seg
       end)
 
+(* Degenerate fleet: a 1-server fleet is exactly the single-server
+   problem, so routing (the whole stream to server 0) plus the
+   fleet's per-server solve must land on the golden pins — same gain,
+   same metrics, same per-state policy.  This anchors the fleet layer
+   to the paper reproduction. *)
+let degenerate_fleet_reduces_to_golden () =
+  Dpm_cache.Solve_cache.with_capacity 0 @@ fun () ->
+  List.iter
+    (fun (weight, gain, power, waiting, actions) ->
+      let spec =
+        Dpm_fleet.Spec.create ~weight
+          [
+            Dpm_fleet.Spec.group ~name:"paper"
+              ~sp:(Paper_instance.service_provider ())
+              ~queue_capacity:Paper_instance.queue_capacity ~count:1 ();
+          ]
+      in
+      let d =
+        Dpm_fleet.Deploy.resolve ~domains:1 spec
+          ~total_rate:Paper_instance.arrival_rate ~active:1
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "clean solve at w=%g" weight)
+        0
+        (List.length d.Dpm_fleet.Deploy.failures);
+      let s =
+        match d.Dpm_fleet.Deploy.servers.(0) with
+        | Some s -> s
+        | None -> Alcotest.fail "server 0 missing"
+      in
+      let sol =
+        match s.Dpm_fleet.Deploy.solution with
+        | Some sol -> sol
+        | None -> Alcotest.fail "server 0 has no solution"
+      in
+      Test_util.check_close ~tol:1e-9
+        (Printf.sprintf "fleet gain = golden gain at w=%g" weight)
+        gain sol.Optimize.gain;
+      Test_util.check_close ~tol:1e-9
+        (Printf.sprintf "fleet power at w=%g" weight)
+        power sol.Optimize.metrics.Analytic.power;
+      Test_util.check_close ~tol:1e-9
+        (Printf.sprintf "fleet waiting at w=%g" weight)
+        waiting sol.Optimize.metrics.Analytic.avg_waiting_requests;
+      Alcotest.(check (array int))
+        (Printf.sprintf "fleet policy at w=%g" weight)
+        actions s.Dpm_fleet.Deploy.actions)
+    Test_golden.pins
+
 let suite =
   [
     prop_pi_equals_lp;
@@ -186,4 +235,6 @@ let suite =
     prop_littles_law_simulated;
     prop_sim_within_ci;
     prop_segmented_stationary_containment;
+    Alcotest.test_case "1-server fleet reproduces the golden pins" `Quick
+      degenerate_fleet_reduces_to_golden;
   ]

@@ -84,6 +84,30 @@ let csv_shape () =
         Alcotest.failf "row %d malformed: %s" i line)
     lines
 
+let csv_server_column () =
+  let trace, _ = run_traced ~n:50 () in
+  (* The opt-in column changes only what it must: header gains
+     ",server", every row gains ",<id>"; the plain shape is the
+     byte-identical golden one. *)
+  let plain = Trace.to_csv trace in
+  let tagged = Trace.to_csv ~server:3 trace in
+  let plain_lines = String.split_on_char '\n' (String.trim plain) in
+  let tagged_lines = String.split_on_char '\n' (String.trim tagged) in
+  Alcotest.(check int) "same row count" (List.length plain_lines)
+    (List.length tagged_lines);
+  List.iteri
+    (fun i (p, g) ->
+      if i = 0 then Alcotest.(check string) "comment unchanged" p g
+      else if i = 1 then
+        Alcotest.(check string) "header gains server column"
+          "time,event,mode,queue,switching_to,in_transfer,server" g
+      else begin
+        Alcotest.(check string) (Printf.sprintf "row %d tagged" i) (p ^ ",3") g;
+        if List.length (String.split_on_char ',' g) <> 7 then
+          Alcotest.failf "row %d not 7 columns: %s" i g
+      end)
+    (List.combine plain_lines tagged_lines)
+
 let csv_reports_truncation () =
   let trace, _ = run_traced ~capacity:100 () in
   let csv = Trace.to_csv trace in
@@ -107,6 +131,7 @@ let suite =
     t "ring eviction" `Quick ring_buffer_eviction;
     t "mode intervals" `Quick mode_intervals_cover_modes;
     t "csv shape" `Quick csv_shape;
+    t "csv server column" `Quick csv_server_column;
     t "csv reports truncation" `Quick csv_reports_truncation;
     t "validation" `Quick validation;
   ]

@@ -45,8 +45,13 @@ let piecewise_rates_by_segment () =
 let piecewise_validation () =
   Test_util.check_raises_invalid "non-increasing boundaries" (fun () ->
       ignore (Workload.piecewise ~segments:[ (5.0, 1.0); (3.0, 1.0) ] ~final_rate:1.0));
-  Test_util.check_raises_invalid "bad rate" (fun () ->
-      ignore (Workload.piecewise ~segments:[] ~final_rate:0.0))
+  Test_util.check_raises_invalid "negative rate" (fun () ->
+      ignore (Workload.piecewise ~segments:[] ~final_rate:(-1.0)));
+  (* Zero rates are legal since the fleet layer routes silent windows:
+     an all-quiet stream is empty, not invalid. *)
+  let quiet = Workload.piecewise ~segments:[] ~final_rate:0.0 in
+  Alcotest.(check bool) "all-quiet stream is empty" true
+    (Workload.next_arrival quiet (Test_util.rng ()) ~now:0.0 = None)
 
 let mmpp_mean_rate_between_phases () =
   (* Symmetric two-phase MMPP switching fast relative to nothing:

@@ -3,7 +3,7 @@
    Usage:  dune exec bench/main.exe [--domains N] [sections...]
 
    Sections: fig4 modelcheck tab1 fig5 npolicy2 ablations extensions
-   scaling kron cache adapt serve fleet perf all
+   scaling kron cache adapt serve fleet scenarios perf all
    (default: all).  The experiment sections regenerate the paper's
    tables/figures (see EXPERIMENTS.md); the scaling section measures
    Dpm_par speedup at several domain counts; the perf section runs one
@@ -135,6 +135,7 @@ let sections =
     ("adapt", Adapt.all);
     ("serve", Serve.all);
     ("fleet", Fleet.all);
+    ("scenarios", Scenarios.all);
     ("perf", perf);
   ]
 

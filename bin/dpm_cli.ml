@@ -16,6 +16,9 @@
                             modes (Dpm_serve)
      dpm_cli dot         -- DOT graphs of the SP / SQ / SYS chains
                             (regenerates Figures 1 and 2 of the paper)
+     dpm_cli scenario    -- the scenario library: phase-type service,
+                            K-queue polling, dynamic batching
+                            (Dpm_scenario; see MODELING.md)
 
    Exit codes: 0 success; 1 generic failure (bad flags, unknown
    device, ...); 2 infeasible constrained problem; then one code per
@@ -1161,6 +1164,231 @@ let report_cmd =
       const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
       $ bound_arg $ seed_arg)
 
+(* --- scenario ------------------------------------------------------------ *)
+
+let scenario_cmd =
+  let open Dpm_scenario in
+  let family_arg =
+    let doc =
+      "Workload family: $(b,phased) (phase-type service expansion of the \
+       paper system), $(b,polling) (one server over K bounded queues with \
+       switch-over times), or $(b,batching) (batch size as a decision)."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (Arg.enum
+                [
+                  ("phased", `Phased);
+                  ("polling", `Polling);
+                  ("batching", `Batching);
+                ]))
+          None
+      & info [] ~docv:"FAMILY" ~doc)
+  in
+  let service_arg =
+    let doc =
+      "Service distribution for the phased family: $(b,exp:RATE), \
+       $(b,erlang:K:RATE), $(b,hyper2:P:R1:R2), or $(b,fit:MEAN:SCV)."
+    in
+    Arg.(value & opt string "fit:1.5:0.25" & info [ "service" ] ~docv:"SPEC" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "A polling queue as $(b,LAMBDA,CAP[,SERVICE[,SWITCH]]) with SERVICE \
+       and SWITCH in the --service grammar (defaults exp:1 and exp:10).  \
+       Repeatable; omitting it entirely gives the two-queue example \
+       $(b,0.25,2) and $(b,0.4,2)."
+    in
+    Arg.(value & opt_all string [] & info [ "queue" ] ~docv:"SPEC" ~doc)
+  in
+  let loss_penalty_arg =
+    let doc = "Cost per lost request (polling family)." in
+    Arg.(value & opt float 0.0 & info [ "loss-penalty" ] ~docv:"C" ~doc)
+  in
+  let max_batch_arg =
+    let doc = "Largest batch size the batching policy may form." in
+    Arg.(
+      value & opt int Batching.max_batch & info [ "max-batch" ] ~docv:"B" ~doc)
+  in
+  let batch_rates_arg =
+    let doc =
+      "Comma-separated completion rates of batch sizes 1..B (batching \
+       family).  Default: the device's service rate for every size."
+    in
+    Arg.(value & opt (some string) None & info [ "batch-rates" ] ~docv:"CSV" ~doc)
+  in
+  let batch_energy_arg =
+    let doc =
+      "Comma-separated energies per completed batch of sizes 1..B.  \
+       Default: zero."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "batch-energy" ] ~docv:"CSV" ~doc)
+  in
+  let dist_of_spec spec =
+    match Phase_type.of_spec spec with
+    | Ok d -> d
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  in
+  let floats_of_csv ~flag csv =
+    List.map
+      (fun f ->
+        match float_of_string_opt (String.trim f) with
+        | Some v -> v
+        | None ->
+            prerr_endline
+              (Printf.sprintf "%s: not a number: %S" flag (String.trim f));
+            exit 1)
+      (String.split_on_char ',' csv)
+  in
+  let queue_of_spec spec =
+    match String.split_on_char ',' spec with
+    | lam :: cap :: rest when List.length rest <= 2 -> (
+        match
+          (float_of_string_opt (String.trim lam), int_of_string_opt (String.trim cap))
+        with
+        | Some arrival_rate, Some capacity ->
+            let service =
+              match rest with s :: _ -> Some (dist_of_spec s) | [] -> None
+            in
+            let switch_over =
+              match rest with [ _; s ] -> Some (dist_of_spec s) | _ -> None
+            in
+            Polling.queue ?service ?switch_over ~arrival_rate ~capacity ()
+        | _ ->
+            prerr_endline
+              (Printf.sprintf "bad queue spec %S (want LAMBDA,CAP[,SERVICE[,SWITCH]])"
+                 spec);
+            exit 1)
+    | _ ->
+        prerr_endline
+          (Printf.sprintf "bad queue spec %S (want LAMBDA,CAP[,SERVICE[,SWITCH]])"
+             spec);
+        exit 1
+  in
+  let run runtime device rate capacity weight deadline family service_spec
+      queue_specs loss_penalty max_batch batch_rates batch_energy =
+    with_runtime runtime @@ fun () ->
+    let build f = try f () with Invalid_argument msg -> prerr_endline msg; exit 1 in
+    (* Shared reporting: the gain is cross-checked against the
+       closed-loop stationary distribution (an independent numerical
+       path), so the printed pair is its own sanity check. *)
+    let report name describe model =
+      match Solve.solve ?deadline_s:deadline model with
+      | Error e ->
+          Format.eprintf "solve aborted: %a@." Dpm_robust.Error.pp e;
+          exit (Dpm_robust.Error.exit_code e)
+      | Ok s ->
+          Format.printf "scenario: %s@." name;
+          describe ();
+          Format.printf "states: %d@." (Dpm_ctmdp.Model.num_states model);
+          Format.printf "iterations: %d@." s.Solve.iterations;
+          Format.printf "gain: %.9f@." s.Solve.gain;
+          Format.printf "stationary cross-check: %.9f@."
+            (Solve.stationary_gain model ~actions:s.Solve.actions);
+          s
+    in
+    match family with
+    | `Phased ->
+        let service = dist_of_spec service_spec in
+        let sp = or_die (Result.map Sys_model.sp (build_system device rate capacity)) in
+        let ph =
+          build (fun () ->
+              Phased.create ~sp ~queue_capacity:capacity ~arrival_rate:rate
+                ~service ())
+        in
+        ignore
+          (report "phased"
+             (fun () ->
+               Format.printf "service: %s (mean %g, scv %g)@."
+                 (Phase_type.to_spec service) (Phase_type.mean service)
+                 (Phase_type.scv service);
+               Format.printf "weight: %g@." weight)
+             (Phased.to_ctmdp ph ~weight))
+    | `Polling ->
+        let queues =
+          match queue_specs with
+          | [] -> [ queue_of_spec "0.25,2"; queue_of_spec "0.4,2" ]
+          | specs -> List.map queue_of_spec specs
+        in
+        let p = build (fun () -> Polling.create ~loss_penalty queues) in
+        let s =
+          report "polling"
+            (fun () ->
+              Array.iteri
+                (fun j (q : Polling.queue) ->
+                  Format.printf
+                    "queue %d: lambda=%g cap=%d service=%s switch=%s@." j
+                    q.Polling.arrival_rate q.Polling.capacity
+                    (Phase_type.to_spec q.Polling.service)
+                    (Phase_type.to_spec q.Polling.switch_over))
+                (Polling.queues p))
+            (Polling.to_ctmdp p)
+        in
+        let count f = Array.fold_left (fun n a -> if f a then n + 1 else n) 0 s.Solve.actions in
+        Format.printf "policy: serve %d | goto %d | sleep %d | stay %d@."
+          (count (fun a -> a = Polling.action_serve p))
+          (count (fun a -> a >= 1 && a <= Polling.num_queues p))
+          (count (fun a -> a = Polling.action_sleep p))
+          (count (fun a -> a = Polling.action_stay))
+    | `Batching ->
+        let sys = or_die (build_system device rate capacity) in
+        let sp = Sys_model.sp sys in
+        let default_mu =
+          Service_provider.service_rate sp (Service_provider.fastest_active sp)
+        in
+        let table flag spec default =
+          match spec with
+          | None -> fun _ -> default
+          | Some csv ->
+              let a = Array.of_list (floats_of_csv ~flag csv) in
+              if Array.length a < max_batch then begin
+                prerr_endline
+                  (Printf.sprintf "%s: need %d values, got %d" flag max_batch
+                     (Array.length a));
+                exit 1
+              end;
+              fun b -> a.(b - 1)
+        in
+        let service_rate = table "--batch-rates" batch_rates default_mu in
+        let batch_energy = table "--batch-energy" batch_energy 0.0 in
+        let b =
+          build (fun () ->
+              Batching.create ~batch_energy ~sys ~max_batch ~service_rate ())
+        in
+        let s =
+          report "batching"
+            (fun () ->
+              Format.printf "batch rates: %s@."
+                (String.concat ", "
+                   (List.init max_batch (fun k ->
+                        Printf.sprintf "%g" (service_rate (k + 1)))));
+              Format.printf "weight: %g@." weight)
+            (Batching.to_ctmdp b ~weight)
+        in
+        let largest =
+          Array.fold_left
+            (fun acc a -> max acc (Batching.batch_of_action b a))
+            1 s.Solve.actions
+        in
+        Format.printf "largest batch used: %d@." largest
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Solve a scenario-library workload (phase-type service, K-queue \
+          polling, dynamic batching) through the standard solver stack and \
+          cross-check the optimum against the closed-loop stationary \
+          distribution.  See MODELING.md for a guided tour.")
+    Term.(
+      const run $ runtime_args $ device_arg $ rate_arg $ capacity_arg
+      $ weight_arg $ deadline_arg $ family_arg $ service_arg $ queue_arg
+      $ loss_penalty_arg $ max_batch_arg $ batch_rates_arg $ batch_energy_arg)
+
 (* --- entry point --------------------------------------------------------- *)
 
 let () =
@@ -1182,4 +1410,5 @@ let () =
             fleet_cmd;
             dot_cmd;
             report_cmd;
+            scenario_cmd;
           ]))

@@ -1,0 +1,121 @@
+open Dpm_core
+
+type t = {
+  sys : Sys_model.t;
+  max_batch : int;
+  mu : float array;  (** [mu.(b - 1)] is the size-[b] batch rate *)
+  ene : float array;  (** [ene.(b - 1)] is the size-[b] batch energy *)
+  active : int;  (** the unique active mode *)
+}
+
+let max_batch = 8
+
+let create ?(batch_energy = fun _ -> 0.0) ~sys ~max_batch ~service_rate () =
+  (match Service_provider.active_modes (Sys_model.sp sys) with
+  | [ _ ] -> ()
+  | _ ->
+      invalid_arg
+        "Batching.create: batching requires exactly one active mode (the \
+         batch-size decision is a refinement of its service)");
+  if max_batch < 1 then
+    invalid_arg "Batching.create: max batch must be at least 1";
+  let mu =
+    Array.init max_batch (fun k ->
+        let r = service_rate (k + 1) in
+        if r <= 0.0 || not (Float.is_finite r) then
+          invalid_arg
+            (Printf.sprintf
+               "Batching.create: service rate of batch %d must be positive \
+                and finite"
+               (k + 1));
+        r)
+  in
+  let ene =
+    Array.init max_batch (fun k ->
+        let e = batch_energy (k + 1) in
+        if e < 0.0 || not (Float.is_finite e) then
+          invalid_arg
+            (Printf.sprintf
+               "Batching.create: energy of batch %d must be nonnegative and \
+                finite"
+               (k + 1));
+        e)
+  in
+  {
+    sys;
+    max_batch;
+    mu;
+    ene;
+    active = List.hd (Service_provider.active_modes (Sys_model.sp sys));
+  }
+
+let sys t = t.sys
+let max_batch_of t = t.max_batch
+
+let check_batch t b =
+  if b < 1 || b > t.max_batch then
+    invalid_arg (Printf.sprintf "Batching: batch size %d out of range" b)
+
+let service_rate t b =
+  check_batch t b;
+  t.mu.(b - 1)
+
+let batch_energy t b =
+  check_batch t b;
+  t.ene.(b - 1)
+
+let batch_of_action t a =
+  let s = Service_provider.num_modes (Sys_model.sp t.sys) in
+  if a < 0 then invalid_arg "Batching.batch_of_action: negative action";
+  (a / s) + 1
+
+let mode_of_action t a =
+  let s = Service_provider.num_modes (Sys_model.sp t.sys) in
+  if a < 0 then invalid_arg "Batching.mode_of_action: negative action";
+  a mod s
+
+let to_ctmdp t ~weight =
+  if weight < 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Batching.to_ctmdp: weight must be nonnegative and finite";
+  let sys = t.sys in
+  let sp = Sys_model.sp sys in
+  let s_count = Service_provider.num_modes sp in
+  let base_choice x a =
+    {
+      Dpm_ctmdp.Model.action = a;
+      rates = Sys_model.transitions sys x ~action:a;
+      cost = Sys_model.cost sys ~weight x ~action:a;
+    }
+  in
+  Dpm_ctmdp.Model.create ~num_states:(Sys_model.num_states sys) (fun k ->
+      match Sys_model.state_of_index sys k with
+      | Sys_model.Stable (s, i) when s = t.active && i >= 1 ->
+          (* Serving state: constraint (1) pins the commanded mode to
+             the active one; the choice left is the batch size.  Batch
+             [b] departs in bulk through the transfer band at level
+             [i - b + 1] (resolving to [i - b] waiting).  At [b = 1]
+             the row and cost are byte-for-byte the base system's. *)
+          let q = Sys_model.queue_capacity sys in
+          let lam = Sys_model.arrival_rate sys in
+          let arrival =
+            if i < q then
+              [ (Sys_model.index sys (Sys_model.Stable (s, i + 1)), lam) ]
+            else []
+          in
+          let pow = Service_provider.power sp s in
+          List.init (min i t.max_batch) (fun k ->
+              let b = k + 1 in
+              {
+                Dpm_ctmdp.Model.action = s + (s_count * (b - 1));
+                rates =
+                  arrival
+                  @ [
+                      ( Sys_model.index sys (Sys_model.Transfer (s, i - b + 1)),
+                        t.mu.(b - 1) );
+                    ];
+                cost =
+                  pow
+                  +. (t.mu.(b - 1) *. t.ene.(b - 1))
+                  +. (weight *. float_of_int i);
+              })
+      | x -> List.map (base_choice x) (Sys_model.valid_actions sys x))

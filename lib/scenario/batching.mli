@@ -1,0 +1,79 @@
+(** Dynamic batching — batch size as a decision (after Xu et al.'s
+    SMDP-based dynamic batching for inference serving; see PAPERS.md).
+
+    The composed SYS is kept intact except in the {e serving} states
+    [Stable(active, i >= 1)], where the single "keep serving" choice
+    of the paper is replaced by one choice per feasible batch size
+    [b in 1..min(i, max_batch)]: under batch [b] the whole batch
+    completes at the batch service rate [mu(b)] (bulk departure — the
+    transfer state resolves [b] requests down instead of one) and the
+    cost rate gains the rate-weighted per-batch energy
+    [mu(b) * energy(b)], exactly how the paper prices switching energy
+    ([ene] weighted by the switch rate).  All other states, the action
+    constraints, and the transfer machinery are delegated to the
+    underlying [Sys_model].
+
+    Because the batch is re-chosen at every decision epoch (CTMDPs
+    are memoryless), this is the bulk-service control of an
+    [M/M^(b)/1] queue rather than a literal admission-gated batch
+    server; the latency-energy trade it exposes — bigger batches
+    amortize per-batch energy against longer per-request sojourns —
+    is the one the SMDP batching literature optimizes.
+
+    {2 Degeneracy}
+
+    With [max_batch = 1], [mu(1)] equal to the SP's service rate, and
+    [energy(1) = 0], the construction is {e bit-identical} to
+    [Sys_model.to_ctmdp]: same states, same action labels, same rate
+    rows, same costs — hence the same fingerprint and shared cache
+    entries (pinned by tests against the golden paper pins).
+
+    {2 Action labels}
+
+    The batch-[b] variant of serving in mode [s] is labeled
+    [s + num_modes * (b - 1)]; [b = 1] therefore keeps the paper's
+    plain mode labels.  Like the SP layer, the solvers treat labels as
+    opaque. *)
+
+type t
+
+val create :
+  ?batch_energy:(int -> float) ->
+  sys:Dpm_core.Sys_model.t ->
+  max_batch:int ->
+  service_rate:(int -> float) ->
+  unit ->
+  t
+(** [create ~sys ~max_batch ~service_rate ()] — [service_rate b] is
+    the completion rate of a size-[b] batch (consulted for
+    [1 <= b <= max_batch]; must be positive and finite);
+    [batch_energy b] (default: 0 everywhere) the energy charged per
+    completed size-[b] batch (nonnegative, finite).  The SP must have
+    exactly one active mode.  Raises [Invalid_argument] otherwise. *)
+
+val sys : t -> Dpm_core.Sys_model.t
+(** The embedded base system — the batching model shares its state
+    space and indexing. *)
+
+val max_batch : int
+(** A documentation anchor for the CLI default cap (8). *)
+
+val max_batch_of : t -> int
+(** The configured batch cap. *)
+
+val service_rate : t -> int -> float
+(** [mu(b)]. *)
+
+val batch_energy : t -> int -> float
+(** [energy(b)]. *)
+
+val batch_of_action : t -> int -> int
+(** Recover the batch size encoded in an action label (1 for plain
+    mode labels). *)
+
+val mode_of_action : t -> int -> int
+(** Recover the commanded mode encoded in an action label. *)
+
+val to_ctmdp : t -> weight:float -> Dpm_ctmdp.Model.t
+(** The batching decision process under the Eqn. (3.1) weighted
+    cost. *)

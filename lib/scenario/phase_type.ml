@@ -1,0 +1,139 @@
+type t =
+  | Exp of float
+  | Erlang of int * float
+  | Hyper2 of float * float * float
+
+let check_rate site r =
+  if r <= 0.0 || not (Float.is_finite r) then
+    invalid_arg (site ^ ": rate must be positive and finite")
+
+let exp_ r =
+  check_rate "Phase_type.exp_" r;
+  Exp r
+
+let erlang k r =
+  check_rate "Phase_type.erlang" r;
+  if k < 1 then invalid_arg "Phase_type.erlang: k must be at least 1";
+  if k = 1 then Exp r else Erlang (k, r)
+
+let hyper2 ~p ~rate1 ~rate2 =
+  check_rate "Phase_type.hyper2" rate1;
+  check_rate "Phase_type.hyper2" rate2;
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Phase_type.hyper2: p must lie strictly between 0 and 1";
+  Hyper2 (p, rate1, rate2)
+
+let phases = function Exp _ -> 1 | Erlang (k, _) -> k | Hyper2 _ -> 2
+
+let init = function
+  | Exp _ | Erlang _ -> [ (0, 1.0) ]
+  | Hyper2 (p, _, _) -> [ (0, p); (1, 1.0 -. p) ]
+
+let check_phase d phase =
+  if phase < 0 || phase >= phases d then
+    invalid_arg (Printf.sprintf "Phase_type: phase %d out of range" phase)
+
+let advance d phase =
+  check_phase d phase;
+  match d with
+  | Exp _ | Hyper2 _ -> None
+  | Erlang (k, r) -> if phase < k - 1 then Some (phase + 1, r) else None
+
+let completion_rate d phase =
+  check_phase d phase;
+  match d with
+  | Exp r -> r
+  | Erlang (k, r) -> if phase = k - 1 then r else 0.0
+  | Hyper2 (_, r1, r2) -> if phase = 0 then r1 else r2
+
+let mean = function
+  | Exp r -> 1.0 /. r
+  | Erlang (k, r) -> float_of_int k /. r
+  | Hyper2 (p, r1, r2) -> (p /. r1) +. ((1.0 -. p) /. r2)
+
+(* E[T^2]: exponential 2/r^2; Erlang k(k+1)/r^2; hyperexponential the
+   mixture of the branch second moments. *)
+let second_moment = function
+  | Exp r -> 2.0 /. (r *. r)
+  | Erlang (k, r) -> float_of_int (k * (k + 1)) /. (r *. r)
+  | Hyper2 (p, r1, r2) ->
+      (2.0 *. p /. (r1 *. r1)) +. (2.0 *. (1.0 -. p) /. (r2 *. r2))
+
+let scv d =
+  let m = mean d in
+  (second_moment d -. (m *. m)) /. (m *. m)
+
+let fit ~mean:m ~scv:c =
+  if m <= 0.0 || not (Float.is_finite m) then
+    invalid_arg "Phase_type.fit: mean must be positive and finite";
+  if c <= 0.0 || not (Float.is_finite c) then
+    invalid_arg "Phase_type.fit: scv must be positive and finite";
+  if c = 1.0 then Exp (1.0 /. m)
+  else if c < 1.0 then begin
+    let k = max 1 (int_of_float (Float.round (1.0 /. c))) in
+    erlang k (float_of_int k /. m)
+  end
+  else begin
+    (* Balanced-means H2 (Tijms): both branches contribute half the
+       mean; matches the first two moments exactly for any scv > 1. *)
+    let p = 0.5 *. (1.0 +. sqrt ((c -. 1.0) /. (c +. 1.0))) in
+    Hyper2 (p, 2.0 *. p /. m, 2.0 *. (1.0 -. p) /. m)
+  end
+
+let of_spec s =
+  let fields = String.split_on_char ':' (String.trim s) in
+  let num x =
+    match float_of_string_opt x with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "not a number: %S" x)
+  in
+  let ( let* ) = Result.bind in
+  let wrap f = try Ok (f ()) with Invalid_argument msg -> Error msg in
+  match fields with
+  | [ "exp"; r ] ->
+      let* r = num r in
+      wrap (fun () -> exp_ r)
+  | [ "erlang"; k; r ] -> (
+      match int_of_string_opt k with
+      | Some k ->
+          let* r = num r in
+          wrap (fun () -> erlang k r)
+      | None -> Error (Printf.sprintf "not an integer: %S" k))
+  | [ "hyper2"; p; r1; r2 ] ->
+      let* p = num p in
+      let* rate1 = num r1 in
+      let* rate2 = num r2 in
+      wrap (fun () -> hyper2 ~p ~rate1 ~rate2)
+  | [ "fit"; m; c ] ->
+      let* m = num m in
+      let* c = num c in
+      wrap (fun () -> fit ~mean:m ~scv:c)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad distribution %S (want exp:RATE, erlang:K:RATE, \
+            hyper2:P:R1:R2, or fit:MEAN:SCV)"
+           s)
+
+(* Shortest float rendering that parses back to the same value, so
+   [of_spec (to_spec d) = Ok d] holds exactly (fitted distributions
+   carry full-precision parameters). *)
+let flt x =
+  let short = Printf.sprintf "%g" x in
+  if float_of_string short = x then short else Printf.sprintf "%.17g" x
+
+let to_spec = function
+  | Exp r -> Printf.sprintf "exp:%s" (flt r)
+  | Erlang (k, r) -> Printf.sprintf "erlang:%d:%s" k (flt r)
+  | Hyper2 (p, r1, r2) ->
+      Printf.sprintf "hyper2:%s:%s:%s" (flt p) (flt r1) (flt r2)
+
+let pp ppf d =
+  let kind =
+    match d with
+    | Exp r -> Printf.sprintf "exp(rate=%g)" r
+    | Erlang (k, r) -> Printf.sprintf "erlang(k=%d, rate=%g)" k r
+    | Hyper2 (p, r1, r2) ->
+        Printf.sprintf "hyper2(p=%g, rates=%g/%g)" p r1 r2
+  in
+  Format.fprintf ppf "%s mean=%g scv=%g" kind (mean d) (scv d)

@@ -1,0 +1,81 @@
+(** Phase-type distributions for state-space expansion.
+
+    The DAC'99 model is exponential everywhere; the scenario layer
+    escapes that by replacing a service or switch-over holding time
+    with a small {e phase-type} (PH) distribution — an absorption time
+    of a transient CTMC — and expanding the phase into the state
+    space.  Three families cover every squared coefficient of
+    variation (SCV):
+
+    - [Exp rate] — the exponential baseline, SCV = 1 (one phase);
+    - [Erlang (k, rate)] — [k] sequential phases at a common rate,
+      SCV = 1/k < 1 (deterministic-ish services);
+    - [Hyper2 (p, r1, r2)] — with probability [p] an [Exp r1] service,
+      else [Exp r2]; SCV > 1 (bursty, heavy-tailed-ish services).
+
+    A distribution is consumed by the expanders through three views:
+    the number of phases, the initial phase distribution [init], and
+    per-phase dynamics [advance]/[completion_rate].  [Erlang 1 r] and
+    [Exp r] are deliberately the {e same} value, so an Erlang-1
+    expansion is bit-identical to the unexpanded model (pinned by
+    tests). *)
+
+type t = private
+  | Exp of float  (** rate *)
+  | Erlang of int * float  (** phases, per-phase rate *)
+  | Hyper2 of float * float * float  (** branch probability, rates *)
+
+val exp_ : float -> t
+(** [exp_ rate] — the exponential distribution.  Raises
+    [Invalid_argument] unless the rate is positive and finite. *)
+
+val erlang : int -> float -> t
+(** [erlang k rate] — sum of [k] iid [Exp rate] phases.  [erlang 1 r]
+    normalizes to [Exp r].  Raises [Invalid_argument] on [k < 1] or a
+    non-positive rate. *)
+
+val hyper2 : p:float -> rate1:float -> rate2:float -> t
+(** [hyper2 ~p ~rate1 ~rate2] — an [Exp rate1] with probability [p],
+    an [Exp rate2] otherwise.  Raises [Invalid_argument] unless
+    [0 < p < 1] and both rates are positive and finite ([p] of 0 or 1
+    is an [Exp]; write that directly). *)
+
+val phases : t -> int
+(** Number of transient phases (1, [k], or 2). *)
+
+val init : t -> (int * float) list
+(** The initial phase distribution [(phase, probability)], positive
+    entries only, ascending by phase.  A transition {e entering}
+    service splits its rate across this list. *)
+
+val advance : t -> int -> (int * float) option
+(** [advance d phase] is the within-distribution phase transition out
+    of [phase] ([Some (next, rate)] for non-final Erlang phases,
+    [None] elsewhere).  Raises [Invalid_argument] out of range. *)
+
+val completion_rate : t -> int -> float
+(** [completion_rate d phase] is the absorption (service completion)
+    rate out of [phase] — 0 for non-final Erlang phases. *)
+
+val mean : t -> float
+(** Expected value. *)
+
+val scv : t -> float
+(** Squared coefficient of variation, [variance / mean^2]. *)
+
+val fit : mean:float -> scv:float -> t
+(** Moment fit: [scv = 1] gives [Exp], [scv < 1] an Erlang with
+    [k = round (1 / scv)] phases (so only SCVs of the form [1/k] are
+    matched exactly; the mean always is), [scv > 1] a balanced-means
+    two-phase hyperexponential matching both moments exactly.  Raises
+    [Invalid_argument] on a non-positive mean or SCV. *)
+
+val of_spec : string -> (t, string) result
+(** Parse the CLI grammar: ["exp:RATE"], ["erlang:K:RATE"],
+    ["hyper2:P:R1:R2"], or ["fit:MEAN:SCV"]. *)
+
+val to_spec : t -> string
+(** Render back into the {!of_spec} grammar. *)
+
+val pp : Format.formatter -> t -> unit
+(** E.g. [erlang(k=4, rate=2) mean=2 scv=0.25]. *)

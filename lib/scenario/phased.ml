@@ -1,0 +1,144 @@
+open Dpm_core
+
+type state = Base of Sys_model.state | Serving of int * int
+
+type t = {
+  sys : Sys_model.t;
+  service : Phase_type.t;
+  active : int;  (** the unique active mode *)
+}
+
+let create ?self_switch_rate ~sp ~queue_capacity ~arrival_rate ~service () =
+  (match Service_provider.active_modes sp with
+  | [ _ ] -> ()
+  | _ ->
+      invalid_arg
+        "Phased.create: the phase expansion requires exactly one active mode \
+         (active-to-active switches cannot map phases between different \
+          distributions)");
+  let sys =
+    Sys_model.create ?self_switch_rate ~sp ~queue_capacity ~arrival_rate ()
+  in
+  { sys; service; active = List.hd (Service_provider.active_modes sp) }
+
+let sys t = t.sys
+let service t = t.service
+let base_states t = Sys_model.num_states t.sys
+let queue_capacity t = Sys_model.queue_capacity t.sys
+
+let num_states t =
+  base_states t + ((Phase_type.phases t.service - 1) * queue_capacity t)
+
+let index t = function
+  | Base x -> Sys_model.index t.sys x
+  | Serving (i, phase) ->
+      let q = queue_capacity t in
+      if i < 1 || i > q then
+        invalid_arg (Printf.sprintf "Phased.index: queue length %d out of range" i);
+      if phase < 1 || phase >= Phase_type.phases t.service then
+        invalid_arg (Printf.sprintf "Phased.index: phase %d out of range" phase);
+      base_states t + ((phase - 1) * q) + (i - 1)
+
+let state_of_index t k =
+  if k < 0 || k >= num_states t then
+    invalid_arg (Printf.sprintf "Phased.state_of_index: %d out of range" k);
+  if k < base_states t then Base (Sys_model.state_of_index t.sys k)
+  else begin
+    let r = k - base_states t in
+    let q = queue_capacity t in
+    Serving ((r mod q) + 1, (r / q) + 1)
+  end
+
+let waiting_requests = function
+  | Base x -> Sys_model.waiting_requests x
+  | Serving (i, _) -> i
+
+(* Flat index of the serving state at queue level [i] and [phase]
+   (phase 0 is the base Stable(active, i) slot). *)
+let serving_index t i phase =
+  if phase = 0 then Sys_model.index t.sys (Sys_model.Stable (t.active, i))
+  else index t (Serving (i, phase))
+
+let is_serving_target t tgt =
+  let lo = Sys_model.index t.sys (Sys_model.Stable (t.active, 1)) in
+  let hi =
+    Sys_model.index t.sys (Sys_model.Stable (t.active, queue_capacity t))
+  in
+  if tgt >= lo && tgt <= hi then Some (tgt - lo + 1) else None
+
+(* Rates entering a serving level split across the initial phase
+   distribution; everything else passes through.  With one phase the
+   split is the identity ([r *. 1.0]), keeping the k = 1 model
+   bit-identical to the base system. *)
+let patch_entering t rates =
+  List.concat_map
+    (fun (tgt, r) ->
+      match is_serving_target t tgt with
+      | None -> [ (tgt, r) ]
+      | Some i ->
+          List.map
+            (fun (phase, a) -> (serving_index t i phase, r *. a))
+            (Phase_type.init t.service))
+    rates
+
+let serving_row t i phase =
+  let q = queue_capacity t in
+  let lam = Sys_model.arrival_rate t.sys in
+  let arrival = if i < q then [ (serving_index t (i + 1) phase, lam) ] else [] in
+  let within =
+    match Phase_type.advance t.service phase with
+    | Some (next, r) -> [ (serving_index t i next, r) ]
+    | None -> []
+  in
+  let c = Phase_type.completion_rate t.service phase in
+  let complete =
+    if c > 0.0 then
+      [ (Sys_model.index t.sys (Sys_model.Transfer (t.active, i)), c) ]
+    else []
+  in
+  arrival @ complete @ within
+
+let to_ctmdp t ~weight =
+  if weight < 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Phased.to_ctmdp: weight must be nonnegative and finite";
+  let sys = t.sys in
+  Dpm_ctmdp.Model.create ~num_states:(num_states t) (fun k ->
+      match state_of_index t k with
+      | Base (Sys_model.Stable (s, i)) when s = t.active && i >= 1 ->
+          (* A phase-0 serving state: constraint (1) pins the action to
+             the single active mode; the row is the phase dynamics. *)
+          [
+            {
+              Dpm_ctmdp.Model.action = t.active;
+              rates = serving_row t i 0;
+              cost =
+                Service_provider.power (Sys_model.sp sys) t.active
+                +. (weight *. float_of_int i);
+            };
+          ]
+      | Base x ->
+          List.map
+            (fun a ->
+              {
+                Dpm_ctmdp.Model.action = a;
+                rates = patch_entering t (Sys_model.transitions sys x ~action:a);
+                cost = Sys_model.cost sys ~weight x ~action:a;
+              })
+            (Sys_model.valid_actions sys x)
+      | Serving (i, phase) ->
+          [
+            {
+              Dpm_ctmdp.Model.action = t.active;
+              rates = serving_row t i phase;
+              cost =
+                Service_provider.power (Sys_model.sp sys) t.active
+                +. (weight *. float_of_int i);
+            };
+          ])
+
+let pp_state t ppf = function
+  | Base x -> Sys_model.pp_state t.sys ppf x
+  | Serving (i, phase) ->
+      Format.fprintf ppf "(%s, q%d, ph%d)"
+        (Service_provider.name (Sys_model.sp t.sys) t.active)
+        i phase

@@ -1,0 +1,320 @@
+type server = Idle of int | Serve of int * int | Switch of int * int | Asleep
+type state = { server : server; queues : int array }
+
+type queue = {
+  arrival_rate : float;
+  capacity : int;
+  weight : float;
+  service : Phase_type.t;
+  switch_over : Phase_type.t;
+}
+
+let queue ?(weight = 1.0) ?(service = Phase_type.exp_ 1.0)
+    ?(switch_over = Phase_type.exp_ 10.0) ~arrival_rate ~capacity () =
+  if arrival_rate <= 0.0 || not (Float.is_finite arrival_rate) then
+    invalid_arg "Polling.queue: arrival rate must be positive and finite";
+  if capacity < 1 then invalid_arg "Polling.queue: capacity must be at least 1";
+  if weight < 0.0 || not (Float.is_finite weight) then
+    invalid_arg "Polling.queue: weight must be nonnegative and finite";
+  { arrival_rate; capacity; weight; service; switch_over }
+
+type t = {
+  queues : queue array;
+  dispatch_rate : float;
+  loss_penalty : float;
+  serve_power : float;
+  idle_power : float;
+  switch_power : float;
+  sleep_power : float;
+  (* Derived layout: server components are enumerated Idle 0..K-1,
+     Serve (queue-major, phase-minor), Switch likewise, Asleep last;
+     the full state index is [component * vec_count + vec]. *)
+  serve_offset : int array;  (** component index of Serve (j, 0) *)
+  switch_offset : int array;  (** component index of Switch (j, 0) *)
+  asleep_comp : int;
+  num_components : int;
+  strides : int array;  (** mixed-radix strides of the queue vector *)
+  vec_count : int;
+}
+
+let check_power site p =
+  if p < 0.0 || not (Float.is_finite p) then
+    invalid_arg (site ^ ": power must be nonnegative and finite")
+
+let create ?(dispatch_rate = 1e6) ?(loss_penalty = 0.0) ?(serve_power = 2.3)
+    ?(idle_power = 0.95) ?(switch_power = 0.95) ?(sleep_power = 0.13) qs =
+  if qs = [] then invalid_arg "Polling.create: at least one queue";
+  if dispatch_rate <= 0.0 || not (Float.is_finite dispatch_rate) then
+    invalid_arg "Polling.create: dispatch rate must be positive and finite";
+  if loss_penalty < 0.0 || not (Float.is_finite loss_penalty) then
+    invalid_arg "Polling.create: loss penalty must be nonnegative and finite";
+  List.iter (check_power "Polling.create")
+    [ serve_power; idle_power; switch_power; sleep_power ];
+  let queues = Array.of_list qs in
+  let k = Array.length queues in
+  let serve_offset = Array.make k 0 in
+  let switch_offset = Array.make k 0 in
+  let comp = ref k in
+  Array.iteri
+    (fun j q ->
+      serve_offset.(j) <- !comp;
+      comp := !comp + Phase_type.phases q.service)
+    queues;
+  Array.iteri
+    (fun j q ->
+      switch_offset.(j) <- !comp;
+      comp := !comp + Phase_type.phases q.switch_over)
+    queues;
+  let asleep_comp = !comp in
+  let num_components = !comp + 1 in
+  let strides = Array.make k 1 in
+  for j = k - 2 downto 0 do
+    strides.(j) <- strides.(j + 1) * (queues.(j + 1).capacity + 1)
+  done;
+  let vec_count = strides.(0) * (queues.(0).capacity + 1) in
+  {
+    queues;
+    dispatch_rate;
+    loss_penalty;
+    serve_power;
+    idle_power;
+    switch_power;
+    sleep_power;
+    serve_offset;
+    switch_offset;
+    asleep_comp;
+    num_components;
+    strides;
+    vec_count;
+  }
+
+let queues t = t.queues
+let num_queues t = Array.length t.queues
+let num_states t = t.num_components * t.vec_count
+
+let component t = function
+  | Idle j ->
+      if j < 0 || j >= num_queues t then
+        invalid_arg "Polling.index: idle queue out of range";
+      j
+  | Serve (j, phase) ->
+      if j < 0 || j >= num_queues t then
+        invalid_arg "Polling.index: serve queue out of range";
+      if phase < 0 || phase >= Phase_type.phases t.queues.(j).service then
+        invalid_arg "Polling.index: service phase out of range";
+      t.serve_offset.(j) + phase
+  | Switch (j, phase) ->
+      if j < 0 || j >= num_queues t then
+        invalid_arg "Polling.index: switch target out of range";
+      if phase < 0 || phase >= Phase_type.phases t.queues.(j).switch_over then
+        invalid_arg "Polling.index: switch-over phase out of range";
+      t.switch_offset.(j) + phase
+  | Asleep -> t.asleep_comp
+
+let vec_index t n =
+  if Array.length n <> num_queues t then
+    invalid_arg "Polling.index: queue vector length mismatch";
+  let acc = ref 0 in
+  Array.iteri
+    (fun j nj ->
+      if nj < 0 || nj > t.queues.(j).capacity then
+        invalid_arg
+          (Printf.sprintf "Polling.index: queue %d occupancy %d out of range" j
+             nj);
+      acc := !acc + (nj * t.strides.(j)))
+    n;
+  !acc
+
+let index t { server; queues = n } = (component t server * t.vec_count) + vec_index t n
+
+let server_of_component t c =
+  if c < num_queues t then Idle c
+  else if c = t.asleep_comp then Asleep
+  else begin
+    let rec find j =
+      if j < num_queues t then
+        let q = t.queues.(j) in
+        if c < t.serve_offset.(j) + Phase_type.phases q.service then
+          Some (Serve (j, c - t.serve_offset.(j)))
+        else find (j + 1)
+      else None
+    in
+    match find 0 with
+    | Some s -> s
+    | None ->
+        let rec find j =
+          let q = t.queues.(j) in
+          if c < t.switch_offset.(j) + Phase_type.phases q.switch_over then
+            Switch (j, c - t.switch_offset.(j))
+          else find (j + 1)
+        in
+        find 0
+  end
+
+let state_of_index t k =
+  if k < 0 || k >= num_states t then
+    invalid_arg (Printf.sprintf "Polling.state_of_index: %d out of range" k);
+  let comp = k / t.vec_count and v = ref (k mod t.vec_count) in
+  let n =
+    Array.mapi
+      (fun j _ ->
+        let nj = !v / t.strides.(j) in
+        v := !v mod t.strides.(j);
+        nj)
+      t.queues
+  in
+  { server = server_of_component t comp; queues = n }
+
+let action_stay = 0
+let action_goto j = 1 + j
+let action_sleep t = num_queues t + 1
+let action_serve t = num_queues t + 2
+
+let pp_action t ppf a =
+  if a = action_stay then Format.pp_print_string ppf "stay"
+  else if a = action_sleep t then Format.pp_print_string ppf "sleep"
+  else if a = action_serve t then Format.pp_print_string ppf "serve"
+  else if a >= 1 && a <= num_queues t then Format.fprintf ppf "goto q%d" (a - 1)
+  else Format.fprintf ppf "action %d" a
+
+(* Arrival transitions common to every row: each non-full queue fills
+   at its own rate, the server component unchanged. *)
+let arrivals t server n =
+  let out = ref [] in
+  for j = num_queues t - 1 downto 0 do
+    if n.(j) < t.queues.(j).capacity then begin
+      let n' = Array.copy n in
+      n'.(j) <- n.(j) + 1;
+      out := (index t { server; queues = n' }, t.queues.(j).arrival_rate) :: !out
+    end
+  done;
+  !out
+
+(* Big-M dispatch into a phase-type's initial distribution. *)
+let dispatch t n to_state dist =
+  List.map
+    (fun (phase, a) ->
+      (index t { server = to_state phase; queues = n }, t.dispatch_rate *. a))
+    (Phase_type.init dist)
+
+let power t = function
+  | Idle _ -> t.idle_power
+  | Serve _ -> t.serve_power
+  | Switch _ -> t.switch_power
+  | Asleep -> t.sleep_power
+
+let cost t { server; queues = n } =
+  let holding = ref 0.0 in
+  let loss = ref 0.0 in
+  Array.iteri
+    (fun j nj ->
+      holding := !holding +. (t.queues.(j).weight *. float_of_int nj);
+      if nj = t.queues.(j).capacity then
+        loss := !loss +. t.queues.(j).arrival_rate)
+    n;
+  power t server +. !holding +. (t.loss_penalty *. !loss)
+
+let all_full t n =
+  let full = ref true in
+  Array.iteri (fun j nj -> if nj < t.queues.(j).capacity then full := false) n;
+  !full
+
+let choices t x =
+  let { server; queues = n } = x in
+  let c = cost t x in
+  let arr = arrivals t server n in
+  let choice action rates = { Dpm_ctmdp.Model.action; rates; cost = c } in
+  let goto_choices =
+    List.filter_map
+      (fun j ->
+        let skip = match server with Idle i -> i = j | _ -> false in
+        if skip then None
+        else
+          Some
+            (choice (action_goto j)
+               (arr
+               @ dispatch t n (fun phase -> Switch (j, phase))
+                   t.queues.(j).switch_over)))
+      (List.init (num_queues t) (fun j -> j))
+  in
+  match server with
+  | Idle j ->
+      let stay =
+        (* Progress constraint: no idling on a full local queue. *)
+        if n.(j) < t.queues.(j).capacity then [ choice action_stay arr ]
+        else []
+      in
+      let serve =
+        if n.(j) >= 1 then
+          [
+            choice (action_serve t)
+              (arr
+              @ dispatch t n (fun phase -> Serve (j, phase)) t.queues.(j).service);
+          ]
+        else []
+      in
+      let sleep =
+        [
+          choice (action_sleep t)
+            (arr @ [ (index t { server = Asleep; queues = n }, t.dispatch_rate) ]);
+        ]
+      in
+      stay @ goto_choices @ sleep @ serve
+  | Asleep ->
+      let stay =
+        (* Progress constraint: a sleeping server must wake once every
+           queue is full. *)
+        if all_full t n then [] else [ choice action_stay arr ]
+      in
+      stay @ goto_choices
+  | Serve (j, phase) ->
+      let q = t.queues.(j) in
+      let within =
+        match Phase_type.advance q.service phase with
+        | Some (next, r) ->
+            [ (index t { server = Serve (j, next); queues = n }, r) ]
+        | None -> []
+      in
+      let cr = Phase_type.completion_rate q.service phase in
+      let complete =
+        if cr <= 0.0 then []
+        else begin
+          (* Serving states with an empty local queue are unreachable
+             (service only dispatches on work); their completion keeps
+             the vector so the row stays a valid generator row. *)
+          let n' = Array.copy n in
+          if n.(j) >= 1 then n'.(j) <- n.(j) - 1;
+          [ (index t { server = Idle j; queues = n' }, cr) ]
+        end
+      in
+      [ choice action_stay (arr @ complete @ within) ]
+  | Switch (j, phase) ->
+      let q = t.queues.(j) in
+      let within =
+        match Phase_type.advance q.switch_over phase with
+        | Some (next, r) ->
+            [ (index t { server = Switch (j, next); queues = n }, r) ]
+        | None -> []
+      in
+      let cr = Phase_type.completion_rate q.switch_over phase in
+      let complete =
+        if cr <= 0.0 then []
+        else [ (index t { server = Idle j; queues = n }, cr) ]
+      in
+      [ choice action_stay (arr @ complete @ within) ]
+
+let to_ctmdp t =
+  Dpm_ctmdp.Model.create ~num_states:(num_states t) (fun k ->
+      choices t (state_of_index t k))
+
+let pp_state t ppf { server; queues = n } =
+  let comp =
+    match server with
+    | Idle j -> Printf.sprintf "idle q%d" j
+    | Serve (j, phase) -> Printf.sprintf "serve q%d ph%d" j phase
+    | Switch (j, phase) -> Printf.sprintf "switch->q%d ph%d" j phase
+    | Asleep -> "asleep"
+  in
+  ignore t;
+  Format.fprintf ppf "%s | n=[%s]" comp
+    (String.concat " " (Array.to_list (Array.map string_of_int n)))

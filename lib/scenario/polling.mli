@@ -1,0 +1,124 @@
+(** K-queue polling with switch-over times — a CTMDP generalization of
+    the single-queue SYS (after Solms' two-queue polling SMDP; see
+    PAPERS.md).
+
+    One server visits [K] bounded queues.  At any instant the server
+    is {e idle at} a queue, {e serving} its head-of-line request,
+    {e switching} toward a queue (the polling literature's switch-over
+    time), or {e asleep} in a low-power mode.  Service and switch-over
+    times are {!Phase_type} distributed (phases expanded into the
+    state space); arrivals are per-queue Poisson; a request arriving
+    at a full queue is lost (optionally priced by [loss_penalty]).
+
+    {2 Decisions}
+
+    Idle and asleep states are the decision epochs; service and
+    switch-over are non-preemptive (their states carry the single
+    [continue] action).  Action labels:
+
+    - [action_stay] — keep idling / sleeping;
+    - [action_goto j] — start switching toward queue [j];
+    - [action_sleep] — power down;
+    - [action_serve] — start serving the local queue (idle states
+      with work only).
+
+    Starting a service, a switch-over, or a sleep is the paper's
+    "instantaneous" command: it is resolved at the big-M
+    [dispatch_rate] (default 1e6, the same device as [Sys_model]'s
+    self-switch — DESIGN.md decision 1), split across the target
+    distribution's initial phases.
+
+    {2 Progress constraints}
+
+    Mirroring the paper's Section III constraint (2), [action_stay]
+    is withheld from an idle server whose own queue is full and from a
+    sleeping server when {e every} queue is full, so no policy can
+    park the system in an absorbing overflow state. *)
+
+type server =
+  | Idle of int  (** parked at a queue *)
+  | Serve of int * int  (** queue, service phase *)
+  | Switch of int * int  (** target queue, switch-over phase *)
+  | Asleep
+
+type state = { server : server; queues : int array }
+(** A server component plus the per-queue occupancy vector. *)
+
+type queue = {
+  arrival_rate : float;
+  capacity : int;
+  weight : float;  (** holding cost per waiting request per unit time *)
+  service : Phase_type.t;
+  switch_over : Phase_type.t;  (** time to switch {e toward} this queue *)
+}
+
+val queue :
+  ?weight:float ->
+  ?service:Phase_type.t ->
+  ?switch_over:Phase_type.t ->
+  arrival_rate:float ->
+  capacity:int ->
+  unit ->
+  queue
+(** Queue spec ([weight] defaults to 1, [service] to [exp:1],
+    [switch_over] to [exp:10]).  Raises [Invalid_argument] on a
+    non-positive arrival rate or capacity, or a negative weight. *)
+
+type t
+
+val create :
+  ?dispatch_rate:float ->
+  ?loss_penalty:float ->
+  ?serve_power:float ->
+  ?idle_power:float ->
+  ?switch_power:float ->
+  ?sleep_power:float ->
+  queue list ->
+  t
+(** [create queues] validates and composes the polling system.
+    Powers default to serve 2.3 / idle 0.95 / switch 0.95 / sleep 0.13
+    (the paper SP's figures); [loss_penalty] (default 0) prices each
+    lost request; [dispatch_rate] is the big-M decision resolution.
+    Raises [Invalid_argument] on an empty queue list or bad
+    numbers. *)
+
+val queues : t -> queue array
+(** The queue specs, in index order. *)
+
+val num_queues : t -> int
+(** [K]. *)
+
+val num_states : t -> int
+(** [(K idle + sum service phases + sum switch phases + 1 asleep) *
+    prod (capacity_j + 1)]. *)
+
+val index : t -> state -> int
+(** Flat index of a state; raises [Invalid_argument] outside the
+    space. *)
+
+val state_of_index : t -> int -> state
+(** Inverse of {!index}. *)
+
+val action_stay : int
+(** Label 0: keep idling / sleeping (also the forced [continue] of
+    serve and switch states). *)
+
+val action_goto : int -> int
+(** [action_goto j] is label [1 + j]. *)
+
+val action_sleep : t -> int
+(** Label [K + 1]. *)
+
+val action_serve : t -> int
+(** Label [K + 2]. *)
+
+val pp_action : t -> Format.formatter -> int -> unit
+(** E.g. [serve], [goto q1], [sleep], [stay]. *)
+
+val to_ctmdp : t -> Dpm_ctmdp.Model.t
+(** The polling decision process: power draw plus weighted holding
+    (and priced losses) as the cost rate, ready for any solver in the
+    repository. *)
+
+val pp_state : t -> Format.formatter -> state -> unit
+(** E.g. [serve q0 ph1 | n=[2 0]]. *)

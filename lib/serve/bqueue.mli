@@ -30,6 +30,7 @@ val length : 'a t -> int
 (** Elements currently held. *)
 
 val capacity : 'a t -> int
+(** The bound supplied at {!create}; pushes beyond it are dropped. *)
 
 val accepted : 'a t -> int
 (** Total elements ever accepted by {!push}. *)

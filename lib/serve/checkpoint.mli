@@ -45,6 +45,9 @@ val version : int
 (** Current format version (1). *)
 
 val to_json : t -> Dpm_trace.Json.t
+(** The versioned wire form written by {!save} — a single JSON
+    object, round-trippable through {!of_json}. *)
+
 val of_json : Dpm_trace.Json.t -> (t, string) result
 (** [Error] on an unknown version or a missing/malformed field. *)
 

@@ -98,6 +98,9 @@ val decide : t -> Sys_model.state -> int
     the system's state space. *)
 
 val health : t -> Health.state
+(** The health ladder's current state ({!Health.state}), advanced by
+    the same sim-clock as {!now}. *)
+
 val degraded_fraction : t -> float
 (** See {!Health.degraded_fraction}; sim-time based. *)
 
@@ -122,6 +125,9 @@ val now : t -> float
 (** The engine's sim-clock: the latest arrival time pumped. *)
 
 val sys : t -> Sys_model.t
+(** The system the engine decides over — the state space [decide]
+    indexes and every re-solve rebuilds its model from. *)
+
 val restored : t -> bool
 (** Whether startup fully restored from a checkpoint. *)
 

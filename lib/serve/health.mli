@@ -39,6 +39,7 @@ val state_to_string : state -> string
     the protocol, checkpoints and telemetry. *)
 
 val state_of_string : string -> state option
+(** Inverse of {!state_to_string}; [None] on an unknown slug. *)
 
 val severity : state -> int
 (** 0, 1, 2 in ladder order — the value of the [serve.health]
@@ -52,6 +53,7 @@ val create : ?now:float -> state -> t
 (** Start in the given state at sim-time [now] (default 0). *)
 
 val state : t -> state
+(** The ladder's current state. *)
 
 val apply : t -> outcome -> now:float -> unit
 (** Advance the sim-clock to [now] (crediting the elapsed interval to

@@ -1,4 +1,4 @@
-(* Documentation lint for .mli files.
+(* Documentation lint for .mli files and the markdown guides.
 
    odoc is not part of this repository's toolchain, so `dune build
    @doc` alone cannot prove the interfaces are documented.  This tool
@@ -8,8 +8,15 @@
    the line above the declaration or opening after it, before the next
    top-level declaration.
 
-   Usage: doc_lint.exe FILE.mli...   (exit 1 and a per-item report on
-   any undocumented surface; no output when clean) *)
+   Files ending in [.md] get a different check: every relative
+   markdown link [text](target) must point at a file that exists next
+   to the document (external http/https/mailto links and in-page
+   #anchors are skipped, a #fragment suffix is stripped first).  This
+   keeps the cross-references between README, ARCHITECTURE, MODELING,
+   and EXPERIMENTS from rotting silently.
+
+   Usage: doc_lint.exe FILE...   (exit 1 and a per-item report on any
+   undocumented surface or broken link; no output when clean) *)
 
 let read_lines path =
   let ic = open_in path in
@@ -76,7 +83,56 @@ let module_header lines =
   in
   go 0
 
-let lint path =
+(* Inline links on one line: every [text](target) pair.  Reference
+   definitions and autolinks are not used in this repository's docs,
+   so the inline form is the whole surface. *)
+let md_link_targets line =
+  let n = String.length line in
+  let targets = ref [] in
+  let rec scan i =
+    if i >= n then ()
+    else if line.[i] = ']' && i + 1 < n && line.[i + 1] = '(' then begin
+      (match String.index_from_opt line (i + 2) ')' with
+      | Some close ->
+          targets := String.sub line (i + 2) (close - i - 2) :: !targets;
+          scan (close + 1)
+      | None -> ())
+    end
+    else scan (i + 1)
+  in
+  scan 0;
+  List.rev !targets
+
+let external_link t =
+  starts_with "http://" t || starts_with "https://" t
+  || starts_with "mailto:" t
+  || starts_with "#" t
+
+let lint_markdown path =
+  let lines = read_lines path in
+  let dir = Filename.dirname path in
+  let problems = ref [] in
+  Array.iteri
+    (fun i line ->
+      List.iter
+        (fun target ->
+          if not (external_link target) then begin
+            let file =
+              match String.index_opt target '#' with
+              | Some k -> String.sub target 0 k
+              | None -> target
+            in
+            if file <> "" && not (Sys.file_exists (Filename.concat dir file))
+            then
+              problems :=
+                Printf.sprintf "%s:%d: broken link: %s" path (i + 1) target
+                :: !problems
+          end)
+        (md_link_targets line))
+    lines;
+  List.rev !problems
+
+let lint_mli path =
   let lines = read_lines path in
   let problems = ref [] in
   if not (module_header lines) then
@@ -91,16 +147,20 @@ let lint path =
     lines;
   List.rev !problems
 
+let lint path =
+  if Filename.check_suffix path ".md" then lint_markdown path
+  else lint_mli path
+
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
   if files = [] then begin
-    prerr_endline "usage: doc_lint FILE.mli...";
+    prerr_endline "usage: doc_lint FILE...";
     exit 2
   end;
   let problems = List.concat_map lint files in
   if problems <> [] then begin
     List.iter prerr_endline problems;
-    Printf.eprintf "doc_lint: %d undocumented item(s) in %d file(s)\n"
+    Printf.eprintf "doc_lint: %d problem(s) in %d file(s)\n"
       (List.length problems) (List.length files);
     exit 1
   end
